@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures and output plumbing.
+
+Every benchmark regenerates one table or figure of the paper.  Because
+``pytest --benchmark-only`` captures stdout, each harness also writes its
+rendered table to ``benchmarks/results/<experiment>.txt`` so the regenerated
+numbers survive the run; EXPERIMENTS.md records the paper-vs-measured
+comparison.
+
+Benchmark-scale data shapes are slightly smaller than the library defaults to
+keep the full suite's runtime reasonable on the pure-Python substrate.
+"""
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+import repro
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: scaled-down shapes used by the heavier sweeps
+BENCH_SHAPES = {
+    "miranda": (48, 72, 72),
+    "hurricane": (20, 100, 100),
+    "segsalt": (96, 96, 36),
+    "scale": (20, 120, 120),
+    "s3d": (48, 48, 48),
+    "cesm": (13, 96, 192),
+}
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def bench_field():
+    """Dataset/field loader memoized across the whole benchmark session."""
+    cache: dict = {}
+
+    def load(dataset: str, field: str | None = None) -> np.ndarray:
+        key = (dataset, field)
+        if key not in cache:
+            cache[key] = repro.generate(dataset, field, shape=BENCH_SHAPES.get(dataset))
+        return cache[key]
+
+    return load
+
+
+def rel_eb(data: np.ndarray, rel: float) -> float:
+    return rel * float(data.max() - data.min())

@@ -1,0 +1,47 @@
+"""Ablation: SPERR coefficient coder — quantization+Huffman (this repo's
+default substitution) vs the SPECK-style embedded coder (SPERR's native
+architecture, implemented in ``repro.codecs.speck``).
+
+The simplified whole-domain SPECK partition trades ratio for embeddedness;
+the ablation records both so the substitution choice in DESIGN.md stays
+justified by measurement.
+"""
+import time
+
+import numpy as np
+from conftest import write_result
+
+import repro
+from repro.analysis import format_table
+from repro.compressors.sperr import SPERR
+
+
+def test_ablation_speck(benchmark):
+    data = repro.generate("miranda", "velocityx", shape=(32, 48, 48))
+    eb = 1e-3 * float(data.max() - data.min())
+    rows = []
+
+    def sweep():
+        for coder in ("quant", "speck"):
+            comp = SPERR(eb, coder=coder)
+            t0 = time.perf_counter()
+            blob = comp.compress(data)
+            t1 = time.perf_counter()
+            out = comp.decompress(blob)
+            t2 = time.perf_counter()
+            err = np.abs(out.astype(np.float64) - data.astype(np.float64)).max()
+            assert err <= eb
+            rows.append({
+                "coder": coder,
+                "CR": round(data.nbytes / len(blob), 2),
+                "compress s": round(t1 - t0, 3),
+                "decompress s": round(t2 - t1, 3),
+            })
+        return rows
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(rows) == 2
+    write_result(
+        "ablation_speck",
+        format_table(rows, "Ablation: SPERR coefficient coder (quant vs SPECK)"),
+    )

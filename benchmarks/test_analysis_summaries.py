@@ -1,0 +1,73 @@
+"""Cross-cutting analysis benchmarks built on the harness extensions:
+
+* BD-rate summary — condenses each rate-distortion figure into one number
+  per compressor ("QP is worth X% bitrate at equal quality").
+* Error-profile validation — ref [30]-style analysis showing the linear
+  quantizer's error is near-uniform, unbiased, and bound-respecting, with
+  and without QP (QP must not change the error field at all).
+"""
+import numpy as np
+from conftest import write_result
+
+import repro
+from repro.analysis import bd_rate, error_profile, format_table
+from repro.core import QPConfig
+
+
+def test_bdrate_summary(benchmark, bench_field):
+    bounds = (1e-2, 1e-3, 1e-4)
+
+    def sweep():
+        rows = []
+        for ds, fld in (("miranda", "velocityx"), ("segsalt", "Pressure2000")):
+            data = bench_field(ds, fld)
+            for name in ("mgard", "sz3", "qoz", "hpez"):
+                kwargs = {"predictor": "interp"} if name == "sz3" else {}
+                points = repro.qp_comparison(name, data, rel_bounds=bounds, **kwargs)
+                rb = [p.base.bitrate for p in points]
+                pb = [p.base.psnr for p in points]
+                rq = [p.qp.bitrate for p in points]
+                pq = [p.qp.psnr for p in points]
+                rows.append({
+                    "dataset": ds,
+                    "compressor": name.upper(),
+                    "BD-rate of +QP %": round(bd_rate(rb, pb, rq, pq), 2),
+                })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # QP must save bits at equal quality on these QP-friendly datasets
+    assert all(r["BD-rate of +QP %"] < 0 for r in rows)
+    write_result(
+        "bdrate_summary",
+        format_table(rows, "BD-rate of +QP vs base (negative = bits saved)"),
+    )
+
+
+def test_error_profile_validation(benchmark, bench_field):
+    data = bench_field("miranda", "velocityx")
+    eb = 1e-4 * float(data.max() - data.min())
+
+    def run():
+        base = repro.SZ3(eb, predictor="interp")
+        plus = repro.SZ3(eb, predictor="interp", qp=QPConfig())
+        out_b = base.decompress(base.compress(data))
+        out_q = plus.decompress(plus.compress(data))
+        return out_b, out_q
+
+    out_b, out_q = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.array_equal(out_b, out_q)  # QP leaves the error field untouched
+    prof = error_profile(data, out_b, eb)
+    rows = [{
+        "mean bias (eb units)": round(prof.mean_bias, 4),
+        "RMS (eb units)": round(prof.rms, 4),
+        "uniformity dist": round(prof.uniformity, 4),
+        "lag-1 autocorr": round(prof.lag1_autocorr, 4),
+        "bound utilization": round(prof.bound_utilization, 4),
+    }]
+    assert abs(prof.mean_bias) < 0.05
+    assert prof.bound_utilization <= 1.0 + 1e-9
+    write_result(
+        "error_profile",
+        format_table(rows, "Error profile of SZ3 (identical with +QP)"),
+    )

@@ -1,0 +1,79 @@
+"""Figures 16 & 17 — compression and decompression speed of the base
+compressors vs their +QP versions at error bounds 1e-3 / 1e-4 / 1e-5.
+
+Absolute MB/s on this pure-Python substrate are not comparable to the
+paper's C++ numbers (see DESIGN.md §2); the reproduced quantity is the
+*relative overhead* of QP, which the paper reports as ~15-25% on
+compression and more on decompression.
+"""
+import time
+
+import numpy as np
+import pytest
+from conftest import write_result
+
+import repro
+from repro.core import QPConfig
+from repro.utils.timer import throughput_mbs
+
+_BOUNDS = (1e-3, 1e-4, 1e-5)
+_COMPRESSORS = ("mgard", "sz3", "qoz", "hpez")
+_ROWS_C: list = []
+_ROWS_D: list = []
+
+
+def _measure(comp, data):
+    t0 = time.perf_counter()
+    blob = comp.compress(data)
+    t1 = time.perf_counter()
+    comp.decompress(blob)
+    t2 = time.perf_counter()
+    return t1 - t0, t2 - t1
+
+
+@pytest.mark.parametrize("name", _COMPRESSORS)
+def test_fig16_17_speed(name, benchmark, bench_field):
+    data = bench_field("miranda", "velocityx")
+    rows_c, rows_d = [], []
+
+    def sweep():
+        for rel in _BOUNDS:
+            eb = rel * float(data.max() - data.min())
+            kwargs = {"predictor": "interp"} if name == "sz3" else {}
+            base = repro.get_compressor(name, eb, **kwargs)
+            plus = repro.get_compressor(name, eb, qp=QPConfig(), **kwargs)
+            bc, bd = _measure(base, data)
+            qc, qd = _measure(plus, data)
+            rows_c.append({
+                "compressor": name.upper(),
+                "rel eb": rel,
+                "base MB/s": round(throughput_mbs(data.nbytes, bc), 2),
+                "+QP MB/s": round(throughput_mbs(data.nbytes, qc), 2),
+                "QP overhead %": round(100 * (qc / bc - 1), 1),
+            })
+            rows_d.append({
+                "compressor": name.upper(),
+                "rel eb": rel,
+                "base MB/s": round(throughput_mbs(data.nbytes, bd), 2),
+                "+QP MB/s": round(throughput_mbs(data.nbytes, qd), 2),
+                "QP overhead %": round(100 * (qd / bd - 1), 1),
+            })
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _ROWS_C.extend(rows_c)
+    _ROWS_D.extend(rows_d)
+    # QP overhead must stay bounded: never more than ~2.5x the base time on
+    # this substrate (the paper's C++ overhead is 15-45%)
+    for r in rows_c + rows_d:
+        assert r["QP overhead %"] < 150.0
+    if len(_ROWS_C) == len(_COMPRESSORS) * len(_BOUNDS):
+        from repro.analysis import format_table
+
+        write_result(
+            "fig16_compression_speed",
+            format_table(_ROWS_C, "Fig 16: compression speed, base vs +QP"),
+        )
+        write_result(
+            "fig17_decompression_speed",
+            format_table(_ROWS_D, "Fig 17: decompression speed, base vs +QP"),
+        )

@@ -1,0 +1,71 @@
+"""Figure 18 — end-to-end parallel data transfer (RTM, SZ3 vs SZ3+QP).
+
+Per-slice compression is measured on real RTM-like snapshots, the measured
+times are rescaled to the paper's per-core C++ throughput grade (documented
+substitution — Python absolute speed is not representative), and the
+strong-scaling pipeline model projects 3600 slices over a 461.75 MB/s link
+at 225-1800 cores, plus the paper's bandwidth-sensitivity argument."""
+import numpy as np
+from conftest import write_result
+
+import repro
+from repro.analysis import format_table
+from repro.core import QPConfig
+from repro.transfer import (
+    PAPER_CORE_COUNTS,
+    compare_strong_scaling,
+    gain_vs_bandwidth,
+    measure_slices,
+    vanilla_transfer_seconds,
+)
+
+_PAPER_COMP_MBS = 190.0
+
+
+def test_fig18_transfer(benchmark):
+    data = repro.generate("rtm", shape=(8, 48, 48, 28))
+    slices = [np.ascontiguousarray(data[i]) for i in range(data.shape[0])]
+    eb = 1e-4 * float(data.max() - data.min())
+
+    def run():
+        base = measure_slices(slices, "sz3", eb, predictor="interp")
+        qp = measure_slices(slices, "sz3", eb, qp=QPConfig(), predictor="interp")
+        return base, qp
+
+    base, qp = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert qp.compressed_bytes < base.compressed_bytes  # QP shrinks the data
+
+    factor = (base.raw_bytes / 1e6 / base.compress_seconds) / _PAPER_COMP_MBS
+    for m in (base, qp):
+        m.compress_seconds *= factor
+        m.decompress_seconds *= factor
+
+    cmp = compare_strong_scaling(base, qp, scale_to_slices=3600)
+    gains = cmp.gains()
+    rows = []
+    for b, q, g in zip(cmp.base, cmp.qp, gains):
+        rows.append({
+            "cores": b.cores,
+            "base compress": round(b.compress, 3),
+            "base transfer": round(b.transfer, 3),
+            "base total": round(b.total, 3),
+            "+QP total": round(q.total, 3),
+            "gain": f"{g:.3f}x",
+        })
+    # the paper's shape: QP wins end-to-end, more so at higher core counts
+    assert all(g > 1.0 for g in gains)
+    assert gains[-1] >= gains[0]
+
+    bw = gain_vs_bandwidth(base, qp, cores=PAPER_CORE_COUNTS[-1], scale_to_slices=3600)
+    # doubling the bandwidth shrinks the benefit (16% -> 11% in the paper)
+    assert bw[0][1] >= bw[1][1] >= bw[2][1]
+
+    text = format_table(rows, "Fig 18: end-to-end transfer strong scaling "
+                              "(SZ3 vs SZ3+QP, paper-grade compute)")
+    text += f"\nCR: base {base.cr:.2f} vs +QP {qp.cr:.2f}\n"
+    text += "bandwidth sensitivity: " + ", ".join(
+        f"x{m:g}->{g:.3f}x" for m, g in bw
+    ) + "\n"
+    vanilla = vanilla_transfer_seconds(base.raw_bytes, scale=3600 / base.n_slices)
+    text += f"vanilla transfer of the scaled dataset: {vanilla:.1f}s\n"
+    write_result("fig18_transfer", text)

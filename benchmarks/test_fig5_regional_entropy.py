@@ -1,0 +1,55 @@
+"""Figure 5 — regional entropy of the quantization indices for all four
+interpolation-based compressors, before (a) and after (b) QP.
+
+The paper's panel shows the clustered regions collapsing once QP is applied;
+here we regenerate the per-region entropy numbers attached above each
+subplot.
+"""
+import pytest
+from conftest import write_result
+
+import repro
+from repro.analysis import format_table
+from repro.compressors import CompressionState
+from repro.core import QPConfig, regional_entropy
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("name", ["mgard", "sz3", "qoz", "hpez"])
+def test_fig5_regional_entropy(name, benchmark, bench_field):
+    data = bench_field("segsalt", "Pressure2000")
+    eb = 1e-4 * float(data.max() - data.min())
+    kwargs = {"predictor": "interp"} if name == "sz3" else {}
+
+    def run():
+        st = CompressionState()
+        comp = repro.get_compressor(name, eb, qp=QPConfig(), **kwargs)
+        comp.compress(data, state=st)
+        return st
+
+    st = benchmark.pedantic(run, rounds=1, iterations=1)
+    q, qp = st.index_volume, st.extras["index_volume_qp"]
+    nz, ny, nx = data.shape
+    regions = {
+        "Region 0": ("xy", nz // 2, (ny * 4 // 9, ny * 5 // 9), (nx // 7, nx * 3 // 7)),
+        "Region 1": ("xz", ny // 2, (nz * 2 // 5, nz * 3 // 5), (nx // 7, nx * 3 // 7)),
+        "Region 2": ("yz", nx // 2, (nz // 3, nz * 2 // 5), (ny // 2, ny * 3 // 5)),
+    }
+    row = {"compressor": name.upper()}
+    for label, (plane, idx, rr, cc) in regions.items():
+        h_before = regional_entropy(q, plane, idx, rr, cc)
+        h_after = regional_entropy(qp, plane, idx, rr, cc)
+        row[f"{label} H"] = round(h_before, 3)
+        row[f"{label} H+QP"] = round(h_after, 3)
+    _ROWS.append(row)
+    # QP must reduce (or preserve) entropy in the majority of regions
+    improved = sum(
+        row[f"Region {i} H+QP"] <= row[f"Region {i} H"] + 0.05 for i in range(3)
+    )
+    assert improved >= 2
+    if len(_ROWS) == 4:
+        write_result(
+            "fig5_regional_entropy",
+            format_table(_ROWS, "Fig 5: regional index entropy, before/after QP"),
+        )

@@ -1,0 +1,45 @@
+"""Figure 7 — compression-ratio increase rate for different QP prediction
+dimensions (1D-Back / 1D-Top / 1D-Left / 2D / 3D), on SegSalt Pressure2000
+and Miranda Velocityx with SZ3.
+
+Expected shape (paper Section V-C1): 2D wins; 1D-Back and 3D underperform
+because level-wise prediction leaves the interpolation direction
+non-contiguous.
+"""
+import pytest
+from conftest import write_result
+
+import repro
+from repro.core import QP_DIMENSIONS, QPConfig
+
+_ROWS = []
+_FIELDS = [("segsalt", "Pressure2000"), ("miranda", "velocityx")]
+
+
+@pytest.mark.parametrize("dataset,field", _FIELDS)
+def test_fig7_dimension(dataset, field, benchmark, bench_field):
+    data = bench_field(dataset, field)
+    eb = 1e-4 * float(data.max() - data.min())
+    base_size = len(repro.SZ3(eb, predictor="interp").compress(data))
+
+    def sweep():
+        gains = {}
+        for dim in QP_DIMENSIONS:
+            comp = repro.SZ3(eb, predictor="interp", qp=QPConfig(dimension=dim))
+            gains[dim] = base_size / len(comp.compress(data)) - 1.0
+        return gains
+
+    gains = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    row = {"field": f"{dataset}/{field}"}
+    row.update({d: f"{100 * g:+.1f}%" for d, g in gains.items()})
+    _ROWS.append(row)
+    # 2D must beat 3D and 1D-Back (the paper's best-fit conclusion)
+    assert gains["2d"] >= gains["3d"] - 1e-12
+    assert gains["2d"] >= gains["1d-back"] - 1e-12
+    if len(_ROWS) == len(_FIELDS):
+        from repro.analysis import format_table
+
+        write_result(
+            "fig7_dimension",
+            format_table(_ROWS, "Fig 7: CR increase vs QP prediction dimension"),
+        )

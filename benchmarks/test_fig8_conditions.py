@@ -1,0 +1,64 @@
+"""Figure 8 — compression-ratio increase rate for prediction conditions
+Cases I-IV (2-D QP, SZ3), across error bounds.
+
+The run uses a reduced quantizer capacity (radius 128) so unpredictable
+points actually occur at the tight bounds — the regime the conditions were
+designed to discriminate (with the default 2^15 radius, synthetic fields
+produce almost no unpredictables and Cases I-III coincide).
+
+Reproduced shape: Case I falls off at small error bounds (unpredictable
+neighbours poison its predictions) and Case IV is the most conservative.
+On these synthetic fields Case II edges Case III slightly — coherent
+oscillatory data rewards predicting across sign changes; see EXPERIMENTS.md.
+"""
+import pytest
+from conftest import write_result
+
+import repro
+from repro.core import QP_CONDITIONS, QPConfig
+
+_ROWS = []
+_BOUNDS = (1e-2, 1e-3, 1e-4)
+_RADIUS = 128
+
+
+@pytest.mark.parametrize("rel", _BOUNDS)
+def test_fig8_conditions(rel, benchmark, bench_field):
+    data = bench_field("segsalt", "Pressure2000")
+    eb = rel * float(data.max() - data.min())
+    base_size = len(
+        repro.SZ3(eb, predictor="interp", radius=_RADIUS).compress(data)
+    )
+
+    def sweep():
+        gains = {}
+        for cond in QP_CONDITIONS:
+            comp = repro.SZ3(
+                eb, predictor="interp", radius=_RADIUS, qp=QPConfig(condition=cond)
+            )
+            gains[cond] = base_size / len(comp.compress(data)) - 1.0
+        return gains
+
+    gains = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    row = {"rel eb": rel}
+    row.update({f"Case {c}": f"{100 * g:+.1f}%" for c, g in gains.items()})
+    _ROWS.append(row)
+    if rel == min(_BOUNDS):
+        # tight bound: unpredictable-aware cases beat unconditional Case I
+        assert gains["II"] >= gains["I"]
+        assert gains["III"] >= gains["I"]
+    if len(_ROWS) == len(_BOUNDS):
+        from repro.analysis import format_table
+
+        totals = {c: 0.0 for c in QP_CONDITIONS}
+        for r in _ROWS:
+            for c in QP_CONDITIONS:
+                totals[c] += float(r[f"Case {c}"].rstrip("%"))
+        best = max(totals, key=totals.get)
+        text = format_table(_ROWS, "Fig 8: CR increase vs prediction condition "
+                                   f"(radius {_RADIUS})")
+        text += f"\nbest overall condition: Case {best}\n"
+        write_result("fig8_conditions", text)
+        # Case III comfortably beats the conservative Case IV and never
+        # collapses like Case I at tight bounds
+        assert totals["III"] >= totals["IV"] - 0.5

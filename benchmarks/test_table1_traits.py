@@ -1,0 +1,21 @@
+"""Table I — qualitative characteristics of the interpolation-based
+compressors (speed / ratio / resolution reduction / GPU / QoI / quality
+orientation)."""
+from conftest import write_result
+
+from repro import traits_table
+from repro.analysis import format_table
+
+
+def test_table1_traits(benchmark):
+    rows = benchmark.pedantic(traits_table, rounds=1, iterations=1)
+    assert [r["compressor"] for r in rows] == ["MGARD", "SZ3", "QOZ", "HPEZ"]
+    # the paper's claims, verbatim
+    by = {r["compressor"]: r for r in rows}
+    assert by["MGARD"]["resolution_reduction"] is True
+    assert by["SZ3"]["resolution_reduction"] is False
+    assert by["MGARD"]["gpu"] and by["QOZ"]["gpu"]
+    assert by["MGARD"]["qoi"] and by["SZ3"]["qoi"]
+    assert by["QOZ"]["quality_oriented"] and by["HPEZ"]["quality_oriented"]
+    assert by["HPEZ"]["ratio"] == "high" and by["MGARD"]["ratio"] == "low"
+    write_result("table1_traits", format_table(rows, "Table I: compressor traits"))

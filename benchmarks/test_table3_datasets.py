@@ -1,0 +1,20 @@
+"""Table III — benchmark dataset inventory (paper dims vs this repo's scaled
+synthetic dims)."""
+from conftest import write_result
+
+from repro import table3_rows
+from repro.analysis import format_table
+
+
+def test_table3_datasets(benchmark):
+    rows = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
+    assert len(rows) == 7
+    names = [r["Dataset"] for r in rows]
+    assert names == ["Miranda", "Hurricane", "SegSalt", "SCALE", "S3D",
+                     "CESM-3D", "RTM"]
+    # paper's dims, verbatim
+    seg = next(r for r in rows if r["Dataset"] == "SegSalt")
+    assert seg["Dimension (paper)"] == "1008x1008x352"
+    rtm = next(r for r in rows if r["Dataset"] == "RTM")
+    assert rtm["Dimension (paper)"] == "3600x449x449x235"
+    write_result("table3_datasets", format_table(rows, "Table III: datasets"))

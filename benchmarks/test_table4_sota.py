@@ -1,0 +1,61 @@
+"""Table IV — comparison with the state of the art: the four base
+compressors and their +QP versions vs ZFP, TTHRESH and SPERR, at two error
+bounds on Miranda and SegSalt (CR / PSNR / compression & decompression
+speed)."""
+import pytest
+from conftest import write_result
+
+import repro
+from repro.analysis import format_table
+from repro.core import QPConfig
+from repro.metrics import evaluate
+
+_BOUNDS = (1e-3, 1e-5)
+_DATASETS = (("miranda", "velocityx"), ("segsalt", "Pressure2000"))
+_DONE: list = []
+
+
+@pytest.mark.parametrize("dataset,field", _DATASETS)
+def test_table4(dataset, field, benchmark, bench_field):
+    data = bench_field(dataset, field)
+    value_range = float(data.max() - data.min())
+
+    def sweep():
+        rows = []
+        for rel in _BOUNDS:
+            eb = rel * value_range
+            for name in ("mgard", "sz3", "qoz", "hpez"):
+                base = evaluate(repro.get_compressor(name, eb), data, label=name.upper())
+                plus = evaluate(
+                    repro.get_compressor(name, eb, qp=QPConfig()), data,
+                    label=name.upper() + "+QP",
+                )
+                rows.extend([
+                    {"rel_eb": rel, **base.row()},
+                    {"rel_eb": rel, **plus.row()},
+                ])
+            for name in ("zfp", "tthresh", "sperr"):
+                r = evaluate(repro.get_compressor(name, eb), data, label=name.upper())
+                rows.append({"rel_eb": rel, **r.row()})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by = {(r["rel_eb"], r["compressor"]): r for r in rows}
+    for rel in _BOUNDS:
+        # QP never reduces the compression ratio meaningfully
+        for name in ("MGARD", "SZ3", "QOZ", "HPEZ"):
+            assert by[(rel, name + "+QP")]["CR"] >= by[(rel, name)]["CR"] * 0.97
+            # identical distortion
+            assert by[(rel, name + "+QP")]["PSNR"] == pytest.approx(
+                by[(rel, name)]["PSNR"], abs=1e-6
+            )
+        # ZFP's fixed-accuracy conservatism: highest PSNR at the same request
+        zfp_psnr = by[(rel, "ZFP")]["PSNR"]
+        assert zfp_psnr >= max(
+            by[(rel, n)]["PSNR"] for n in ("SZ3", "QOZ", "HPEZ")
+        ) - 1.0
+    write_result(
+        f"table4_{dataset}",
+        format_table(rows, f"Table IV: comparison with the state of the art ({dataset})"),
+    )
+    _DONE.append(dataset)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""End-to-end parallel data-transfer experiment (the paper's Section VI-E).
+
+Compresses RTM wavefield snapshots in parallel worker processes (the paper's
+embarrassingly parallel slice decomposition), then projects the measured
+per-slice costs onto the paper's cluster scale — 3600 slices, 225-1800 cores,
+a 461.75 MB/s Globus link — and reports the end-to-end gain of SZ3+QP over
+vanilla SZ3.
+
+Run:  python examples/parallel_transfer.py [workers]
+"""
+import os
+import sys
+
+import numpy as np
+
+import repro
+from repro.analysis import print_table
+from repro.core import QPConfig
+from repro.transfer import (
+    PAPER_CORE_COUNTS,
+    compare_strong_scaling,
+    gain_vs_bandwidth,
+    measure_slices,
+    vanilla_transfer_seconds,
+)
+
+
+def main() -> None:
+    workers = int(sys.argv[1]) if len(sys.argv) > 1 else min(4, os.cpu_count() or 1)
+    data = repro.generate("rtm", shape=(8, 48, 48, 28))
+    slices = [np.ascontiguousarray(data[i]) for i in range(data.shape[0])]
+    value_range = float(data.max() - data.min())
+    eb = 1e-4 * value_range
+    print(f"RTM snapshots: {len(slices)} slices of {slices[0].shape}, "
+          f"eb={eb:.3g}, {workers} worker processes\n")
+
+    base = measure_slices(slices, "sz3", eb, workers=workers, predictor="interp")
+    qp = measure_slices(slices, "sz3", eb, qp=QPConfig(), workers=workers,
+                        predictor="interp")
+    print(f"SZ3    : CR={base.cr:6.2f}")
+    print(f"SZ3+QP : CR={qp.cr:6.2f}\n")
+
+    # Python per-core throughput is ~100x below the paper's C++ codes, which
+    # distorts the compute/transfer balance.  Rescale the measured times so
+    # the base per-core compression throughput matches the paper's SZ3
+    # (~190 MB/s) while keeping QP's *measured relative overhead* — the
+    # substitution DESIGN.md documents for throughput experiments.
+    paper_mbs = 190.0
+    factor = (base.raw_bytes / 1e6 / base.compress_seconds) / paper_mbs
+    for m in (base, qp):
+        m.compress_seconds *= factor
+        m.decompress_seconds *= factor
+
+    cmp = compare_strong_scaling(base, qp, scale_to_slices=3600)
+    rows = []
+    for b, q, gain in zip(cmp.base, cmp.qp, cmp.gains()):
+        rows.append({
+            "cores": b.cores,
+            "base total (s)": round(b.total, 2),
+            "+QP total (s)": round(q.total, 2),
+            "end-to-end gain": f"{gain:.3f}x",
+        })
+    print_table(rows, "Strong scaling, paper link (461.75 MB/s), 3600 slices, "
+                      "paper-grade compute throughput")
+
+    secs = vanilla_transfer_seconds(base.raw_bytes, scale=3600 / base.n_slices)
+    print(f"vanilla (uncompressed) transfer of the scaled dataset: {secs:.0f}s\n")
+
+    pairs = gain_vs_bandwidth(base, qp, cores=PAPER_CORE_COUNTS[-1],
+                              scale_to_slices=3600)
+    for mult, gain in pairs:
+        print(f"link bandwidth x{mult:g}: end-to-end gain {gain:.3f}x")
+
+
+if __name__ == "__main__":
+    main()

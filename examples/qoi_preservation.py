@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quantity-of-interest preserving compression (Table I's QoI column).
+
+Compresses an S3D-like temperature field so that derived quantities stay
+within tolerance: the squared field (radiative source terms ~ T^2... T^4),
+the logarithm (Arrhenius exponents), and a reaction-front isoline — using
+point-wise bounds derived per block, with QP enabled on the base compressor.
+
+Run:  python examples/qoi_preservation.py
+"""
+import numpy as np
+
+import repro
+from repro.core import QPConfig
+from repro.qoi import IsolineQoI, LogQoI, QoIPreservingCompressor, SquareQoI
+
+
+def main() -> None:
+    data = repro.generate("s3d", "temperature", shape=(48, 48, 48))
+    print(f"S3D temperature {data.shape}, range [{data.min():.0f}, {data.max():.0f}] K\n")
+
+    # 1. preserve T^2 to 1e3 K^2 (relative ~3e-4 of its range)
+    qoi = SquareQoI()
+    comp = QoIPreservingCompressor("qoz", qoi, tau=1e3, block_side=24, qp=QPConfig())
+    blob = comp.compress(data)
+    out = comp.decompress(blob, data.shape)
+    err = np.abs(data.astype(np.float64) ** 2 - out.astype(np.float64) ** 2).max()
+    print(f"SquareQoI : CR={data.nbytes / len(blob):6.2f}  max|T^2 err|={err:.1f} (tau=1000)")
+
+    # 2. preserve ln(T) to 1e-4 (multiplicative 0.01% accuracy)
+    qoi = LogQoI()
+    comp = QoIPreservingCompressor("qoz", qoi, tau=1e-4, block_side=24, qp=QPConfig())
+    blob = comp.compress(data)
+    out = comp.decompress(blob, data.shape)
+    err = np.abs(np.log(data.astype(np.float64)) - np.log(out.astype(np.float64))).max()
+    print(f"LogQoI    : CR={data.nbytes / len(blob):6.2f}  max|ln T err|={err:.2e} (tau=1e-4)")
+
+    # 3. preserve the 1000 K flame-front isosurface
+    qoi = IsolineQoI(level=1000.0)
+    comp = QoIPreservingCompressor("qoz", qoi, tau=5.0, block_side=24, qp=QPConfig())
+    blob = comp.compress(data)
+    out = comp.decompress(blob, data.shape)
+    ok = qoi.check(data, out, 5.0)
+    frac = ((data > 1000) != (out > 1000)).mean()
+    print(f"IsolineQoI: CR={data.nbytes / len(blob):6.2f}  front preserved={ok} "
+          f"(side flips, all inside the tau band: {100 * frac:.4f}%)")
+
+    print("\nEach mode derives per-block point-wise bounds from the QoI"
+          " tolerance,\nso smooth regions compress aggressively while the QoI"
+          " guarantee holds everywhere.")
+
+
+if __name__ == "__main__":
+    main()

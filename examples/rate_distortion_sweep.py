@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Rate-distortion study across compressors (Figures 10-15 in miniature).
+
+Sweeps error bounds on a turbulence field, comparing the four
+interpolation-based compressors with and without QP plus the three
+transform-based comparators — the full Table IV cast.
+
+Run:  python examples/rate_distortion_sweep.py [dataset] [field]
+"""
+import sys
+
+import repro
+from repro.analysis import max_cr_gain, print_table, qp_comparison, rd_sweep
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "miranda"
+    field = sys.argv[2] if len(sys.argv) > 2 else None
+    data = repro.generate(dataset, field)
+    print(f"dataset={dataset} field={field or repro.DATASETS[dataset].fields[0]} "
+          f"shape={data.shape}\n")
+
+    bounds = (1e-2, 1e-3, 1e-4)
+    rows = []
+    for name in repro.INTERP_COMPRESSORS:
+        kwargs = {"predictor": "interp"} if name == "sz3" else {}
+        points = qp_comparison(name, data, rel_bounds=bounds, **kwargs)
+        for p in points:
+            rows.append({
+                "compressor": name.upper(),
+                "rel eb": p.rel_bound,
+                "PSNR": round(p.base.psnr, 2),
+                "CR base": round(p.base.cr, 2),
+                "CR +QP": round(p.qp.cr, 2),
+                "QP gain %": round(100 * p.cr_gain, 1),
+            })
+        gain, at = max_cr_gain(points)
+        print(f"{name.upper():6s}: max QP gain {100 * gain:.1f}% at PSNR {at:.1f}")
+    print()
+    print_table(rows, "Rate-distortion with and without QP")
+
+    rows = []
+    for name in ("zfp", "tthresh", "sperr"):
+        for r in rd_sweep(name, data, rel_bounds=bounds):
+            rows.append(r.row())
+    print_table(rows, "Transform-based comparators")
+
+
+if __name__ == "__main__":
+    main()

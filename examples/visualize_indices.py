@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate Figure 3/5-style quantization-index images.
+
+Compresses SegSalt Pressure2000 with each interpolation-based compressor,
+extracts the index volume, and writes PPM images of the paper's three
+region slices — before and after QP — plus a terminal heatmap preview.
+
+Run:  python examples/visualize_indices.py [output_dir]
+"""
+import pathlib
+import sys
+
+import repro
+from repro.analysis.visualize import ascii_heatmap, save_index_slice
+from repro.compressors import CompressionState
+from repro.core import QPConfig, plane_slice
+
+
+def main() -> None:
+    outdir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "index_images")
+    outdir.mkdir(exist_ok=True)
+    data = repro.generate("segsalt", "Pressure2000")
+    eb = 1e-4 * float(data.max() - data.min())
+
+    for name in ("mgard", "sz3", "qoz", "hpez"):
+        kwargs = {"predictor": "interp"} if name == "sz3" else {}
+        st = CompressionState()
+        repro.get_compressor(name, eb, qp=QPConfig(), **kwargs).compress(
+            data, state=st
+        )
+        mid = data.shape[0] // 2
+        for tag, vol in (("orig", st.index_volume),
+                         ("qp", st.extras["index_volume_qp"])):
+            sl = plane_slice(vol, "xy", mid)
+            path = save_index_slice(outdir / f"{name}_{tag}_xy.ppm", sl,
+                                    value_range=4)
+            print(f"wrote {path}")
+        # terminal preview of the QP effect (|index| magnitudes)
+        print(f"\n{name.upper()} |Q| on the xy mid-slice (left) vs |Q'| (right):")
+        a = ascii_heatmap(plane_slice(st.index_volume, "xy", mid), -4, 4, width=34)
+        b = ascii_heatmap(plane_slice(st.extras["index_volume_qp"], "xy", mid),
+                          -4, 4, width=34)
+        for la, lb in zip(a.splitlines()[::4], b.splitlines()[::4]):
+            print(f"{la}   |   {lb}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so ``pip install -e .``
+cannot build a PEP-660 editable wheel; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation --config-settings editable_mode=compat``)
+installs the same editable package through the legacy path.
+"""
+from setuptools import setup
+
+setup()

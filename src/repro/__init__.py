@@ -1,0 +1,86 @@
+"""repro — reproduction of "Improving the Efficiency of Interpolation-based
+Scientific Data Compressors with Adaptive Quantization Index Prediction"
+(IPDPS 2025).
+
+Quick tour
+----------
+>>> import repro
+>>> data = repro.generate("segsalt", "Pressure2000")
+>>> comp = repro.get_compressor("sz3", error_bound=1e-3, qp=repro.QPConfig())
+>>> blob = comp.compress(data)
+>>> out = comp.decompress(blob)
+
+The QP transform itself lives in :mod:`repro.core`; the four
+interpolation-based base compressors and three transform-based comparators in
+:mod:`repro.compressors`; synthetic benchmark datasets in
+:mod:`repro.datasets`; metrics/evaluation in :mod:`repro.metrics`; the
+parallel transfer pipeline in :mod:`repro.transfer`.
+"""
+from .analysis import max_cr_gain, qp_comparison, rd_sweep
+from .compressors import (
+    COMPRESSORS,
+    HPEZ,
+    INTERP_COMPRESSORS,
+    MGARD,
+    SZ3,
+    CompressionState,
+    QoZ,
+    decompress_any,
+    get_compressor,
+    traits_table,
+)
+from .core import (
+    QPConfig,
+    clustering_stats,
+    plane_slice,
+    qp_forward,
+    qp_inverse,
+    regional_entropy,
+    shannon_entropy,
+    slice_entropy,
+)
+from .datasets import DATASETS, generate, generate_all, table3_rows
+from .metrics import EvalResult, evaluate, psnr
+from .core.autotune import autotune_qp
+from .modes import PointwiseRelativeCompressor, relative_bound
+from .parallel import ParallelCompressor
+from .temporal import TemporalCompressor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QPConfig",
+    "qp_forward",
+    "qp_inverse",
+    "shannon_entropy",
+    "slice_entropy",
+    "plane_slice",
+    "regional_entropy",
+    "clustering_stats",
+    "SZ3",
+    "QoZ",
+    "HPEZ",
+    "MGARD",
+    "CompressionState",
+    "COMPRESSORS",
+    "INTERP_COMPRESSORS",
+    "get_compressor",
+    "decompress_any",
+    "traits_table",
+    "DATASETS",
+    "generate",
+    "generate_all",
+    "table3_rows",
+    "evaluate",
+    "EvalResult",
+    "psnr",
+    "rd_sweep",
+    "qp_comparison",
+    "max_cr_gain",
+    "PointwiseRelativeCompressor",
+    "relative_bound",
+    "ParallelCompressor",
+    "TemporalCompressor",
+    "autotune_qp",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro``."""
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,26 @@
+"""Evaluation harness helpers: rate-distortion sweeps, BD metrics, error
+profiles, table rendering."""
+from .bdrate import bd_psnr, bd_rate
+from .error_profile import ErrorProfile, error_profile
+from .rate_distortion import (
+    DEFAULT_REL_BOUNDS,
+    RDPoint,
+    max_cr_gain,
+    qp_comparison,
+    rd_sweep,
+)
+from .tables import format_table, print_table
+
+__all__ = [
+    "DEFAULT_REL_BOUNDS",
+    "RDPoint",
+    "rd_sweep",
+    "qp_comparison",
+    "max_cr_gain",
+    "format_table",
+    "print_table",
+    "bd_rate",
+    "bd_psnr",
+    "ErrorProfile",
+    "error_profile",
+]

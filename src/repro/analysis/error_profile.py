@@ -1,0 +1,70 @@
+"""Compression-error distribution analysis.
+
+Lindstrom's tech report (the paper's ref [30]) characterizes lossy-compressor
+error distributions; these tools regenerate that style of analysis for any
+compressor here: normalized error histograms, uniformity statistics (linear
+quantization yields near-uniform error in ``[-eb, eb]``), and spatial error
+autocorrelation (whether errors are white or structured — structured error
+biases derived quantities).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ErrorProfile", "error_profile"]
+
+
+@dataclass
+class ErrorProfile:
+    """Summary of the point-wise error field ``d' - d``.
+
+    ``hist``/``edges``      normalized-error histogram over [-1, 1] (in eb units)
+    ``mean_bias``           mean error / eb (0 for unbiased quantizers)
+    ``rms``                 RMS error / eb (1/sqrt(3) ~ 0.577 for uniform)
+    ``uniformity``          L1 distance between the histogram and uniform
+    ``lag1_autocorr``       mean lag-1 spatial autocorrelation of the error
+    ``bound_utilization``   max |error| / eb
+    """
+
+    hist: np.ndarray
+    edges: np.ndarray
+    mean_bias: float
+    rms: float
+    uniformity: float
+    lag1_autocorr: float
+    bound_utilization: float
+
+
+def error_profile(
+    original: np.ndarray,
+    decoded: np.ndarray,
+    error_bound: float,
+    bins: int = 51,
+) -> ErrorProfile:
+    if error_bound <= 0:
+        raise ValueError("error_bound must be positive")
+    err = (decoded.astype(np.float64) - original.astype(np.float64)) / error_bound
+    hist, edges = np.histogram(err, bins=bins, range=(-1.0, 1.0), density=True)
+    # density over width 2 -> uniform density is 0.5
+    uniformity = float(np.abs(hist - 0.5).mean() / 0.5)
+
+    acs = []
+    for ax in range(err.ndim):
+        if err.shape[ax] < 3:
+            continue
+        a = np.moveaxis(err, ax, 0)
+        x, y = a[:-1].ravel(), a[1:].ravel()
+        sx, sy = x.std(), y.std()
+        if sx > 0 and sy > 0:
+            acs.append(float(np.mean((x - x.mean()) * (y - y.mean())) / (sx * sy)))
+    return ErrorProfile(
+        hist=hist,
+        edges=edges,
+        mean_bias=float(err.mean()),
+        rms=float(np.sqrt(np.mean(err**2))),
+        uniformity=uniformity,
+        lag1_autocorr=float(np.mean(acs)) if acs else 0.0,
+        bound_utilization=float(np.abs(err).max()),
+    )

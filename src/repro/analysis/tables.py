@@ -1,0 +1,41 @@
+"""Plain-text table rendering for the benchmark harness output."""
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(rows: list[dict[str, Any]], title: str | None = None) -> str:
+    """Render dict rows as an aligned ASCII table (keys of the first row
+    define the column order)."""
+    if not rows:
+        return (title + "\n(empty)\n") if title else "(empty)\n"
+    cols = list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def print_table(rows: list[dict[str, Any]], title: str | None = None) -> None:
+    print(format_table(rows, title))
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3g}"
+        return f"{v:.4g}"
+    return str(v)

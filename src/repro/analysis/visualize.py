@@ -1,0 +1,76 @@
+"""Image rendering for index-array visualization (Figures 3 and 5).
+
+The paper's key characterization artefacts are *images* of quantization-index
+slices.  This module renders them without plotting dependencies: arrays map
+through a blue-white-red diverging colormap to binary PPM (or grayscale PGM)
+files any image viewer opens.  Used by ``examples/visualize_indices.py`` to
+regenerate Figure 3/5 panels.
+"""
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+__all__ = ["to_ppm", "to_pgm", "save_index_slice", "ascii_heatmap"]
+
+
+def _normalize(values: np.ndarray, vmin: float, vmax: float) -> np.ndarray:
+    v = np.clip(values.astype(np.float64), vmin, vmax)
+    span = vmax - vmin
+    return (v - vmin) / span if span > 0 else np.zeros_like(v)
+
+
+def to_ppm(values: np.ndarray, vmin: float, vmax: float, scale: int = 1) -> bytes:
+    """Render a 2-D array to binary PPM with a diverging blue-white-red map
+    (the paper's index plots use exactly this kind of map)."""
+    if values.ndim != 2:
+        raise ValueError("to_ppm expects a 2-D array")
+    t = _normalize(values, vmin, vmax)  # 0 .. 1, 0.5 = neutral
+    # blue (0,0,255) -> white -> red (255,0,0)
+    r = np.where(t >= 0.5, 255, 510 * t).astype(np.uint8)
+    b = np.where(t <= 0.5, 255, 510 * (1 - t)).astype(np.uint8)
+    g = (255 - 510 * np.abs(t - 0.5)).astype(np.uint8)
+    img = np.stack([r, g, b], axis=-1)
+    if scale > 1:
+        img = np.repeat(np.repeat(img, scale, axis=0), scale, axis=1)
+    h, w = img.shape[:2]
+    return f"P6\n{w} {h}\n255\n".encode() + img.tobytes()
+
+
+def to_pgm(values: np.ndarray, vmin: float, vmax: float, scale: int = 1) -> bytes:
+    """Render a 2-D array to grayscale binary PGM."""
+    if values.ndim != 2:
+        raise ValueError("to_pgm expects a 2-D array")
+    img = (255 * _normalize(values, vmin, vmax)).astype(np.uint8)
+    if scale > 1:
+        img = np.repeat(np.repeat(img, scale, axis=0), scale, axis=1)
+    h, w = img.shape
+    return f"P5\n{w} {h}\n255\n".encode() + img.tobytes()
+
+
+def save_index_slice(
+    path: str | pathlib.Path,
+    indices2d: np.ndarray,
+    value_range: int = 8,
+    scale: int = 2,
+) -> pathlib.Path:
+    """Save one index slice as the paper renders it (range [-v, v])."""
+    path = pathlib.Path(path)
+    data = to_ppm(indices2d, -value_range, value_range, scale=scale)
+    path.write_bytes(data)
+    return path
+
+
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: np.ndarray, vmin: float, vmax: float, width: int = 64) -> str:
+    """Terminal-friendly heatmap of |values| (for example scripts/logs)."""
+    if values.ndim != 2:
+        raise ValueError("ascii_heatmap expects a 2-D array")
+    step = max(1, values.shape[1] // width)
+    sub = np.abs(values[::step, ::step])
+    t = _normalize(np.abs(sub), 0, max(abs(vmin), abs(vmax)))
+    idx = (t * (len(_ASCII_RAMP) - 1)).astype(int)
+    return "\n".join("".join(_ASCII_RAMP[i] for i in row) for row in idx)

@@ -1,0 +1,309 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``compress``      compress a ``.npy`` array to a ``.rz`` blob
+``decompress``    reconstruct the array from a blob
+``info``          dump a blob's header (compressor, shape, parameters)
+``evaluate``      one-shot CR/PSNR/speed report for a compressor on a dataset
+``dataset``       generate a synthetic benchmark field to ``.npy``
+``characterize``  quantization-index statistics (Section IV analysis)
+``sweep``         rate-distortion sweep across error bounds
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_qp_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--qp", action="store_true", help="enable quantization index prediction")
+    p.add_argument("--qp-dimension", default="2d",
+                   choices=["1d-back", "1d-top", "1d-left", "2d", "3d"])
+    p.add_argument("--qp-condition", default="III", choices=["I", "II", "III", "IV"])
+    p.add_argument("--qp-max-level", type=int, default=2)
+
+
+def _qp_from_args(args) -> "object":
+    from .core.config import QPConfig
+
+    if not getattr(args, "qp", False):
+        return QPConfig.disabled()
+    return QPConfig(
+        dimension=args.qp_dimension,
+        condition=args.qp_condition,
+        max_level=args.qp_max_level,
+    )
+
+
+def _make_compressor(args, data: np.ndarray):
+    from .compressors import INTERP_COMPRESSORS, get_compressor
+
+    eb = args.eb
+    if args.rel:
+        eb = eb * float(data.max() - data.min())
+    kwargs = {}
+    if args.compressor in INTERP_COMPRESSORS or args.compressor == "sperr":
+        kwargs["qp"] = _qp_from_args(args)
+    return get_compressor(args.compressor, eb, **kwargs)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from .compressors import COMPRESSORS
+    from .datasets import DATASETS
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Error-bounded lossy compression with adaptive "
+                    "quantization index prediction (IPDPS 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a .npy array")
+    p.add_argument("input", help="input .npy file")
+    p.add_argument("output", help="output blob file")
+    p.add_argument("--compressor", "-c", default="sz3", choices=COMPRESSORS)
+    p.add_argument("--eb", type=float, required=True, help="absolute error bound")
+    p.add_argument("--rel", action="store_true",
+                   help="interpret --eb relative to the value range")
+    _add_qp_args(p)
+
+    p = sub.add_parser("decompress", help="decompress a blob to .npy")
+    p.add_argument("input", help="input blob file")
+    p.add_argument("output", help="output .npy file")
+
+    p = sub.add_parser("info", help="dump a blob header")
+    p.add_argument("input", help="blob file")
+
+    p = sub.add_parser("evaluate", help="evaluate a compressor on a dataset")
+    p.add_argument("--dataset", "-d", required=True, choices=tuple(DATASETS))
+    p.add_argument("--field", "-f", default=None)
+    p.add_argument("--compressor", "-c", default="sz3", choices=COMPRESSORS)
+    p.add_argument("--eb", type=float, required=True)
+    p.add_argument("--rel", action="store_true")
+    _add_qp_args(p)
+
+    p = sub.add_parser("dataset", help="generate a synthetic benchmark field")
+    p.add_argument("name", choices=tuple(DATASETS))
+    p.add_argument("field", nargs="?", default=None)
+    p.add_argument("--output", "-o", required=True, help="output .npy file")
+    p.add_argument("--shape", default=None, help="comma-separated dims")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("characterize", help="quantization-index statistics")
+    p.add_argument("--dataset", "-d", required=True, choices=tuple(DATASETS))
+    p.add_argument("--field", "-f", default=None)
+    p.add_argument("--compressor", "-c", default="sz3",
+                   choices=("mgard", "sz3", "qoz", "hpez"))
+    p.add_argument("--eb", type=float, required=True)
+    p.add_argument("--rel", action="store_true")
+
+    p = sub.add_parser("archive", help="compress a whole dataset into one archive")
+    p.add_argument("name", choices=tuple(DATASETS))
+    p.add_argument("--output", "-o", required=True, help="output .rarc archive")
+    p.add_argument("--compressor", "-c", default="sz3", choices=COMPRESSORS)
+    p.add_argument("--eb", type=float, required=True)
+    p.add_argument("--rel", action="store_true")
+    p.add_argument("--shape", default=None, help="comma-separated dims override")
+    _add_qp_args(p)
+
+    p = sub.add_parser("extract", help="extract one field from an archive")
+    p.add_argument("archive", help=".rarc archive file")
+    p.add_argument("field", help="field name (or 'list' to list entries)")
+    p.add_argument("--output", "-o", default=None, help="output .npy file")
+
+    p = sub.add_parser("sweep", help="rate-distortion sweep")
+    p.add_argument("--dataset", "-d", required=True, choices=tuple(DATASETS))
+    p.add_argument("--field", "-f", default=None)
+    p.add_argument("--compressors", "-c", default="sz3",
+                   help="comma-separated compressor names")
+    p.add_argument("--bounds", default="1e-2,1e-3,1e-4",
+                   help="comma-separated relative error bounds")
+    p.add_argument("--qp", action="store_true",
+                   help="also evaluate each compressor with QP")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+# -- command implementations ---------------------------------------------------
+
+
+def _cmd_compress(args) -> int:
+    data = np.load(args.input)
+    comp = _make_compressor(args, data)
+    blob = comp.compress(data)
+    with open(args.output, "wb") as f:
+        f.write(blob)
+    print(f"{args.input}: {data.nbytes} -> {len(blob)} bytes "
+          f"(CR {data.nbytes / len(blob):.2f}) with {comp.name}"
+          f"{'+QP' if getattr(args, 'qp', False) else ''}")
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    from .compressors import decompress_any
+
+    with open(args.input, "rb") as f:
+        blob = f.read()
+    out = decompress_any(blob)
+    np.save(args.output, out)
+    print(f"{args.input} -> {args.output}: {out.shape} {out.dtype}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .compressors.base import Blob
+
+    with open(args.input, "rb") as f:
+        blob = Blob.from_bytes(f.read())
+    header = dict(blob.header)
+    header["section_sizes"] = {k: len(v) for k, v in blob.sections.items()}
+    print(json.dumps(header, indent=2, default=str))
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .analysis import print_table
+    from .datasets import generate
+    from .metrics import evaluate
+
+    data = generate(args.dataset, args.field)
+    comp = _make_compressor(args, data)
+    label = comp.name + ("+QP" if getattr(args, "qp", False) else "")
+    res = evaluate(comp, data, label=label)
+    print_table([res.row()], f"{args.dataset}/{args.field or 'default'}")
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    from .datasets import generate
+
+    shape = tuple(int(x) for x in args.shape.split(",")) if args.shape else None
+    data = generate(args.name, args.field, shape=shape, seed=args.seed)
+    np.save(args.output, data)
+    print(f"{args.name}/{args.field or 'default'} -> {args.output}: "
+          f"{data.shape} {data.dtype}")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from .analysis import print_table
+    from .compressors import CompressionState, get_compressor
+    from .core import QPConfig, clustering_stats, shannon_entropy
+    from .datasets import generate
+
+    data = generate(args.dataset, args.field)
+    eb = args.eb * (float(data.max() - data.min()) if args.rel else 1.0)
+    st = CompressionState()
+    kwargs = {"predictor": "interp"} if args.compressor == "sz3" else {}
+    get_compressor(args.compressor, eb, qp=QPConfig(), **kwargs).compress(
+        data, state=st
+    )
+    cs = clustering_stats(st.index_volume)
+    print_table(
+        [{
+            "H(Q)": round(shannon_entropy(st.index_volume), 3),
+            "H(Q') after QP": round(
+                shannon_entropy(st.extras["index_volume_qp"]), 3
+            ),
+            "nonzero frac": round(cs.nonzero_fraction, 3),
+            "same-sign nbrs": round(cs.same_sign_neighbour, 3),
+            "equal nbrs": round(cs.neighbour_equal, 3),
+        }],
+        f"index statistics: {args.compressor} on {args.dataset}",
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from .analysis import print_table, qp_comparison, rd_sweep
+    from .datasets import generate
+
+    data = generate(args.dataset, args.field)
+    bounds = tuple(float(x) for x in args.bounds.split(","))
+    rows = []
+    for name in args.compressors.split(","):
+        name = name.strip()
+        if args.qp and name in ("mgard", "sz3", "qoz", "hpez", "sperr"):
+            kwargs = {"predictor": "interp"} if name == "sz3" else {}
+            for p in qp_comparison(name, data, rel_bounds=bounds, **kwargs):
+                rows.append({
+                    "compressor": name,
+                    "rel eb": p.rel_bound,
+                    "PSNR": round(p.base.psnr, 2),
+                    "CR": round(p.base.cr, 2),
+                    "CR +QP": round(p.qp.cr, 2),
+                    "gain %": round(100 * p.cr_gain, 1),
+                })
+        else:
+            for r in rd_sweep(name, data, rel_bounds=bounds):
+                rows.append(r.row())
+    print_table(rows, f"sweep: {args.dataset}")
+    return 0
+
+
+def _cmd_archive(args) -> int:
+    from .datasets import generate_all
+    from .io import Archive
+
+    shape = tuple(int(x) for x in args.shape.split(",")) if args.shape else None
+    fields = generate_all(args.name, shape=shape)
+    arch = Archive.create(args.output)
+    raw = comp_total = 0
+    blobs = {}
+    for fname, data in fields.items():
+        comp = _make_compressor_for(args, data)
+        blob = comp.compress(data)
+        blobs[fname] = blob
+        raw += data.nbytes
+        comp_total += len(blob)
+    arch.append_many(blobs)
+    print(f"{args.name}: {len(fields)} fields, {raw} -> {arch.total_bytes()} bytes "
+          f"(CR {raw / comp_total:.2f})")
+    return 0
+
+
+def _make_compressor_for(args, data: np.ndarray):
+    return _make_compressor(args, data)
+
+
+def _cmd_extract(args) -> int:
+    from .compressors import decompress_any
+    from .io import Archive
+
+    arch = Archive(args.archive)
+    if args.field == "list":
+        for name, size in arch.sizes().items():
+            print(f"{name}\t{size}")
+        return 0
+    out = decompress_any(arch.read(args.field))
+    target = args.output or f"{args.field}.npy"
+    np.save(target, out)
+    print(f"{args.field} -> {target}: {out.shape} {out.dtype}")
+    return 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "info": _cmd_info,
+    "evaluate": _cmd_evaluate,
+    "dataset": _cmd_dataset,
+    "characterize": _cmd_characterize,
+    "sweep": _cmd_sweep,
+    "archive": _cmd_archive,
+    "extract": _cmd_extract,
+}
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Fixed-width integer codec.
+
+Used for metadata arrays and as a fallback entropy stage when the Huffman
+table would not pay for itself (tiny inputs, near-uniform distributions).
+Both directions are fully vectorized via ``packbits``/``unpackbits``.
+"""
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["encode_fixed", "decode_fixed"]
+
+_MAGIC = b"FIX1"
+
+
+def encode_fixed(values: np.ndarray) -> bytes:
+    """Encode non-negative integers with the minimal common bit width."""
+    values = np.ascontiguousarray(values).ravel().astype(np.uint64, copy=False)
+    n = values.size
+    if n == 0:
+        return _MAGIC + struct.pack("<QB", 0, 0)
+    vmax = int(values.max())
+    width = max(vmax.bit_length(), 1)
+    header = _MAGIC + struct.pack("<QB", n, width)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    bits = ((values[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
+    return header + np.packbits(bits.ravel()).tobytes()
+
+
+def decode_fixed(data: bytes) -> np.ndarray:
+    if data[:4] != _MAGIC:
+        raise ValueError("not a fixed-width container")
+    n, width = struct.unpack_from("<QB", data, 4)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8, offset=13))
+    bits = bits[:n * width].reshape(n, width).astype(np.uint64)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    return (bits << shifts[None, :]).sum(axis=1).astype(np.int64)

@@ -1,0 +1,223 @@
+"""Canonical, length-limited Huffman coding for quantization indices.
+
+This is the entropy stage shared by the SZ-family, MGARD, and SPERR ports.
+Design constraints (see DESIGN.md section 7):
+
+* **Encoding** is fully vectorized: per-symbol codes/lengths are gathered from
+  lookup tables and expanded into a flat bit array with one pass per bit
+  position of the longest code.
+* **Decoding** avoids a per-symbol Python loop by encoding in fixed-size
+  *blocks* whose starting bit offsets are stored in the header.  All blocks
+  are then decoded in lockstep: a vector of per-block cursors advances one
+  symbol per iteration, so the Python-level loop runs ``block_size`` times on
+  vectors instead of ``n_symbols`` times on scalars.
+* Code lengths are limited to ``MAX_CODE_LEN`` bits (via iterative frequency
+  dampening) so a flat ``2**maxlen`` decode table stays small.
+"""
+from __future__ import annotations
+
+import heapq
+import struct
+
+import numpy as np
+
+__all__ = ["HuffmanCodec", "huffman_code_lengths", "canonical_codes"]
+
+MAX_CODE_LEN = 20
+DEFAULT_BLOCK_SIZE = 4096
+_MAGIC = b"HUF1"
+
+
+def huffman_code_lengths(freqs: np.ndarray, max_len: int = MAX_CODE_LEN) -> np.ndarray:
+    """Return per-symbol code lengths for the given frequency table.
+
+    Zero-frequency symbols get length 0.  Lengths are limited to ``max_len``
+    by repeatedly halving frequencies (the standard practical fallback; the
+    loss versus package-merge is negligible for our skewed distributions).
+    """
+    freqs = np.asarray(freqs, dtype=np.int64)
+    if freqs.ndim != 1:
+        raise ValueError("freqs must be 1-D")
+    if (freqs < 0).any():
+        raise ValueError("negative frequency")
+    present = np.nonzero(freqs)[0]
+    lengths = np.zeros(freqs.size, dtype=np.int64)
+    if present.size == 0:
+        return lengths
+    if present.size == 1:
+        lengths[present[0]] = 1
+        return lengths
+
+    work = freqs.copy()
+    while True:
+        lens = _huffman_lengths_heap(work, present)
+        if lens.max() <= max_len:
+            lengths[present] = lens
+            return lengths
+        # Dampen: flattening the distribution shortens the deepest leaves.
+        work[present] = np.maximum(work[present] >> 1, 1)
+
+
+def _huffman_lengths_heap(freqs: np.ndarray, present: np.ndarray) -> np.ndarray:
+    """Optimal (unlimited) Huffman code lengths for the present symbols."""
+    # Heap items: (freq, tiebreak, node). Leaves are ints (position within
+    # ``present``); internal nodes are [left, right] lists.
+    heap: list[tuple[int, int, object]] = [
+        (int(freqs[s]), i, i) for i, s in enumerate(present)
+    ]
+    heapq.heapify(heap)
+    counter = present.size
+    while len(heap) > 1:
+        f1, _, n1 = heapq.heappop(heap)
+        f2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (f1 + f2, counter, [n1, n2]))
+        counter += 1
+    lens = np.zeros(present.size, dtype=np.int64)
+    # Iterative DFS assigning depth to each leaf.
+    stack = [(heap[0][2], 0)]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, list):
+            stack.append((node[0], depth + 1))
+            stack.append((node[1], depth + 1))
+        else:
+            lens[node] = depth
+    return lens
+
+
+def canonical_codes(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical code values given per-symbol code lengths.
+
+    Symbols are ordered by (length, symbol id); codes increase sequentially,
+    left-shifted when the length grows.  Returns a uint64 array parallel to
+    ``lengths`` (entries with length 0 are unused).
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    codes = np.zeros(lengths.size, dtype=np.uint64)
+    present = np.nonzero(lengths)[0]
+    if present.size == 0:
+        return codes
+    order = present[np.argsort(lengths[present], kind="stable")]
+    code = 0
+    prev_len = int(lengths[order[0]])
+    for sym in order:  # loop over *distinct* symbols only — small
+        ln = int(lengths[sym])
+        code <<= ln - prev_len
+        codes[sym] = code
+        code += 1
+        prev_len = ln
+    return codes
+
+
+class HuffmanCodec:
+    """Self-contained Huffman container: ``encode`` -> bytes -> ``decode``.
+
+    The header stores the code-length table (sparse: only present symbols),
+    the symbol count, and per-block bit offsets enabling lockstep decoding.
+    """
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        symbols = np.ascontiguousarray(symbols).ravel()
+        if symbols.size and symbols.min() < 0:
+            raise ValueError("symbols must be non-negative")
+        n = symbols.size
+        if n == 0:
+            return _MAGIC + struct.pack("<QII", 0, self.block_size, 0)
+        symbols = symbols.astype(np.int64, copy=False)
+        alphabet = int(symbols.max()) + 1
+        freqs = np.bincount(symbols, minlength=alphabet)
+        lengths = huffman_code_lengths(freqs)
+        codes = canonical_codes(lengths)
+
+        sym_lengths = lengths[symbols]
+        sym_codes = codes[symbols]
+        bit_positions = np.concatenate(([0], np.cumsum(sym_lengths)))
+        block_offsets = bit_positions[:-1:self.block_size].astype(np.uint64)
+        total_bits = int(bit_positions[-1])
+
+        from .bitstream import BitWriter
+
+        writer = BitWriter()
+        writer.write_codes(sym_codes, sym_lengths)
+        payload = writer.getvalue()
+
+        present = np.nonzero(lengths)[0].astype(np.uint32)
+        present_lens = lengths[present].astype(np.uint8)
+        header = [
+            _MAGIC,
+            struct.pack("<QII", n, self.block_size, present.size),
+            present.tobytes(),
+            present_lens.tobytes(),
+            struct.pack("<QQ", block_offsets.size, total_bits),
+            block_offsets.tobytes(),
+        ]
+        return b"".join(header) + payload
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, data: bytes) -> np.ndarray:
+        if data[:4] != _MAGIC:
+            raise ValueError("not a Huffman container")
+        off = 4
+        n, block_size, n_present = struct.unpack_from("<QII", data, off)
+        off += 16
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        present = np.frombuffer(data, dtype=np.uint32, count=n_present, offset=off)
+        off += 4 * n_present
+        present_lens = np.frombuffer(data, dtype=np.uint8, count=n_present, offset=off)
+        off += n_present
+        n_blocks, total_bits = struct.unpack_from("<QQ", data, off)
+        off += 16
+        block_offsets = np.frombuffer(data, dtype=np.uint64, count=n_blocks, offset=off)
+        off += 8 * n_blocks
+
+        alphabet = int(present.max()) + 1
+        lengths = np.zeros(alphabet, dtype=np.int64)
+        lengths[present] = present_lens
+        codes = canonical_codes(lengths)
+        max_len = int(lengths.max())
+
+        # Flat decode table: for every max_len-bit window, the symbol whose
+        # code prefixes it and that code's length.
+        sym_table = np.zeros(1 << max_len, dtype=np.int64)
+        len_table = np.zeros(1 << max_len, dtype=np.int64)
+        psyms = np.nonzero(lengths)[0]
+        for sym in psyms:  # loop over distinct symbols — small
+            ln = int(lengths[sym])
+            base = int(codes[sym]) << (max_len - ln)
+            span = 1 << (max_len - ln)
+            sym_table[base:base + span] = sym
+            len_table[base:base + span] = ln
+
+        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8, offset=off))
+        bits = bits[:total_bits]
+        # Pad so windows near the end stay in-bounds.
+        bits = np.concatenate([bits, np.zeros(max_len, dtype=np.uint8)])
+
+        # Window value at every bit position, built with one pass per bit.
+        nbits = total_bits
+        windows = np.zeros(nbits, dtype=np.uint32)
+        for j in range(max_len):
+            windows |= bits[j:j + nbits].astype(np.uint32) << np.uint32(max_len - 1 - j)
+        sym_at = sym_table[windows]
+        len_at = len_table[windows]
+
+        # Lockstep block decode: one cursor per block, advanced together.
+        out = np.empty(n, dtype=np.int64)
+        cursors = block_offsets.astype(np.int64).copy()
+        starts = np.arange(n_blocks, dtype=np.int64) * block_size
+        sizes = np.minimum(block_size, n - starts)
+        for step in range(int(sizes.max())):
+            active = sizes > step
+            cur = cursors[active]
+            out[starts[active] + step] = sym_at[cur]
+            cursors[active] = cur + len_at[cur]
+        return out

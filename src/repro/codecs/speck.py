@@ -1,0 +1,198 @@
+"""SPECK-style embedded set-partitioning coder for wavelet coefficients.
+
+SPERR's native coefficient coder is SPECK: bit-plane significance coding
+with recursive set partitioning.  This module implements the core algorithm
+(simplified to regular 2^d block splitting over the whole coefficient array
+rather than the octave-band S/I partition — the quantization behaviour per
+kept bit-plane is the same):
+
+* coefficients are scaled to integers against the target threshold;
+* per bit-plane, insignificant blocks are tested against ``2^n`` using a
+  precomputed max-magnitude pyramid (vectorized); significant blocks split
+  into ``2^d`` children down to single coefficients, which emit a sign and
+  join the refinement list;
+* lower planes refine known-significant coefficients one bit at a time;
+* the emitted bit-stream is self-terminating given (shape, n_max, n_min).
+
+The coder is embedded: truncating the plane loop earlier just yields a
+coarser reconstruction.  Python-level recursion makes it the slowest codec
+here — which is faithful to SPERR's "medium speed" — so it is offered as
+``SPERR(coder="speck")`` rather than the default.
+"""
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .bitstream import BitReader, BitWriter
+
+__all__ = ["speck_encode", "speck_decode"]
+
+_MAGIC = b"SPK1"
+
+
+def _max_pyramid(mag: np.ndarray) -> list[np.ndarray]:
+    """Max-magnitude reduction pyramid: level k holds the max over aligned
+    2^k-sized blocks (edge blocks clipped)."""
+    levels = [mag]
+    cur = mag
+    while max(cur.shape) > 1:
+        slices = []
+        new_shape = tuple(-(-n // 2) for n in cur.shape)
+        nxt = np.zeros(new_shape, dtype=cur.dtype)
+        # reduce pairwise along each axis in turn
+        red = cur
+        for ax in range(cur.ndim):
+            n = red.shape[ax]
+            even = red[tuple(slice(None) if a != ax else slice(0, n - n % 2, 2)
+                            for a in range(red.ndim))]
+            odd = red[tuple(slice(None) if a != ax else slice(1, None, 2)
+                            for a in range(red.ndim))]
+            merged = np.maximum(even, odd)
+            if n % 2:
+                tail = red[tuple(slice(None) if a != ax else slice(n - 1, None)
+                                 for a in range(red.ndim))]
+                merged = np.concatenate([merged, tail], axis=ax)
+            red = merged
+        nxt[...] = red
+        levels.append(nxt)
+        cur = nxt
+    return levels
+
+
+class _SetCoder:
+    """Shared traversal for encode/decode (the bit source/sink differs)."""
+
+    def __init__(self, shape: tuple[int, ...], n_max: int, n_min: int) -> None:
+        self.shape = shape
+        self.ndim = len(shape)
+        self.n_max = n_max
+        self.n_min = n_min
+
+    def _children(self, origin: tuple[int, ...], size: int):
+        half = size // 2
+        for corner in np.ndindex(*(2,) * self.ndim):
+            child = tuple(o + c * half for o, c in zip(origin, corner))
+            if all(ci < n for ci, n in zip(child, self.shape)):
+                yield child, half
+
+    def _root_size(self) -> int:
+        size = 1
+        while size < max(self.shape):
+            size *= 2
+        return size
+
+
+def speck_encode(coeffs: np.ndarray, threshold: float) -> bytes:
+    """Encode ``coeffs`` so every coefficient is reconstructed within
+    ``threshold`` (uniform, like SPERR's quantization target)."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    coeffs = np.asarray(coeffs, dtype=np.float64)
+    # integerize: unit = threshold; reconstruct at +-unit/2 accuracy after
+    # coding all planes down to n_min = 0 (value = plane bits + 0.5 offset)
+    mag = np.abs(coeffs) / threshold
+    imag = mag.astype(np.int64)  # floor
+    signs = coeffs < 0
+    n_max = int(imag.max()).bit_length() - 1 if imag.max() > 0 else -1
+
+    writer = BitWriter()
+    shape = coeffs.shape
+    header = _MAGIC + struct.pack(
+        "<B", len(shape)
+    ) + struct.pack(f"<{len(shape)}I", *shape) + struct.pack("<bd", n_max, threshold)
+
+    if n_max < 0:
+        return header  # everything quantizes to zero
+
+    pyramid = _max_pyramid(imag)
+    coder = _SetCoder(shape, n_max, 0)
+    lsp: list[tuple[int, ...]] = []  # significant coords, in discovery order
+
+    def block_max(origin: tuple[int, ...], size: int) -> int:
+        level = size.bit_length() - 1
+        level = min(level, len(pyramid) - 1)
+        idx = tuple(o >> level for o in origin)
+        return int(pyramid[level][idx])
+
+    lis: list[tuple[tuple[int, ...], int]] = [((0,) * coder.ndim, coder._root_size())]
+    for n in range(n_max, -1, -1):
+        t = 1 << n
+        # significance pass over insignificant sets
+        next_lis: list[tuple[tuple[int, ...], int]] = []
+        stack = lis
+        lis = []
+        while stack:
+            origin, size = stack.pop()
+            significant = block_max(origin, size) >= t
+            writer.write_bit(1 if significant else 0)
+            if not significant:
+                next_lis.append((origin, size))
+                continue
+            if size == 1:
+                writer.write_bit(1 if signs[origin] else 0)
+                lsp.append((origin, n))
+            else:
+                stack.extend(
+                    (child, half) for child, half in coder._children(origin, size)
+                )
+        lis = next_lis
+        # refinement pass: coefficients found significant in earlier planes
+        for coord, found_n in lsp:
+            if found_n > n:
+                writer.write_bit((int(imag[coord]) >> n) & 1)
+    payload = writer.getvalue()
+    return header + struct.pack("<Q", len(writer)) + payload
+
+
+def speck_decode(blob: bytes) -> np.ndarray:
+    if blob[:4] != _MAGIC:
+        raise ValueError("not a SPECK container")
+    off = 4
+    (ndim,) = struct.unpack_from("<B", blob, off)
+    off += 1
+    shape = struct.unpack_from(f"<{ndim}I", blob, off)
+    off += 4 * ndim
+    n_max, threshold = struct.unpack_from("<bd", blob, off)
+    off += struct.calcsize("<bd")
+    out = np.zeros(shape, dtype=np.float64)
+    if n_max < 0:
+        return out
+    (nbits,) = struct.unpack_from("<Q", blob, off)
+    off += 8
+    reader = BitReader(blob[off:], nbits=nbits)
+
+    coder = _SetCoder(shape, n_max, 0)
+    imag = np.zeros(shape, dtype=np.int64)
+    signs = np.zeros(shape, dtype=bool)
+    lsp: list[tuple[int, ...]] = []
+
+    lis: list[tuple[tuple[int, ...], int]] = [((0,) * ndim, coder._root_size())]
+    for n in range(n_max, -1, -1):
+        next_lis: list[tuple[tuple[int, ...], int]] = []
+        stack = lis
+        lis = []
+        while stack:
+            origin, size = stack.pop()
+            significant = reader.read_bit()
+            if not significant:
+                next_lis.append((origin, size))
+                continue
+            if size == 1:
+                signs[origin] = bool(reader.read_bit())
+                imag[origin] = 1 << n
+                lsp.append((origin, n))
+            else:
+                stack.extend(
+                    (child, half) for child, half in coder._children(origin, size)
+                )
+        lis = next_lis
+        for coord, found_n in lsp:
+            if found_n > n:
+                if reader.read_bit():
+                    imag[coord] |= 1 << n
+    # mid-tread reconstruction: coefficients land at (imag + 0.5) * threshold
+    mags = np.where(imag > 0, (imag + 0.5) * threshold, 0.0)
+    out = np.where(signs, -mags, mags)
+    return out

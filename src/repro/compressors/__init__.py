@@ -1,0 +1,32 @@
+"""Error-bounded lossy compressors: the four interpolation-based bases the
+paper integrates QP with (MGARD, SZ3, QoZ, HPEZ) and the three
+transform-based comparators (ZFP, TTHRESH, SPERR)."""
+from .base import Blob, CompressionState, Compressor
+from .hpez import HPEZ
+from .mgard import MGARD
+from .qoz import QoZ
+from .registry import (
+    COMPRESSORS,
+    INTERP_COMPRESSORS,
+    available_compressors,
+    decompress_any,
+    get_compressor,
+    traits_table,
+)
+from .sz3 import SZ3
+
+__all__ = [
+    "Blob",
+    "Compressor",
+    "CompressionState",
+    "SZ3",
+    "QoZ",
+    "HPEZ",
+    "MGARD",
+    "COMPRESSORS",
+    "INTERP_COMPRESSORS",
+    "available_compressors",
+    "get_compressor",
+    "decompress_any",
+    "traits_table",
+]

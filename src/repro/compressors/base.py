@@ -1,0 +1,211 @@
+"""Compressor framework: blob container, shared encode stages, base class.
+
+Every compressor serializes to a self-describing blob:
+
+``RPRC | u32 header_len | header JSON | section bytes...``
+
+The JSON header carries dtype/shape/parameters plus the ordered list of
+``(section name, size)`` pairs; sections hold the binary payloads (entropy
+stream, literals, anchors, ...).  ``decompress`` on the registry dispatches on
+the header's ``compressor`` field, so any blob can be decoded without knowing
+which compressor produced it.
+"""
+from __future__ import annotations
+
+import json
+import struct
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..codecs import HuffmanCodec, compress as lossless_compress, decompress as lossless_decompress
+from ..utils.validation import check_error_bound, check_ndarray
+
+__all__ = ["Blob", "Compressor", "CompressionState", "encode_index_stream", "decode_index_stream"]
+
+_MAGIC = b"RPRC"
+
+
+@dataclass
+class CompressionState:
+    """Optional debugging/characterization output of a compression run.
+
+    ``index_volume``  per-point quantization index scattered back to the data
+                      grid (anchors hold 0) — the array Figures 3-5 visualize.
+    ``pred_volume``   per-point prediction (same layout), when collected.
+    ``extras``        free-form per-compressor diagnostics.
+    """
+
+    index_volume: np.ndarray | None = None
+    pred_volume: np.ndarray | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+class Blob:
+    """Named-section container with a JSON header."""
+
+    def __init__(self, header: dict[str, Any], sections: dict[str, bytes]) -> None:
+        self.header = header
+        self.sections = sections
+
+    def to_bytes(self) -> bytes:
+        names = list(self.sections)
+        header = dict(self.header)
+        header["sections"] = [[n, len(self.sections[n])] for n in names]
+        hjson = json.dumps(header, separators=(",", ":")).encode()
+        parts = [_MAGIC, struct.pack("<I", len(hjson)), hjson]
+        parts.extend(self.sections[n] for n in names)
+        return b"".join(parts)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Blob":
+        if data[:4] != _MAGIC:
+            raise ValueError("not a repro compressed blob")
+        (hlen,) = struct.unpack_from("<I", data, 4)
+        header = json.loads(data[8:8 + hlen].decode())
+        off = 8 + hlen
+        sections = {}
+        for name, size in header.pop("sections"):
+            sections[name] = data[off:off + size]
+            off += size
+        if off != len(data):
+            raise ValueError("trailing bytes in blob")
+        return Blob(header, sections)
+
+
+class Compressor(ABC):
+    """Error-bounded lossy compressor interface.
+
+    Subclasses implement ``_compress``/``_decompress``; the public methods
+    handle validation and blob framing.  ``name`` keys the registry and the
+    header dispatch.
+    """
+
+    #: registry key, e.g. "sz3"
+    name: str = ""
+    #: qualitative traits for Table I
+    traits: dict[str, Any] = {}
+
+    def __init__(self, error_bound: float, lossless_backend: str = "zlib") -> None:
+        self.error_bound = check_error_bound(error_bound)
+        self.lossless_backend = lossless_backend
+
+    # -- public API ---------------------------------------------------------
+
+    def compress(self, data: np.ndarray, state: CompressionState | None = None) -> bytes:
+        """Compress ``data`` to a self-describing blob (bytes)."""
+        data = check_ndarray(data)
+        header, sections = self._compress(data, state)
+        header.setdefault("compressor", self.name)
+        header["dtype"] = data.dtype.str
+        header["shape"] = list(data.shape)
+        header["error_bound"] = self.error_bound
+        return Blob(header, sections).to_bytes()
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        b = Blob.from_bytes(blob)
+        if b.header.get("compressor") != self.name:
+            raise ValueError(
+                f"blob was produced by {b.header.get('compressor')!r}, not {self.name!r}"
+            )
+        out = self._decompress(b)
+        return out.reshape(b.header["shape"]).astype(np.dtype(b.header["dtype"]), copy=False)
+
+    # -- subclass hooks -------------------------------------------------------
+
+    @abstractmethod
+    def _compress(
+        self, data: np.ndarray, state: CompressionState | None
+    ) -> tuple[dict[str, Any], dict[str, bytes]]:
+        """Return (header fields, named sections)."""
+
+    @abstractmethod
+    def _decompress(self, blob: Blob) -> np.ndarray:
+        """Reconstruct the array from a parsed blob."""
+
+
+# -- shared encode stages -----------------------------------------------------
+
+
+_STREAM_ALPHABET_CAP = 1 << 16
+_ENTROPY_IDS = {"huffman": 0, "range": 1}
+
+
+def encode_index_stream(
+    indices: np.ndarray, backend: str = "zlib", entropy: str = "huffman"
+) -> bytes:
+    """Entropy stage shared by the SZ-family ports: offset-shift the signed
+    index stream to non-negative codes, entropy-code, then apply the
+    lossless backend (the paper's Huffman + ZSTD pipeline; ``entropy="range"``
+    selects the adaptive range coder, mirroring SZ3's arithmetic option).
+
+    Codes beyond a 2^16 alphabet (possible for extreme outlier indices) are
+    replaced by an escape symbol and stored fixed-width on the side — the
+    same alphabet cap real SZ applies via its quantizer capacity — so the
+    Huffman frequency table stays bounded regardless of the value range.
+    """
+    from ..codecs.fixed import encode_fixed
+
+    if entropy not in _ENTROPY_IDS:
+        raise ValueError(f"entropy must be one of {tuple(_ENTROPY_IDS)}")
+    indices = np.ascontiguousarray(indices).ravel().astype(np.int64, copy=False)
+    if entropy == "range":
+        # the range coder's zigzag binarization handles signed values of any
+        # magnitude natively — no alphabet window or escapes needed
+        from ..codecs.rangecoder import RangeCodec
+
+        payload = lossless_compress(RangeCodec().encode(indices), backend)
+        return (
+            struct.pack("<BqQ", _ENTROPY_IDS["range"], 0, len(payload))
+            + payload
+            + lossless_compress(encode_fixed(np.empty(0, np.uint64)), backend)
+        )
+    # Huffman path: center the alphabet window on the median so heavy-tailed
+    # streams keep their bulk in-alphabet; only genuine outliers escape
+    # (two-sided, zigzag fixed-width).
+    if indices.size:
+        offset = int(np.median(indices)) - (_STREAM_ALPHABET_CAP // 2 - 1)
+    else:
+        offset = 0
+    codes = indices - offset
+    esc = _STREAM_ALPHABET_CAP - 1
+    esc_mask = (codes < 0) | (codes >= esc)
+    esc_vals = codes[esc_mask]
+    escapes = encode_fixed(
+        np.where(esc_vals >= 0, 2 * esc_vals, -2 * esc_vals - 1).astype(np.uint64)
+    )
+    if esc_mask.any():
+        codes = np.where(esc_mask, esc, codes)
+    payload = lossless_compress(HuffmanCodec().encode(codes), backend)
+    return (
+        struct.pack("<BqQ", _ENTROPY_IDS["huffman"], offset, len(payload))
+        + payload
+        + lossless_compress(escapes, backend)
+    )
+
+
+def decode_index_stream(data: bytes) -> np.ndarray:
+    from ..codecs.fixed import decode_fixed
+
+    entropy_id, offset, plen = struct.unpack_from("<BqQ", data, 0)
+    head = struct.calcsize("<BqQ")
+    payload = lossless_decompress(data[head:head + plen])
+    if entropy_id == _ENTROPY_IDS["range"]:
+        from ..codecs.rangecoder import RangeCodec
+
+        codes = RangeCodec().decode(payload)
+    elif entropy_id == _ENTROPY_IDS["huffman"]:
+        codes = HuffmanCodec().decode(payload)
+    else:
+        raise ValueError(f"unknown entropy stage id {entropy_id}")
+    escapes = decode_fixed(lossless_decompress(data[head + plen:]))
+    esc = _STREAM_ALPHABET_CAP - 1
+    esc_mask = codes == esc
+    if int(esc_mask.sum()) != escapes.size:
+        raise ValueError("index stream escape count mismatch")
+    if escapes.size:
+        u = escapes.astype(np.int64)
+        codes[esc_mask] = np.where(u % 2 == 0, u // 2, -(u + 1) // 2)
+    return codes + offset

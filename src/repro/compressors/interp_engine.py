@@ -1,0 +1,299 @@
+"""Shared multilevel interpolation compression engine.
+
+SZ3, QoZ and HPEZ are thin wrappers over this engine; they differ only in the
+:class:`EngineConfig` they construct (level structure, per-level error bounds,
+interpolation method selection, axis order, QP settings).  MGARD has its own
+hierarchical engine (see ``mgard.py``).
+
+The engine follows Algorithm 1 of the paper exactly: per pass it predicts,
+quantizes, overwrites the working array with decoded values (so later passes
+predict from what the decompressor will see), applies the QP transform to the
+pass's index array, and appends the result to the index stream.  Decompression
+replays the identical pass schedule.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..core.config import QPConfig
+from ..core.qp import qp_forward, qp_inverse
+from ..predictors.interpolation import predict_midpoints
+from ..quantize.linear import LinearQuantizer
+from ..utils.levels import (
+    MDPass,
+    Pass,
+    anchor_slices,
+    level_passes,
+    level_passes_multidim,
+    num_levels,
+    pass_sizes,
+)
+from .base import CompressionState
+
+__all__ = ["EngineConfig", "compress_volume", "decompress_volume", "level_error_bounds"]
+
+
+@dataclass
+class EngineConfig:
+    """Parameters of one engine run (serialized into the blob header)."""
+
+    error_bound: float
+    radius: int = 32768
+    interp: str = "auto"  # "linear" | "cubic" | "auto" (choose per level)
+    structure: str = "sequential"  # or "multidim" (HPEZ)
+    axis_order: tuple[int, ...] | None = None
+    level_eb_factors: dict[int, float] = field(default_factory=dict)  # QoZ tuning
+    qp: QPConfig = field(default_factory=QPConfig.disabled)
+    #: optional per-level scheme auto-tuner (HPEZ): called with
+    #: (arr, level, cfg), returns {"structure": ..., "axis_order": ...};
+    #: not serialized — the chosen schemes are recorded in the blob meta.
+    scheme_selector: Any = None
+    #: per-level schemes fixed up-front (populated from the blob meta on
+    #: decompression, or by the selector during compression)
+    level_schemes: dict[int, dict] = field(default_factory=dict)
+
+    def eb_for_level(self, level: int) -> float:
+        return self.error_bound * self.level_eb_factors.get(level, 1.0)
+
+    def scheme_for_level(self, level: int) -> tuple[str, tuple[int, ...] | None]:
+        scheme = self.level_schemes.get(level)
+        if scheme is None:
+            return self.structure, self.axis_order
+        order = scheme.get("axis_order")
+        return scheme["structure"], tuple(order) if order else None
+
+
+def level_error_bounds(eb: float, levels: int, alpha: float, beta: float) -> dict[int, float]:
+    """QoZ-style per-level error-bound factors: level ``l`` uses
+    ``eb / min(alpha**(l-1), beta)`` so coarse levels are encoded more
+    precisely (their errors propagate through the interpolation)."""
+    if alpha < 1 or beta < 1:
+        raise ValueError("alpha and beta must be >= 1")
+    return {l: 1.0 / min(alpha ** (l - 1), beta) for l in range(1, levels + 1)}
+
+
+def _passes_for_level(
+    shape: tuple[int, ...], level: int, cfg: EngineConfig
+) -> list[Pass | MDPass]:
+    structure, axis_order = cfg.scheme_for_level(level)
+    if structure == "multidim":
+        return level_passes_multidim(shape, level)
+    return level_passes(shape, level, axis_order)
+
+
+def _pass_prediction(arr: np.ndarray, p: Pass | MDPass, method: str) -> np.ndarray:
+    """Average of 1-D interpolations along each prediction axis, in the
+    natural orientation of the pass's target subgrid."""
+    shape = arr.shape
+    pred_sum: np.ndarray | None = None
+    for a in p.axes:
+        known = arr[p.known_for(a)]
+        n_targets = len(range(*p.target[a].indices(shape[a])))
+        pred_a = predict_midpoints(np.moveaxis(known, a, 0), n_targets, method)
+        pred_a = np.moveaxis(pred_a, 0, a)
+        pred_sum = pred_a if pred_sum is None else pred_sum + pred_a
+    assert pred_sum is not None
+    if len(p.axes) > 1:
+        pred_sum = pred_sum / len(p.axes)
+    return pred_sum
+
+
+def _choose_method(arr: np.ndarray, p: Pass | MDPass) -> str:
+    """Auto interpolation selection: smaller L1 residual on this pass wins
+    (SZ3's per-level linear-vs-cubic tuning)."""
+    actual = arr[p.target]
+    best_method, best_err = "linear", None
+    for method in ("linear", "cubic"):
+        err = float(np.abs(actual - _pass_prediction(arr, p, method)).sum())
+        if best_err is None or err < best_err:
+            best_method, best_err = method, err
+    return best_method
+
+
+def trial_level_bits(
+    arr: np.ndarray, level: int, cfg: EngineConfig, scheme: dict
+) -> float:
+    """Estimated coded size (entropy bits + literal penalty) of one level
+    under a candidate scheme, evaluated on a scratch copy of the working
+    array.  Used by HPEZ's per-level scheme auto-tuner."""
+    from dataclasses import replace
+
+    from ..core.characterize import shannon_entropy
+
+    work = arr.copy()
+    probe = replace(
+        cfg,
+        structure=scheme["structure"],
+        axis_order=scheme.get("axis_order"),
+        level_schemes={},
+        scheme_selector=None,
+    )
+    quantizer = LinearQuantizer(probe.eb_for_level(level), probe.radius)
+    passes = _passes_for_level(work.shape, level, probe)
+    if not passes:
+        return 0.0
+    method = _choose_method(work, passes[0]) if probe.interp == "auto" else probe.interp
+    bits = 0.0
+    for p in passes:
+        pred = _pass_prediction(work, p, method)
+        view = work[p.target]
+        res = quantizer.quantize(view, pred)
+        view[...] = res.decoded
+        bits += shannon_entropy(res.indices) * res.indices.size
+        bits += 8.0 * work.dtype.itemsize * res.literals.size
+    return bits
+
+
+def compress_volume(
+    data: np.ndarray,
+    cfg: EngineConfig,
+    state: CompressionState | None = None,
+) -> tuple[dict[str, Any], np.ndarray, np.ndarray, np.ndarray]:
+    """Run the interpolation pipeline over ``data``.
+
+    Returns ``(meta, index_stream, literals, anchors)``: ``meta`` holds
+    everything the decompressor needs (levels, chosen methods, QP settings),
+    ``index_stream`` is the concatenated (QP-transformed) quantization indices
+    of every pass in schedule order, ``literals`` the unpredictable values in
+    the same order, and ``anchors`` the exact coarsest-grid values.
+    """
+    arr = data.copy()
+    shape = arr.shape
+    levels = num_levels(shape)
+    anchors = arr[anchor_slices(shape)].copy()
+
+    if state is not None:
+        state.index_volume = np.zeros(shape, dtype=np.int64)
+        state.extras["index_volume_qp"] = np.zeros(shape, dtype=np.int64)
+        state.extras["pass_levels"] = np.zeros(shape, dtype=np.int8)
+
+    streams: list[np.ndarray] = []
+    literal_parts: list[np.ndarray] = []
+    methods: dict[int, str] = {}
+
+    for level in range(levels, 0, -1):
+        quantizer = LinearQuantizer(cfg.eb_for_level(level), cfg.radius)
+        if cfg.scheme_selector is not None and level not in cfg.level_schemes:
+            cfg.level_schemes[level] = cfg.scheme_selector(arr, level, cfg)
+        passes = _passes_for_level(shape, level, cfg)
+        if not passes:
+            continue
+        if cfg.interp == "auto":
+            methods[level] = _choose_method(arr, passes[0])
+        else:
+            methods[level] = cfg.interp
+        method = methods[level]
+        for p in passes:
+            pred = _pass_prediction(arr, p, method)
+            target_view = arr[p.target]
+            res = quantizer.quantize(target_view, pred)
+            target_view[...] = res.decoded  # future passes see decoded values
+            q = np.moveaxis(res.indices, p.axis, 0)
+            q_out = qp_forward(q, quantizer.sentinel, cfg.qp, level)
+            streams.append(np.ascontiguousarray(q_out).ravel())
+            literal_parts.append(res.literals)
+            if state is not None:
+                state.index_volume[p.target] = res.indices
+                state.extras["index_volume_qp"][p.target] = np.moveaxis(q_out, 0, p.axis)
+                state.extras["pass_levels"][p.target] = level
+
+    index_stream = (
+        np.concatenate(streams) if streams else np.empty(0, dtype=np.int64)
+    )
+    literals = (
+        np.concatenate(literal_parts) if literal_parts else np.empty(0, dtype=data.dtype)
+    )
+    meta = {
+        "levels": levels,
+        "methods": {str(k): v for k, v in methods.items()},
+        "structure": cfg.structure,
+        "axis_order": list(cfg.axis_order) if cfg.axis_order else None,
+        "level_schemes": {
+            str(k): {
+                "structure": v["structure"],
+                "axis_order": list(v["axis_order"]) if v.get("axis_order") else None,
+            }
+            for k, v in cfg.level_schemes.items()
+        },
+        "radius": cfg.radius,
+        "level_eb_factors": {str(k): v for k, v in cfg.level_eb_factors.items()},
+        "qp": cfg.qp.to_dict(),
+    }
+    if state is not None:
+        state.extras["decoded"] = arr
+    return meta, index_stream, literals, anchors
+
+
+def decompress_volume(
+    meta: dict[str, Any],
+    index_stream: np.ndarray,
+    literals: np.ndarray,
+    anchors: np.ndarray,
+    shape: tuple[int, ...],
+    dtype: np.dtype,
+    error_bound: float,
+    exact_streams: bool = True,
+) -> "np.ndarray | tuple[np.ndarray, int, int]":
+    """Replay the pass schedule and invert every stage.
+
+    With ``exact_streams`` (the default) the streams must be consumed fully
+    and the array alone is returned.  With ``exact_streams=False`` the caller
+    passes shared streams that may extend past this volume (HPEZ blocks) and
+    receives ``(array, indices_consumed, literals_consumed)``.
+    """
+    cfg = EngineConfig(
+        error_bound=error_bound,
+        radius=int(meta["radius"]),
+        structure=meta["structure"],
+        axis_order=tuple(meta["axis_order"]) if meta["axis_order"] else None,
+        level_schemes={
+            int(k): v for k, v in meta.get("level_schemes", {}).items()
+        },
+        level_eb_factors={int(k): float(v) for k, v in meta["level_eb_factors"].items()},
+        qp=QPConfig.from_dict(meta["qp"]),
+    )
+    methods = {int(k): v for k, v in meta["methods"].items()}
+    levels = int(meta["levels"])
+
+    arr = np.zeros(shape, dtype=dtype)
+    arr[anchor_slices(shape)] = anchors.reshape(arr[anchor_slices(shape)].shape)
+
+    spos = 0
+    lpos = 0
+    for level in range(levels, 0, -1):
+        quantizer = LinearQuantizer(cfg.eb_for_level(level), cfg.radius)
+        passes = _passes_for_level(shape, level, cfg)
+        if not passes:
+            continue
+        method = methods[level]
+        for p in passes:
+            psize = pass_sizes(shape, p)
+            count = int(np.prod(psize))
+            moved_shape = tuple(
+                psize[a] for a in _moved_axes(len(shape), p.axis)
+            )
+            q_out = index_stream[spos:spos + count].reshape(moved_shape)
+            spos += count
+            q = qp_inverse(q_out, quantizer.sentinel, cfg.qp, level)
+            indices = np.moveaxis(q, 0, p.axis)
+            n_lit = int((indices == quantizer.sentinel).sum())
+            lits = literals[lpos:lpos + n_lit]
+            lpos += n_lit
+            pred = _pass_prediction(arr, p, method)
+            arr[p.target] = quantizer.dequantize(indices, pred, lits)
+    if not exact_streams:
+        return arr, spos, lpos
+    if spos != index_stream.size:
+        raise ValueError("index stream size mismatch")
+    if lpos != literals.size:
+        raise ValueError("literal stream size mismatch")
+    return arr
+
+
+def _moved_axes(ndim: int, primary: int) -> list[int]:
+    axes = list(range(ndim))
+    axes.remove(primary)
+    return [primary] + axes

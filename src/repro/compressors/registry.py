@@ -1,0 +1,66 @@
+"""Compressor registry: name-based construction and blob dispatch."""
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import Blob, Compressor
+
+__all__ = [
+    "COMPRESSORS",
+    "get_compressor",
+    "decompress_any",
+    "available_compressors",
+    "traits_table",
+]
+
+
+def _registry() -> dict[str, type[Compressor]]:
+    from .hpez import HPEZ
+    from .mgard import MGARD
+    from .sperr import SPERR
+    from .sz3 import SZ3
+    from .tthresh import TTHRESH
+    from .qoz import QoZ
+    from .zfp import ZFP
+
+    return {
+        c.name: c for c in (MGARD, SZ3, QoZ, HPEZ, ZFP, TTHRESH, SPERR)
+    }
+
+
+COMPRESSORS = ("mgard", "sz3", "qoz", "hpez", "zfp", "tthresh", "sperr")
+#: the four interpolation-based compressors QP integrates with
+INTERP_COMPRESSORS = ("mgard", "sz3", "qoz", "hpez")
+
+
+def available_compressors() -> tuple[str, ...]:
+    return tuple(_registry())
+
+
+def get_compressor(name: str, error_bound: float, **kwargs: Any) -> Compressor:
+    """Construct a compressor by registry name."""
+    reg = _registry()
+    if name not in reg:
+        raise KeyError(f"unknown compressor {name!r}; available: {tuple(reg)}")
+    return reg[name](error_bound, **kwargs)
+
+
+def decompress_any(blob: bytes, **kwargs: Any) -> np.ndarray:
+    """Decompress any repro blob by dispatching on its header."""
+    b = Blob.from_bytes(blob)
+    name = b.header.get("compressor")
+    comp = get_compressor(name, b.header["error_bound"], **kwargs)
+    return comp.decompress(blob)
+
+
+def traits_table() -> list[dict[str, Any]]:
+    """Qualitative characteristics of the compressors (paper Table I)."""
+    reg = _registry()
+    rows = []
+    for name in ("mgard", "sz3", "qoz", "hpez"):
+        row = {"compressor": name.upper()}
+        row.update(reg[name].traits)
+        rows.append(row)
+    return rows

@@ -1,0 +1,29 @@
+"""QP core — the paper's contribution: config, conditions, transform,
+characterization."""
+from .characterize import (
+    ClusteringStats,
+    clustering_stats,
+    plane_slice,
+    regional_entropy,
+    shannon_entropy,
+    slice_entropy,
+)
+from .conditions import compensation
+from .config import QP_CONDITIONS, QP_DIMENSIONS, QPConfig
+from .qp import effective_dimension, qp_forward, qp_inverse
+
+__all__ = [
+    "QPConfig",
+    "QP_DIMENSIONS",
+    "QP_CONDITIONS",
+    "compensation",
+    "qp_forward",
+    "qp_inverse",
+    "effective_dimension",
+    "shannon_entropy",
+    "slice_entropy",
+    "plane_slice",
+    "regional_entropy",
+    "clustering_stats",
+    "ClusteringStats",
+]

@@ -1,0 +1,83 @@
+"""Sampling-based QP auto-tuning.
+
+The paper fixes QP's best configuration offline (2-D, Case III, levels 1-2)
+by exploring Figures 7-9 once.  This module makes that exploration *online*
+and per-field: candidate configs are scored on a sampled sub-volume by the
+entropy reduction they achieve on the actual index arrays, and the winner is
+returned — including the option of disabling QP where it would hurt (the
+paper's Hurricane/HPEZ cases).  This is the natural completion of the
+"adaptive" in the paper's title.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.characterize import shannon_entropy
+from ..core.config import QPConfig
+
+__all__ = ["autotune_qp", "DEFAULT_CANDIDATES"]
+
+DEFAULT_CANDIDATES: tuple[QPConfig, ...] = (
+    QPConfig.disabled(),
+    QPConfig(dimension="2d", condition="III", max_level=2),
+    QPConfig(dimension="2d", condition="II", max_level=2),
+    QPConfig(dimension="1d-top", condition="III", max_level=2),
+    QPConfig(dimension="1d-left", condition="III", max_level=2),
+    QPConfig(dimension="2d", condition="III", max_level=1),
+)
+
+
+def autotune_qp(
+    data: np.ndarray,
+    error_bound: float,
+    candidates: tuple[QPConfig, ...] = DEFAULT_CANDIDATES,
+    sample_side: int = 48,
+    radius: int = 32768,
+) -> QPConfig:
+    """Pick the candidate QP config with the lowest estimated coded size on
+    a central sample of ``data`` (compressed with the plain engine).
+
+    The score is the Shannon entropy of the QP-transformed index stream —
+    the quantity QP minimizes by design (Section V-A) — so one engine run
+    produces the index arrays and every candidate is scored by pure integer
+    transforms on them.
+    """
+    from ..compressors.interp_engine import EngineConfig, compress_volume
+    from ..compressors.sz3 import _center_sample
+    from ..core.qp import qp_forward
+    from ..utils.levels import level_passes, num_levels, pass_sizes
+
+    sample = _center_sample(data, sample_side)
+    cfg = EngineConfig(error_bound=error_bound, radius=radius)
+    _, stream, _, _ = compress_volume(sample, cfg)
+
+    # rebuild the per-pass structure of the stream to re-apply each candidate
+    shape = sample.shape
+    sentinel = -radius
+    passes = []
+    pos = 0
+    for level in range(num_levels(shape), 0, -1):
+        for p in level_passes(shape, level):
+            psize = pass_sizes(shape, p)
+            n = int(np.prod(psize))
+            moved = [psize[a] for a in _moved_axes(len(shape), p.axis)]
+            passes.append((level, stream[pos:pos + n].reshape(moved)))
+            pos += n
+
+    best_cfg, best_bits = candidates[0], np.inf
+    for cand in candidates:
+        parts = [
+            np.ascontiguousarray(qp_forward(q, sentinel, cand, level)).ravel()
+            for level, q in passes
+        ]
+        merged = np.concatenate(parts) if parts else np.empty(0, np.int64)
+        bits = shannon_entropy(merged) * max(merged.size, 1)
+        if bits < best_bits:
+            best_cfg, best_bits = cand, bits
+    return best_cfg
+
+
+def _moved_axes(ndim: int, primary: int) -> list[int]:
+    axes = list(range(ndim))
+    axes.remove(primary)
+    return [primary] + axes

@@ -1,0 +1,97 @@
+"""Prediction conditions and compensation formulas (Algorithm 2).
+
+The same elementwise functions serve the vectorized forward transform (whole
+neighbour arrays) and the wavefront inverse (gathered neighbour vectors), so
+encoder and decoder share one code path by construction.
+
+Neighbour naming, for a pass array with the interpolation axis first:
+
+* ``back``  previous element along the interpolation axis (axis 0)
+* ``top``   previous element along the second-to-last (in-plane row) axis
+* ``left``  previous element along the last (in-plane column) axis
+
+Missing neighbours (plane borders) read as value 0 and are treated as
+predictable; with Cases II-IV a zero value fails the sign test, so border
+points are simply left unpredicted — identically in both directions.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compensation"]
+
+
+def compensation(
+    dimension: str,
+    condition: str,
+    sentinel: int,
+    left: np.ndarray,
+    top: np.ndarray,
+    lt: np.ndarray,
+    back: np.ndarray | None = None,
+    lb: np.ndarray | None = None,
+    tb: np.ndarray | None = None,
+    ltb: np.ndarray | None = None,
+) -> np.ndarray:
+    """Return the compensation ``c`` (0 where prediction is skipped).
+
+    All neighbour arrays must be broadcast-compatible int64 arrays.
+    """
+    if dimension == "1d-left":
+        pred = left
+        involved = (left,)
+        sign_pair = (left,)
+    elif dimension == "1d-top":
+        pred = top
+        involved = (top,)
+        sign_pair = (top,)
+    elif dimension == "1d-back":
+        if back is None:
+            raise ValueError("1d-back requires the back neighbour")
+        pred = back
+        involved = (back,)
+        sign_pair = (back,)
+    elif dimension == "2d":
+        pred = left + top - lt
+        involved = (left, top, lt)
+        sign_pair = (left, top)
+    elif dimension == "3d":
+        if back is None or lb is None or tb is None or ltb is None:
+            raise ValueError("3d requires all seven neighbours")
+        pred = left + top + back - lt - lb - tb + ltb
+        involved = (left, top, back, lt, lb, tb, ltb)
+        sign_pair = (left, top)
+    else:
+        raise ValueError(f"unknown dimension {dimension!r}")
+
+    pred = np.asarray(pred)
+    if condition == "I":
+        mask = np.ones(pred.shape, dtype=bool)
+    else:
+        mask = np.ones(pred.shape, dtype=bool)
+        for nb in involved:
+            mask &= nb != sentinel
+        if condition == "III":
+            mask &= _same_nonzero_sign(sign_pair)
+        elif condition == "IV":
+            # Case IV: "the signs of the three involved neighbours are the
+            # same" — for 2d that is (left, top, lt); lower dimensions reduce
+            # to their single neighbour, 3d to its first-order neighbours.
+            if dimension == "2d":
+                mask &= _same_nonzero_sign((left, top, lt))
+            elif dimension == "3d":
+                mask &= _same_nonzero_sign((left, top, back))
+            else:
+                mask &= _same_nonzero_sign(sign_pair)
+        elif condition != "II":
+            raise ValueError(f"unknown condition {condition!r}")
+    return np.where(mask, pred, 0)
+
+
+def _same_nonzero_sign(arrays: tuple[np.ndarray, ...]) -> np.ndarray:
+    all_pos = np.ones(arrays[0].shape, dtype=bool)
+    all_neg = all_pos.copy()
+    for a in arrays:
+        all_pos &= a > 0
+        all_neg &= a < 0
+    return all_pos | all_neg

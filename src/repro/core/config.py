@@ -1,0 +1,62 @@
+"""Configuration of the quantization index prediction (QP) stage."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QPConfig", "QP_DIMENSIONS", "QP_CONDITIONS"]
+
+QP_DIMENSIONS = ("1d-back", "1d-top", "1d-left", "2d", "3d")
+QP_CONDITIONS = ("I", "II", "III", "IV")
+
+
+@dataclass(frozen=True)
+class QPConfig:
+    """Settings for adaptive quantization index prediction (Section V).
+
+    ``dimension``
+        Which Lorenzo variant predicts the current index:
+        ``1d-back`` along the interpolation direction, ``1d-top``/``1d-left``
+        along the orthogonal plane axes, ``2d`` the in-plane Lorenzo (paper's
+        best fit), ``3d`` the full Lorenzo over all pass axes.
+    ``condition``
+        Prediction condition, Cases I-IV of Section V-C2.  The paper's best
+        fit is Case III: skip if any involved neighbour is unpredictable, and
+        require the left/top neighbours to share a (nonzero) sign.
+    ``max_level``
+        Apply QP only at interpolation levels ``<= max_level`` (Section V-C3:
+        levels 1 and 2 hold >98% of points; higher levels can even hurt).
+    ``enabled``
+        Master switch; a disabled config makes the transform the identity.
+    """
+
+    enabled: bool = True
+    dimension: str = "2d"
+    condition: str = "III"
+    max_level: int = 2
+
+    def __post_init__(self) -> None:
+        if self.dimension not in QP_DIMENSIONS:
+            raise ValueError(f"dimension must be one of {QP_DIMENSIONS}")
+        if self.condition not in QP_CONDITIONS:
+            raise ValueError(f"condition must be one of {QP_CONDITIONS}")
+        if self.max_level < 0:
+            raise ValueError("max_level must be >= 0")
+
+    def applies_to_level(self, level: int) -> bool:
+        return self.enabled and level <= self.max_level
+
+    @staticmethod
+    def disabled() -> "QPConfig":
+        return QPConfig(enabled=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "dimension": self.dimension,
+            "condition": self.condition,
+            "max_level": self.max_level,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "QPConfig":
+        return QPConfig(**d)

@@ -1,0 +1,192 @@
+"""The QP transform: adaptive quantization index prediction (Algorithms 1-2).
+
+``qp_forward`` maps a pass's quantization-index array ``Q`` to the
+lower-entropy ``Q' = Q - c`` where the compensation ``c`` comes from a
+conditional Lorenzo prediction over *previously processed* indices of the same
+pass.  ``qp_inverse`` recovers ``Q`` exactly — the transform is reversible by
+construction, so QP never changes decompressed data (the paper's key
+invariant).
+
+Array convention: a *pass array* holds the quantization indices of one
+interpolation pass, with the interpolation axis first and the orthogonal
+plane axes last.  The 2-D Lorenzo of the paper acts on the last two axes
+(the plane perpendicular to the interpolation direction); all leading axes
+are batch axes.
+
+Vectorization strategy (DESIGN.md §7): the forward direction is a handful of
+whole-array shifts; the inverse walks anti-diagonal wavefronts so each Python
+iteration recovers a whole diagonal (1-D variants walk lines; the 3-D variant
+walks i+j+k wavefronts).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .conditions import compensation
+from .config import QPConfig
+
+__all__ = ["qp_forward", "qp_inverse", "effective_dimension"]
+
+
+def effective_dimension(dimension: str, ndim: int) -> str | None:
+    """Degrade the configured predictor to what the pass array supports.
+
+    Returns ``None`` when QP cannot act at all (no usable neighbour axis).
+    """
+    if ndim >= 3:
+        return dimension
+    if ndim == 2:
+        # only one plane axis exists; in-plane Lorenzo degenerates to 1-D
+        return {
+            "2d": "1d-left",
+            "3d": "2d",  # (back, left) become the two Lorenzo axes
+            "1d-top": None,
+        }.get(dimension, dimension)
+    # ndim == 1: only the interpolation axis exists
+    return dimension if dimension == "1d-back" else None
+
+
+def _shift(a: np.ndarray, axis: int) -> np.ndarray:
+    """Previous element along ``axis``; missing neighbours read as 0."""
+    out = np.zeros_like(a)
+    src = [slice(None)] * a.ndim
+    dst = [slice(None)] * a.ndim
+    src[axis] = slice(0, a.shape[axis] - 1)
+    dst[axis] = slice(1, None)
+    out[tuple(dst)] = a[tuple(src)]
+    return out
+
+
+def _plane_axes(ndim: int, dim: str) -> tuple[int | None, int | None, int | None]:
+    """(back, top, left) axes for a pass array of the given rank."""
+    back = 0
+    left = ndim - 1 if ndim >= 2 else None
+    top = ndim - 2 if ndim >= 3 else None
+    if ndim == 2 and dim == "2d":
+        # degraded 3d: treat (back, left) as the Lorenzo plane
+        top = 0
+        back = None
+    return back, top, left
+
+
+def qp_forward(q: np.ndarray, sentinel: int, config: QPConfig, level: int) -> np.ndarray:
+    """Apply QP to one pass array; returns ``Q'`` (input is not modified)."""
+    if not config.applies_to_level(level):
+        return q
+    dim = effective_dimension(config.dimension, q.ndim)
+    if dim is None:
+        return q
+    back_ax, top_ax, left_ax = _plane_axes(q.ndim, dim)
+
+    zeros = np.zeros_like(q)
+    left = _shift(q, left_ax) if left_ax is not None else zeros
+    top = _shift(q, top_ax) if top_ax is not None else zeros
+    lt = (
+        _shift(_shift(q, left_ax), top_ax)
+        if (left_ax is not None and top_ax is not None)
+        else zeros
+    )
+    kwargs = {}
+    if dim in ("1d-back", "3d"):
+        back = _shift(q, back_ax)
+        kwargs["back"] = back
+        if dim == "3d":
+            kwargs["lb"] = _shift(left, back_ax)
+            kwargs["tb"] = _shift(top, back_ax)
+            kwargs["ltb"] = _shift(lt, back_ax)
+    c = compensation(dim, config.condition, sentinel, left, top, lt, **kwargs)
+    return q - c
+
+
+def qp_inverse(qp: np.ndarray, sentinel: int, config: QPConfig, level: int) -> np.ndarray:
+    """Invert :func:`qp_forward`, recovering the original pass array."""
+    if not config.applies_to_level(level):
+        return qp
+    dim = effective_dimension(config.dimension, qp.ndim)
+    if dim is None:
+        return qp
+    if dim in ("1d-back", "1d-top", "1d-left"):
+        return _inverse_1d(qp, sentinel, config.condition, dim)
+    if dim == "2d":
+        return _inverse_2d(qp, sentinel, config.condition)
+    return _inverse_3d(qp, sentinel, config.condition)
+
+
+# -- inverse kernels ---------------------------------------------------------
+
+
+def _inverse_1d(qp: np.ndarray, sentinel: int, cond: str, dim: str) -> np.ndarray:
+    axis = {"1d-back": 0, "1d-top": qp.ndim - 2, "1d-left": qp.ndim - 1}[dim]
+    q = np.moveaxis(qp.copy(), axis, -1)  # view into the copy; scan last axis
+    n = q.shape[-1]
+    zeros = np.zeros(q.shape[:-1], dtype=q.dtype)
+    for j in range(1, n):
+        nb = q[..., j - 1]
+        if dim == "1d-back":
+            c = compensation(dim, cond, sentinel, zeros, zeros, zeros, back=nb)
+        elif dim == "1d-top":
+            c = compensation(dim, cond, sentinel, zeros, nb, zeros)
+        else:
+            c = compensation(dim, cond, sentinel, nb, zeros, zeros)
+        q[..., j] += c
+    return np.moveaxis(q, -1, axis)
+
+
+def _inverse_2d(qp: np.ndarray, sentinel: int, cond: str) -> np.ndarray:
+    if cond == "I":
+        # Unconditional 2-D Lorenzo is a separable finite difference, so its
+        # inverse is two prefix sums — O(N) fully vectorized, no wavefront.
+        # (This implements the paper's future-work item on reducing QP's
+        # computational overhead for the unconditional case.)
+        q = np.cumsum(qp, axis=-1)
+        return np.cumsum(q, axis=-2)
+    shape = qp.shape
+    na, nb = shape[-2], shape[-1]
+    batch = int(np.prod(shape[:-2], dtype=np.int64)) if qp.ndim > 2 else 1
+    q = qp.reshape(batch, na, nb).copy()
+    for k in range(1, na + nb - 1):
+        i = np.arange(max(0, k - nb + 1), min(na - 1, k) + 1)
+        j = k - i
+        has_top = i > 0
+        has_left = j > 0
+        i_t = np.where(has_top, i - 1, 0)
+        j_l = np.where(has_left, j - 1, 0)
+        top = np.where(has_top[None, :], q[:, i_t, j], 0)
+        left = np.where(has_left[None, :], q[:, i, j_l], 0)
+        lt = np.where((has_top & has_left)[None, :], q[:, i_t, j_l], 0)
+        c = compensation("2d", cond, sentinel, left, top, lt)
+        q[:, i, j] += c
+    return q.reshape(shape)
+
+
+def _inverse_3d(qp: np.ndarray, sentinel: int, cond: str) -> np.ndarray:
+    if qp.ndim < 3:
+        raise ValueError("3d QP requires a rank >= 3 pass array")
+    shape = qp.shape
+    na, nb, nc = shape[-3], shape[-2], shape[-1]
+    batch = int(np.prod(shape[:-3], dtype=np.int64)) if qp.ndim > 3 else 1
+    q = qp.reshape(batch, na, nb, nc).copy()
+    I, J, K = np.indices((na, nb, nc)).reshape(3, -1)
+    diag = I + J + K
+    order = np.argsort(diag, kind="stable")
+    I, J, K, diag = I[order], J[order], K[order], diag[order]
+    bounds = np.searchsorted(diag, np.arange(diag[-1] + 2))
+    for d in range(1, int(diag[-1]) + 1):
+        sl = slice(bounds[d], bounds[d + 1])
+        i, j, k = I[sl], J[sl], K[sl]
+        hb, ht, hl = i > 0, j > 0, k > 0
+        ib, jt, kl = np.where(hb, i - 1, 0), np.where(ht, j - 1, 0), np.where(hl, k - 1, 0)
+
+        def g(ii, jj, kk, m):
+            return np.where(m[None, :], q[:, ii, jj, kk], 0)
+
+        back = g(ib, j, k, hb)
+        top = g(i, jt, k, ht)
+        left = g(i, j, kl, hl)
+        tb = g(ib, jt, k, hb & ht)
+        lb = g(ib, j, kl, hb & hl)
+        lt = g(i, jt, kl, ht & hl)
+        ltb = g(ib, jt, kl, hb & ht & hl)
+        c = compensation("3d", cond, sentinel, left, top, lt, back=back, lb=lb, tb=tb, ltb=ltb)
+        q[:, i, j, k] += c
+    return q.reshape(shape)

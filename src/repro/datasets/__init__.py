@@ -1,0 +1,12 @@
+"""Synthetic stand-ins for the paper's seven benchmark datasets."""
+from .registry import DATASETS, DatasetInfo, dataset_names, table3_rows
+from .synthetic import generate, generate_all
+
+__all__ = [
+    "DATASETS",
+    "DatasetInfo",
+    "dataset_names",
+    "table3_rows",
+    "generate",
+    "generate_all",
+]

@@ -1,0 +1,183 @@
+"""Low-level synthetic field primitives.
+
+The real benchmark datasets (Table III) are multi-GB archives we cannot ship;
+these primitives synthesize fields with the *statistical structure* each
+dataset contributes to the evaluation — power-law turbulence spectra, layered
+media with embedded salt bodies, oscillatory wavefields, sharp reaction
+fronts, large-scale climate gradients — because QP's behaviour depends on
+local index correlation, not on absolute data identity (DESIGN.md §2).
+
+All generators are deterministic given a seed and fully vectorized (FFT-based
+spectral synthesis, closed-form geometry).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "spectral_field",
+    "layered_model",
+    "salt_body",
+    "point_source_wavefield",
+    "vortex_field",
+    "front_field",
+    "lat_lon_climate",
+]
+
+
+def spectral_field(
+    shape: tuple[int, ...],
+    slope: float,
+    rng: np.random.Generator,
+    kmin: float = 1.0,
+    cutoff_frac: float = 0.25,
+) -> np.ndarray:
+    """Gaussian random field with isotropic per-mode power ``k**-slope`` and
+    a Gaussian dissipation-range cutoff, normalized to zero mean / unit
+    variance.
+
+    The cutoff at ``cutoff_frac`` of the Nyquist wavenumber mimics the
+    resolved-scale rolloff of real simulation output (real solver fields are
+    smooth at the grid scale); without it a power law keeps unphysical
+    energy at the grid scale and nothing compresses.  Per-mode slope 11/3
+    corresponds to a Kolmogorov k^-5/3 shell spectrum in 3-D.
+    """
+    k2 = np.zeros(shape)
+    for ax, n in enumerate(shape):
+        freq = np.fft.fftfreq(n) * n
+        sl = [None] * len(shape)
+        sl[ax] = slice(None)
+        k2 = k2 + freq[tuple(sl)] ** 2
+    k = np.sqrt(k2)
+    amp = np.zeros_like(k)
+    mask = k >= kmin
+    amp[mask] = k[mask] ** (-slope / 2.0)
+    kcut = cutoff_frac * max(shape) / 2.0
+    amp *= np.exp(-((k / kcut) ** 2))
+    phase = rng.uniform(0, 2 * np.pi, shape)
+    spec = amp * np.exp(1j * phase)
+    field = np.fft.ifftn(spec).real
+    std = field.std()
+    if std > 0:
+        field = field / std
+    return field - field.mean()
+
+
+def layered_model(
+    shape: tuple[int, int, int],
+    rng: np.random.Generator,
+    n_layers: int = 14,
+    v_range: tuple[float, float] = (1.5, 4.5),
+    tilt: float = 0.15,
+) -> np.ndarray:
+    """Layered velocity model (SEG-style): piecewise-constant values over
+    depth with gently tilted, undulating interfaces."""
+    nz, ny, nx = shape
+    bounds = np.sort(rng.uniform(0.05, 0.95, n_layers - 1))
+    vals = np.sort(rng.uniform(*v_range, n_layers))
+    y, x = np.meshgrid(np.linspace(0, 1, ny), np.linspace(0, 1, nx), indexing="ij")
+    undulation = tilt * (np.sin(2 * np.pi * x * rng.uniform(0.5, 2)) * y
+                         + 0.3 * np.sin(4 * np.pi * y))
+    depth = np.linspace(0, 1, nz)[:, None, None] + undulation[None, :, :]
+    idx = np.clip(np.searchsorted(bounds, depth.ravel()), 0, n_layers - 1)
+    return vals[idx].reshape(shape)
+
+
+def salt_body(
+    shape: tuple[int, int, int],
+    rng: np.random.Generator,
+    value: float = 4.8,
+) -> np.ndarray:
+    """Ellipsoidal high-velocity intrusion with a rough boundary (the salt
+    dome of the SEG/EAGE models); returns a {0, value} mask field."""
+    nz, ny, nx = shape
+    z, y, x = np.meshgrid(
+        np.linspace(0, 1, nz), np.linspace(0, 1, ny), np.linspace(0, 1, nx),
+        indexing="ij",
+    )
+    cz, cy, cx = rng.uniform(0.35, 0.6, 3)
+    rz, ry, rx = rng.uniform(0.12, 0.3, 3)
+    r = ((z - cz) / rz) ** 2 + ((y - cy) / ry) ** 2 + ((x - cx) / rx) ** 2
+    rough = 0.15 * spectral_field(shape, 4.0, rng, cutoff_frac=0.12)
+    return np.where(r + rough < 1.0, value, 0.0)
+
+
+def point_source_wavefield(
+    shape: tuple[int, int, int],
+    rng: np.random.Generator,
+    wavelength: float = 0.08,
+    t: float = 0.7,
+    center: tuple[float, float, float] | None = None,
+) -> np.ndarray:
+    """Expanding spherical wavefield snapshot (RTM/SegSalt pressure style):
+    a Ricker-modulated shell plus reflected ringing behind the front."""
+    nz, ny, nx = shape
+    z, y, x = np.meshgrid(
+        np.linspace(0, 1, nz), np.linspace(0, 1, ny), np.linspace(0, 1, nx),
+        indexing="ij",
+    )
+    cz, cy, cx = center if center is not None else rng.uniform(0.3, 0.7, 3)
+    r = np.sqrt((z - cz) ** 2 + (y - cy) ** 2 + (x - cx) ** 2)
+    # primary front at radius t plus trailing oscillations
+    arg = (r - t) / wavelength
+    front = (1 - 2 * arg**2) * np.exp(-(arg**2))
+    ringing = 0.3 * np.sin(2 * np.pi * r / wavelength) * np.exp(-3 * r) * (r < t)
+    atten = 1.0 / (1.0 + 8 * r**2)
+    return (front + ringing) * atten
+
+
+def vortex_field(
+    shape: tuple[int, int, int],
+    rng: np.random.Generator,
+    component: str = "u",
+) -> np.ndarray:
+    """Hurricane-style rotating vortex velocity/pressure component with an
+    eye, a radial decay, and turbulent perturbations."""
+    nz, ny, nx = shape
+    z, y, x = np.meshgrid(
+        np.linspace(0, 1, nz), np.linspace(-1, 1, ny), np.linspace(-1, 1, nx),
+        indexing="ij",
+    )
+    cy, cx = rng.uniform(-0.2, 0.2, 2)
+    ry, rx = y - cy, x - cx
+    rr = np.sqrt(ry**2 + rx**2) + 1e-9
+    # Rankine-like tangential speed profile with altitude decay
+    r_eye = 0.12
+    vt = np.where(rr < r_eye, rr / r_eye, np.exp(-(rr - r_eye) / 0.45))
+    vt = vt * (1.0 - 0.5 * z)
+    if component == "u":
+        base = -vt * ry / rr
+    elif component == "v":
+        base = vt * rx / rr
+    elif component == "w":
+        base = 0.2 * vt * np.exp(-rr / 0.3)
+    else:  # pressure/temperature-like scalar
+        base = 1.0 - 0.8 * np.exp(-rr / 0.2) * (1.0 - 0.4 * z)
+    turb = 0.03 * spectral_field(shape, 3.5, rng, cutoff_frac=0.15)
+    return base + turb
+
+
+def front_field(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    sharpness: float = 25.0,
+) -> np.ndarray:
+    """Reaction-front field (S3D style): tanh of a smooth level-set, giving
+    thin, sharp interfaces between near-constant regions."""
+    level = spectral_field(shape, 4.0, rng, cutoff_frac=0.12)
+    return 0.5 * (1.0 + np.tanh(sharpness * level))
+
+
+def lat_lon_climate(
+    shape: tuple[int, int, int],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Climate model output (CESM-ATM style): strong zonal (latitude)
+    gradient, vertical stratification, and synoptic-scale eddies."""
+    nlev, nlat, nlon = shape
+    lev = np.linspace(0, 1, nlev)[:, None, None]
+    lat = np.linspace(-np.pi / 2, np.pi / 2, nlat)[None, :, None]
+    zonal = np.cos(lat) ** 2 * (1.0 - 0.6 * lev)
+    eddies = 0.12 * spectral_field(shape, 3.6, rng, cutoff_frac=0.15)
+    waves = 0.1 * np.sin(np.linspace(0, 6 * np.pi, nlon))[None, None, :] * np.cos(lat)
+    return zonal + eddies + waves

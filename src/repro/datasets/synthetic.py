@@ -1,0 +1,154 @@
+"""Per-dataset synthetic generators.
+
+``generate(dataset, field, shape=None, seed=0)`` returns one named field of
+one benchmark dataset, deterministic in (dataset, field, shape, seed).  The
+structural recipes per dataset are documented in ``fields.py`` and DESIGN.md.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .fields import (
+    front_field,
+    lat_lon_climate,
+    layered_model,
+    point_source_wavefield,
+    salt_body,
+    spectral_field,
+    vortex_field,
+)
+from .registry import DATASETS
+
+__all__ = ["generate", "generate_all"]
+
+
+def _rng(dataset: str, field: str, seed: int) -> np.random.Generator:
+    # zlib.crc32 is stable across processes (unlike built-in str hashing)
+    import zlib
+
+    key = zlib.crc32(f"{dataset}/{field}/{seed}".encode())
+    return np.random.default_rng(key)
+
+
+def generate(
+    dataset: str,
+    field: str | None = None,
+    shape: tuple[int, ...] | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Synthesize one field of a benchmark dataset.
+
+    ``field=None`` picks the dataset's first (headline) field.  ``shape``
+    overrides the registry's scaled default.
+    """
+    if dataset not in DATASETS:
+        raise KeyError(f"unknown dataset {dataset!r}; available: {tuple(DATASETS)}")
+    info = DATASETS[dataset]
+    if field is None:
+        field = info.fields[0]
+    if field not in info.fields:
+        raise KeyError(f"dataset {dataset!r} has no field {field!r}")
+    shape = tuple(shape) if shape is not None else info.default_dims
+    rng = _rng(dataset, field, seed)
+    data = _DISPATCH[dataset](field, shape, rng)
+    return data.astype(np.dtype(info.dtype))
+
+
+def generate_all(
+    dataset: str, shape: tuple[int, ...] | None = None, seed: int = 0
+) -> dict[str, np.ndarray]:
+    """All fields of a dataset, keyed by field name."""
+    info = DATASETS[dataset]
+    return {f: generate(dataset, f, shape, seed) for f in info.fields}
+
+
+# -- per-dataset recipes ------------------------------------------------------
+
+
+def _miranda(field: str, shape, rng) -> np.ndarray:
+    # large-turbulence simulation: Kolmogorov-like spectra; density and
+    # diffusivity carry mixing-layer structure
+    if field == "density":
+        return 1.0 + 0.3 * np.tanh(3 * spectral_field(shape, 4.0, rng, cutoff_frac=0.12)) \
+            + 0.02 * spectral_field(shape, 3.67, rng, cutoff_frac=0.15)
+    if field.startswith("velocity"):
+        # per-mode slope 11/3 = Kolmogorov k^-5/3 shell spectrum in 3-D
+        return spectral_field(shape, 11.0 / 3.0, rng, cutoff_frac=0.15)
+    if field == "pressure":
+        return spectral_field(shape, 13.0 / 3.0, rng, cutoff_frac=0.15)
+    # diffusivity / viscocity: positive, smoother
+    return np.exp(0.5 * spectral_field(shape, 4.0, rng, cutoff_frac=0.12))
+
+
+def _hurricane(field: str, shape, rng) -> np.ndarray:
+    comp = {"U": "u", "V": "v", "W": "w"}.get(field)
+    if comp is not None:
+        return vortex_field(shape, rng, comp)
+    if field in ("P", "TC"):
+        return vortex_field(shape, rng, "scalar")
+    # moisture/precip species: non-negative, patchy
+    base = front_field(shape, rng, sharpness=8.0)
+    return base * np.exp(0.3 * spectral_field(shape, 2.5, rng))
+
+
+def _segsalt(field: str, shape, rng) -> np.ndarray:
+    if field == "Velocity":
+        model = layered_model(shape, rng)
+        salt = salt_body(shape, rng)
+        return np.where(salt > 0, salt, model)
+    # pressure wavefield snapshots at two times
+    t = 0.45 if field == "Pressure2000" else 0.8
+    return point_source_wavefield(shape, rng, t=t)
+
+
+def _scale(field: str, shape, rng) -> np.ndarray:
+    if field in ("U", "V", "W"):
+        return spectral_field(shape, 3.6, rng, cutoff_frac=0.15) * (
+            1.0 - 0.5 * np.linspace(0, 1, shape[0])[:, None, None]
+        )
+    if field in ("T", "PRES", "RH"):
+        strat = np.linspace(1, 0, shape[0])[:, None, None]
+        return strat + 0.1 * spectral_field(shape, 3.8, rng, cutoff_frac=0.15)
+    # hydrometeor species: sparse non-negative cells
+    cells = front_field(shape, rng, sharpness=12.0)
+    return np.maximum(cells - 0.6, 0.0) * 2.5
+
+
+def _s3d(field: str, shape, rng) -> np.ndarray:
+    if field == "temperature":
+        return 300.0 + 1500.0 * front_field(shape, rng)
+    if field == "pressure":
+        return 1.0e5 * (1.0 + 0.02 * spectral_field(shape, 4.2, rng, cutoff_frac=0.15))
+    if field.startswith("velocity"):
+        return 10.0 * spectral_field(shape, 3.67, rng, cutoff_frac=0.15)
+    # species mass fractions: fronts, partially consumed
+    f = front_field(shape, rng)
+    if field in ("Y_CH4", "Y_O2"):
+        return 0.2 * (1.0 - f)
+    return 0.15 * f * np.exp(0.2 * spectral_field(shape, 4.0, rng, cutoff_frac=0.12))
+
+
+def _cesm(field: str, shape, rng) -> np.ndarray:
+    return lat_lon_climate(shape, rng)
+
+
+def _rtm(field: str, shape, rng) -> np.ndarray:
+    # 4-D (t, z, y, x): expanding wavefront over time steps
+    nt = shape[0]
+    vol_shape = shape[1:]
+    out = np.empty(shape)
+    center = tuple(rng.uniform(0.3, 0.7, 3))
+    for i, t in enumerate(np.linspace(0.15, 0.9, nt)):
+        out[i] = point_source_wavefield(vol_shape, rng, t=t, center=center)
+    return out
+
+
+_DISPATCH = {
+    "miranda": _miranda,
+    "hurricane": _hurricane,
+    "segsalt": _segsalt,
+    "scale": _scale,
+    "s3d": _s3d,
+    "cesm": _cesm,
+    "rtm": _rtm,
+}

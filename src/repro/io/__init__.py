@@ -1,0 +1,5 @@
+"""File I/O: raw/npy arrays and multi-field compressed archives."""
+from .arrays import infer_dtype, load_array, parse_dims, save_array
+from .container import Archive
+
+__all__ = ["load_array", "save_array", "infer_dtype", "parse_dims", "Archive"]

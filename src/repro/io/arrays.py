@@ -1,0 +1,72 @@
+"""Raw binary array I/O with the SZ-community file conventions.
+
+The benchmark datasets are distributed as headerless binary files whose
+dtype is encoded in the extension (``.f32``/``.f64``/``.d64``) and whose
+dimensions come from the file name or an explicit argument — these helpers
+read/write that convention alongside ``.npy``.
+"""
+from __future__ import annotations
+
+import pathlib
+import re
+
+import numpy as np
+
+__all__ = ["load_array", "save_array", "infer_dtype", "parse_dims"]
+
+_EXT_DTYPES = {
+    ".f32": np.float32,
+    ".f64": np.float64,
+    ".d64": np.float64,
+    ".dat": np.float32,
+}
+
+_DIMS_RE = re.compile(r"(\d+(?:x\d+)+)")
+
+
+def infer_dtype(path: str | pathlib.Path) -> np.dtype:
+    """Dtype from the extension (``.f32``, ``.f64``, ``.d64``, ``.dat``)."""
+    ext = pathlib.Path(path).suffix.lower()
+    if ext not in _EXT_DTYPES:
+        raise ValueError(f"cannot infer dtype from extension {ext!r}")
+    return np.dtype(_EXT_DTYPES[ext])
+
+
+def parse_dims(path: str | pathlib.Path) -> tuple[int, ...] | None:
+    """Dimensions embedded in a filename like ``CLOUD_100x500x500.f32``."""
+    m = _DIMS_RE.search(pathlib.Path(path).stem)
+    if not m:
+        return None
+    return tuple(int(d) for d in m.group(1).split("x"))
+
+
+def load_array(
+    path: str | pathlib.Path,
+    shape: tuple[int, ...] | None = None,
+    dtype: np.dtype | None = None,
+) -> np.ndarray:
+    """Load ``.npy`` or raw binary (dtype/shape inferred where possible)."""
+    path = pathlib.Path(path)
+    if path.suffix.lower() == ".npy":
+        return np.load(path)
+    dtype = np.dtype(dtype) if dtype is not None else infer_dtype(path)
+    shape = shape if shape is not None else parse_dims(path)
+    data = np.fromfile(path, dtype=dtype)
+    if shape is not None:
+        expected = int(np.prod(shape))
+        if expected != data.size:
+            raise ValueError(
+                f"{path}: file holds {data.size} values, shape {shape} needs {expected}"
+            )
+        data = data.reshape(shape)
+    return data
+
+
+def save_array(path: str | pathlib.Path, data: np.ndarray) -> None:
+    """Save ``.npy`` or raw binary matching the extension's dtype."""
+    path = pathlib.Path(path)
+    if path.suffix.lower() == ".npy":
+        np.save(path, data)
+        return
+    dtype = infer_dtype(path)
+    np.ascontiguousarray(data, dtype=dtype).tofile(path)

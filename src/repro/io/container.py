@@ -1,0 +1,117 @@
+"""Multi-field compressed archive.
+
+One file holding many named compressed blobs (e.g. all 13 Hurricane fields,
+or 3600 RTM slices) with an index, supporting appends and selective reads —
+the on-disk format the parallel transfer pipeline writes.
+
+Layout: ``RARC`` magic, then blob payloads back to back, then a JSON index
+``{name: [offset, size]}``, then the little-endian u64 index offset and the
+closing magic.  Appending rewrites only the tail (index + footer).
+"""
+from __future__ import annotations
+
+import json
+import pathlib
+import struct
+
+__all__ = ["Archive"]
+
+_MAGIC = b"RARC"
+_FOOT = b"CRAR"
+
+
+class Archive:
+    """Append/read interface over the archive file format."""
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+
+    # -- writing ------------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | pathlib.Path) -> "Archive":
+        arch = cls(path)
+        with open(arch.path, "wb") as f:
+            f.write(_MAGIC)
+        arch._write_index({})
+        return arch
+
+    def append(self, name: str, blob: bytes) -> None:
+        index = self._read_index()
+        if name in index:
+            raise KeyError(f"entry {name!r} already exists")
+        # the payload region ends where the index begins; new blobs overwrite
+        # the index, which is rewritten after them
+        idx_off = self._index_offset()
+        with open(self.path, "r+b") as f:
+            f.seek(idx_off)
+            f.write(blob)
+        index[name] = [idx_off, len(blob)]
+        self._write_index(index, payload_end=idx_off + len(blob))
+
+    def append_many(self, blobs: dict[str, bytes]) -> None:
+        index = self._read_index()
+        for name in blobs:
+            if name in index:
+                raise KeyError(f"entry {name!r} already exists")
+        idx_off = self._index_offset()
+        with open(self.path, "r+b") as f:
+            f.seek(idx_off)
+            pos = idx_off
+            for name, blob in blobs.items():
+                f.write(blob)
+                index[name] = [pos, len(blob)]
+                pos += len(blob)
+        self._write_index(index, payload_end=pos)
+
+    # -- reading --------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return list(self._read_index())
+
+    def read(self, name: str) -> bytes:
+        index = self._read_index()
+        if name not in index:
+            raise KeyError(f"no entry {name!r}; have {list(index)}")
+        off, size = index[name]
+        with open(self.path, "rb") as f:
+            f.seek(off)
+            return f.read(size)
+
+    def sizes(self) -> dict[str, int]:
+        return {k: v[1] for k, v in self._read_index().items()}
+
+    def total_bytes(self) -> int:
+        return self.path.stat().st_size
+
+    # -- internals -------------------------------------------------------------
+
+    def _index_offset(self) -> int:
+        with open(self.path, "rb") as f:
+            if f.read(4) != _MAGIC:
+                raise ValueError(f"{self.path} is not an archive")
+            f.seek(-12, 2)
+            tail = f.read(12)
+        (idx_off,) = struct.unpack("<Q", tail[:8])
+        if tail[8:] != _FOOT:
+            raise ValueError("archive footer corrupt")
+        return idx_off
+
+    def _read_index(self) -> dict[str, list[int]]:
+        idx_off = self._index_offset()
+        end = self.path.stat().st_size - 12
+        with open(self.path, "rb") as f:
+            f.seek(idx_off)
+            raw = f.read(end - idx_off)
+        return json.loads(raw.decode()) if raw else {}
+
+    def _write_index(self, index: dict[str, list[int]], payload_end: int | None = None) -> None:
+        if payload_end is None:
+            payload_end = 4  # fresh archive: payload starts after the magic
+        raw = json.dumps(index, separators=(",", ":")).encode()
+        with open(self.path, "r+b") as f:
+            f.seek(payload_end)
+            f.write(raw)
+            f.write(struct.pack("<Q", payload_end))
+            f.write(_FOOT)
+            f.truncate()

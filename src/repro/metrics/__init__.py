@@ -1,0 +1,18 @@
+"""Quality/rate metrics and the shared evaluation harness."""
+from ..core.characterize import shannon_entropy
+from .errors import max_abs_error, max_rel_error, mse, nrmse, psnr
+from .evaluate import EvalResult, evaluate
+from .rate import bitrate, compression_ratio
+
+__all__ = [
+    "mse",
+    "psnr",
+    "max_abs_error",
+    "max_rel_error",
+    "nrmse",
+    "compression_ratio",
+    "bitrate",
+    "shannon_entropy",
+    "EvalResult",
+    "evaluate",
+]

@@ -1,0 +1,73 @@
+"""One-call compressor evaluation used by every benchmark."""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compressors.base import Compressor
+from ..utils.timer import throughput_mbs
+from .errors import max_abs_error, max_rel_error, psnr
+from .rate import bitrate, compression_ratio
+
+__all__ = ["EvalResult", "evaluate"]
+
+
+@dataclass
+class EvalResult:
+    """Everything the paper reports per evaluation point."""
+
+    compressor: str
+    error_bound: float
+    cr: float
+    bitrate: float
+    psnr: float
+    max_abs_error: float
+    max_rel_error: float
+    compress_seconds: float
+    decompress_seconds: float
+    compress_mbs: float
+    decompress_mbs: float
+    compressed_bytes: int
+
+    def row(self) -> dict[str, float | str]:
+        return {
+            "compressor": self.compressor,
+            "eb": self.error_bound,
+            "CR": round(self.cr, 2),
+            "bitrate": round(self.bitrate, 4),
+            "PSNR": round(self.psnr, 2),
+            "max_rel_err": float(f"{self.max_rel_error:.3g}"),
+            "S_C (MB/s)": round(self.compress_mbs, 2),
+            "S_D (MB/s)": round(self.decompress_mbs, 2),
+        }
+
+
+def evaluate(comp: Compressor, data: np.ndarray, label: str | None = None) -> EvalResult:
+    """Compress + decompress once, verifying the bound, collecting the
+    metrics every table/figure of the paper reports."""
+    t0 = time.perf_counter()
+    blob = comp.compress(data)
+    t1 = time.perf_counter()
+    out = comp.decompress(blob)
+    t2 = time.perf_counter()
+    err = max_abs_error(data, out)
+    if err > comp.error_bound * (1 + 1e-9):
+        raise AssertionError(
+            f"{comp.name}: error bound violated ({err} > {comp.error_bound})"
+        )
+    return EvalResult(
+        compressor=label or comp.name,
+        error_bound=comp.error_bound,
+        cr=compression_ratio(data, len(blob)),
+        bitrate=bitrate(data, len(blob)),
+        psnr=psnr(data, out),
+        max_abs_error=err,
+        max_rel_error=max_rel_error(data, out),
+        compress_seconds=t1 - t0,
+        decompress_seconds=t2 - t1,
+        compress_mbs=throughput_mbs(data.nbytes, t1 - t0),
+        decompress_mbs=throughput_mbs(data.nbytes, t2 - t1),
+        compressed_bytes=len(blob),
+    )

@@ -1,0 +1,18 @@
+"""Rate metrics: compression ratio and bit-rate (Section III-A)."""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compression_ratio", "bitrate"]
+
+
+def compression_ratio(data: np.ndarray, compressed_bytes: int) -> float:
+    if compressed_bytes <= 0:
+        raise ValueError("compressed size must be positive")
+    return data.nbytes / compressed_bytes
+
+
+def bitrate(data: np.ndarray, compressed_bytes: int) -> float:
+    """Average bits per data point in the compressed file (32/CR or 64/CR
+    for single/double precision, per the paper)."""
+    return 8.0 * compressed_bytes / data.size

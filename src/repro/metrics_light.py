@@ -1,0 +1,14 @@
+"""Tiny metric helpers usable from inside compressors without importing the
+full metrics package (avoids a circular import: metrics -> compressors)."""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["psnr_estimate"]
+
+
+def psnr_estimate(original: np.ndarray, decoded: np.ndarray, value_range: float) -> float:
+    mse = float(np.mean((original.astype(np.float64) - decoded.astype(np.float64)) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 20.0 * np.log10(value_range / np.sqrt(mse))

@@ -1,0 +1,82 @@
+"""Error-bound modes beyond plain absolute bounds.
+
+Real SZ supports three user-facing bound modes: absolute (``ABS``, the
+compressors' native mode), value-range relative (``REL``), and point-wise
+relative (``PW_REL``).  ``REL`` is a one-line scale; ``PW_REL`` — each
+point's error bounded by ``rel * |value|`` — is implemented the standard
+way: compress ``log(data)`` with the absolute bound ``log(1 + rel)``, which
+provably yields ``|d' - d| <= rel * |d|`` point-wise.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from .compressors import Compressor, decompress_any, get_compressor
+from .compressors.base import Blob
+from .core.config import QPConfig
+
+__all__ = ["relative_bound", "PointwiseRelativeCompressor"]
+
+
+def relative_bound(data: np.ndarray, rel: float) -> float:
+    """Absolute bound equivalent to a value-range-relative bound (REL mode)."""
+    if rel <= 0:
+        raise ValueError("rel must be positive")
+    return rel * float(data.max() - data.min())
+
+
+class PointwiseRelativeCompressor:
+    """PW_REL mode: ``|d' - d| <= rel * |d|`` at every point.
+
+    Requires strictly positive data (the standard log-transform PW_REL; SZ
+    imposes the same restriction modulo sign bookkeeping).  Compression runs
+    the chosen base compressor on ``log(data)`` with absolute bound
+    ``log(1 + rel)``; since ``|log d' - log d| <= log(1+rel)`` implies
+    ``d'/d`` within ``[1/(1+rel), 1+rel]``, the point-wise relative bound
+    follows.
+    """
+
+    def __init__(
+        self,
+        base: str,
+        rel: float,
+        qp: QPConfig | None = None,
+        **kwargs,
+    ) -> None:
+        if rel <= 0:
+            raise ValueError("rel must be positive")
+        self.base = base
+        self.rel = float(rel)
+        self.qp = qp
+        self.kwargs = kwargs
+
+    def _base_compressor(self) -> Compressor:
+        eb = float(np.log1p(self.rel))
+        kwargs = dict(self.kwargs)
+        if self.base in ("mgard", "sz3", "qoz", "hpez", "sperr"):
+            kwargs.setdefault("qp", self.qp or QPConfig.disabled())
+        return get_compressor(self.base, eb, **kwargs)
+
+    def compress(self, data: np.ndarray) -> bytes:
+        data = np.asarray(data)
+        if (data <= 0).any():
+            raise ValueError(
+                "PW_REL mode requires strictly positive data "
+                "(shift or split by sign first)"
+            )
+        logd = np.log(data.astype(np.float64))
+        blob = self._base_compressor().compress(logd)
+        # annotate the blob so decompression knows to exponentiate
+        b = Blob.from_bytes(blob)
+        b.header["pw_rel"] = self.rel
+        b.header["pw_rel_dtype"] = data.dtype.str
+        return b.to_bytes()
+
+    @staticmethod
+    def decompress(blob: bytes) -> np.ndarray:
+        b = Blob.from_bytes(blob)
+        if "pw_rel" not in b.header:
+            raise ValueError("not a PW_REL blob")
+        dtype = np.dtype(b.header["pw_rel_dtype"])
+        logd = decompress_any(b.to_bytes())
+        return np.exp(logd).astype(dtype)

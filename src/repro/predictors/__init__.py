@@ -1,0 +1,11 @@
+"""Data-domain predictors: multilevel interpolation kernels and Lorenzo."""
+from .interpolation import INTERP_METHODS, predict_midpoints
+from .lorenzo import LorenzoResult, lorenzo_decode, lorenzo_encode
+
+__all__ = [
+    "INTERP_METHODS",
+    "predict_midpoints",
+    "LorenzoResult",
+    "lorenzo_encode",
+    "lorenzo_decode",
+]

@@ -1,0 +1,51 @@
+"""Block linear-regression predictor (the SZ2 lineage, paper ref [5]).
+
+Each block is approximated by a fitted hyperplane
+``f(i0..ik) = b0 + sum_a b_a * i_a``; residuals go through the usual
+linear-scaling quantizer.  On a regular grid the least-squares fit
+diagonalizes after centering the coordinates, so the coefficients come from
+closed-form sums — fully vectorized per block.
+
+This predictor is exposed as ``SZ3(predictor="regression")`` to provide the
+pre-interpolation baseline the paper's related-work section describes.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fit_plane", "plane_prediction", "REGRESSION_BLOCK"]
+
+REGRESSION_BLOCK = 6  # SZ2's default regression block size
+
+
+def _centered_coords(shape: tuple[int, ...]) -> list[np.ndarray]:
+    coords = []
+    for ax, n in enumerate(shape):
+        c = np.arange(n, dtype=np.float64) - (n - 1) / 2.0
+        sl = [None] * len(shape)
+        sl[ax] = slice(None)
+        coords.append(c[tuple(sl)])
+    return coords
+
+
+def fit_plane(block: np.ndarray) -> np.ndarray:
+    """Least-squares hyperplane coefficients ``[b0, b1, ..., bd]`` for a
+    block on the regular grid (centered-coordinate closed form)."""
+    b = block.astype(np.float64)
+    coeffs = [b.mean()]
+    for ax, c in enumerate(_centered_coords(block.shape)):
+        denom = float((c**2).sum()) * b.size / block.shape[ax]
+        if denom == 0:
+            coeffs.append(0.0)
+        else:
+            coeffs.append(float((b * c).sum()) / denom)
+    return np.array(coeffs, dtype=np.float32)
+
+
+def plane_prediction(shape: tuple[int, ...], coeffs: np.ndarray) -> np.ndarray:
+    """Evaluate the fitted hyperplane over the block grid."""
+    coeffs = coeffs.astype(np.float64)
+    pred = np.full(shape, coeffs[0], dtype=np.float64)
+    for ax, c in enumerate(_centered_coords(shape)):
+        pred = pred + coeffs[1 + ax] * c
+    return pred

@@ -1,0 +1,12 @@
+"""Quantity-of-interest preserving compression (Table I's QoI column)."""
+from .bounds import IsolineQoI, LogQoI, QoISpec, RegionalAverageQoI, SquareQoI
+from .compressor import QoIPreservingCompressor
+
+__all__ = [
+    "QoISpec",
+    "SquareQoI",
+    "LogQoI",
+    "IsolineQoI",
+    "RegionalAverageQoI",
+    "QoIPreservingCompressor",
+]

@@ -1,0 +1,4 @@
+"""Quantization stage."""
+from .linear import LinearQuantizer, QuantResult
+
+__all__ = ["LinearQuantizer", "QuantResult"]

@@ -1,0 +1,106 @@
+"""Linear-scaling quantizer with unpredictable-data handling.
+
+This is the quantization stage shared by all SZ-family ports (Section IV-A of
+the paper): ``q = round((d - p) / 2e)``.  Indices whose magnitude reaches the
+quantizer radius — or whose reconstruction would violate the error bound due
+to floating-point rounding — are *unpredictable*: they receive the sentinel
+index ``UNPREDICTABLE`` and their original values are stored losslessly in a
+side stream, exactly as SZ3 does.
+
+All operations are vectorized over whole pass arrays; the quantizer never
+loops over data points.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearQuantizer", "QuantResult"]
+
+
+@dataclass
+class QuantResult:
+    """Outcome of quantizing one prediction pass.
+
+    ``indices``   signed quantization indices; sentinel at unpredictable points
+    ``decoded``   reconstructed values (bit-identical to decompression output)
+    ``literals``  original values at unpredictable points, in C order
+    """
+
+    indices: np.ndarray
+    decoded: np.ndarray
+    literals: np.ndarray
+
+
+class LinearQuantizer:
+    """Uniform scalar quantizer ``q = round((d - p) / 2e)`` with radius cap.
+
+    Parameters
+    ----------
+    error_bound:
+        Absolute point-wise error bound ``e``; reconstruction satisfies
+        ``|d - d'| <= e`` at predictable points and ``d' == d`` at
+        unpredictable ones.
+    radius:
+        Half the quantizer capacity. Indices with ``|q| >= radius`` are
+        stored as literals (SZ3 default capacity 65536 -> radius 32768).
+    """
+
+    def __init__(self, error_bound: float, radius: int = 32768) -> None:
+        if error_bound <= 0:
+            raise ValueError("error_bound must be positive")
+        if radius < 2:
+            raise ValueError("radius must be >= 2")
+        self.error_bound = float(error_bound)
+        self.radius = int(radius)
+
+    @property
+    def sentinel(self) -> int:
+        """Index value marking unpredictable points (outside [-radius, radius))."""
+        return -self.radius
+
+    def quantize(self, values: np.ndarray, preds: np.ndarray) -> QuantResult:
+        """Quantize ``values`` against predictions; both may be any shape."""
+        values = np.asarray(values)
+        preds = np.asarray(preds, dtype=values.dtype)
+        two_eb = 2.0 * self.error_bound
+        diff = values.astype(np.float64) - preds.astype(np.float64)
+        q = np.rint(diff / two_eb)
+        unpred = np.abs(q) >= self.radius
+        q[unpred] = 0.0
+        qi = q.astype(np.int64)
+        decoded = (preds.astype(np.float64) + two_eb * q).astype(values.dtype)
+        # Floating-point guard: reject any point whose reconstruction misses
+        # the bound (can happen at extreme magnitudes), mirroring SZ3.
+        bad = np.abs(decoded.astype(np.float64) - values.astype(np.float64)) > self.error_bound
+        unpred |= bad
+        qi[unpred] = self.sentinel
+        decoded = np.where(unpred, values, decoded)
+        return QuantResult(indices=qi, decoded=decoded, literals=values[unpred].ravel())
+
+    def dequantize(
+        self, indices: np.ndarray, preds: np.ndarray, literals: np.ndarray
+    ) -> np.ndarray:
+        """Invert :meth:`quantize` for one pass.
+
+        ``literals`` must contain exactly the unpredictable values of this
+        pass, in C order; a mismatch raises.
+        """
+        indices = np.asarray(indices)
+        preds = np.asarray(preds)
+        unpred = indices == self.sentinel
+        n_unpred = int(unpred.sum())
+        if n_unpred != literals.size:
+            raise ValueError(
+                f"literal count mismatch: mask has {n_unpred}, stream has {literals.size}"
+            )
+        two_eb = 2.0 * self.error_bound
+        out = (preds.astype(np.float64) + two_eb * indices).astype(preds.dtype)
+        if n_unpred:
+            out[unpred] = literals.astype(preds.dtype)
+        return out
+
+    def split_literals(self, indices: np.ndarray, literals: np.ndarray, counts_done: int) -> np.ndarray:
+        """Helper: how many literals the given index block consumes."""
+        return int((indices == self.sentinel).sum())

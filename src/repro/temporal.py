@@ -1,0 +1,100 @@
+"""Temporal compression for time-series volumes (RTM-style 4-D data).
+
+Real SZ offers a time-dimension mode: each snapshot is predicted from the
+*decoded* previous snapshot and only the residual is compressed, which pays
+whenever consecutive snapshots are similar (a wavefront moves a few cells
+per step).  Because the residual is formed against decoded data, errors do
+not accumulate across time — every frame satisfies the point-wise bound
+independently.
+
+Frames are independent blobs inside one container, so any frame decodes
+after decoding only its predecessors (or instantly for keyframes).
+"""
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .compressors import decompress_any, get_compressor
+from .core.config import QPConfig
+
+__all__ = ["TemporalCompressor"]
+
+_MAGIC = b"RTMP"
+
+
+class TemporalCompressor:
+    """Compress a (time, *spatial) array with inter-frame prediction.
+
+    ``keyframe_interval`` bounds random-access cost: every k-th frame is
+    coded without temporal prediction.
+    """
+
+    def __init__(
+        self,
+        base: str,
+        error_bound: float,
+        keyframe_interval: int = 16,
+        qp: QPConfig | None = None,
+        **kwargs,
+    ) -> None:
+        if keyframe_interval < 1:
+            raise ValueError("keyframe_interval must be >= 1")
+        self.base = base
+        self.error_bound = float(error_bound)
+        self.keyframe_interval = keyframe_interval
+        self.qp = qp or QPConfig.disabled()
+        self.kwargs = kwargs
+
+    def _compressor(self):
+        kwargs = dict(self.kwargs)
+        if self.base in ("mgard", "sz3", "qoz", "hpez", "sperr"):
+            kwargs["qp"] = self.qp
+        return get_compressor(self.base, self.error_bound, **kwargs)
+
+    def compress(self, data: np.ndarray) -> bytes:
+        data = np.asarray(data)
+        if data.ndim < 2:
+            raise ValueError("temporal compression needs a time axis plus space")
+        comp = self._compressor()
+        blobs: list[bytes] = []
+        prev_decoded: np.ndarray | None = None
+        for t in range(data.shape[0]):
+            frame = np.ascontiguousarray(data[t])
+            if prev_decoded is None or t % self.keyframe_interval == 0:
+                blob = comp.compress(frame)
+                decoded = decompress_any(blob)
+            else:
+                residual = frame - prev_decoded
+                blob = comp.compress(residual)
+                decoded = prev_decoded + decompress_any(blob)
+            blobs.append(blob)
+            prev_decoded = decoded
+        head = _MAGIC + struct.pack(
+            "<IQ", self.keyframe_interval, data.shape[0]
+        )
+        body = b"".join(struct.pack("<Q", len(b)) + b for b in blobs)
+        return head + body
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        if blob[:4] != _MAGIC:
+            raise ValueError("not a temporal container")
+        key_int, n_frames = struct.unpack_from("<IQ", blob, 4)
+        off = 16
+        frames = []
+        prev: np.ndarray | None = None
+        for t in range(n_frames):
+            (size,) = struct.unpack_from("<Q", blob, off)
+            off += 8
+            part = decompress_any(blob[off:off + size])
+            off += size
+            if prev is None or t % key_int == 0:
+                decoded = part
+            else:
+                decoded = prev + part
+            frames.append(decoded)
+            prev = decoded
+        if off != len(blob):
+            raise ValueError("temporal container corrupt")
+        return np.stack(frames, axis=0)

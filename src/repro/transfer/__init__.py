@@ -1,0 +1,33 @@
+"""Parallel end-to-end data-transfer pipeline (measurement + scaling model)."""
+from .disk import DiskPipelineResult, run_disk_pipeline
+from .pipeline import (
+    PAPER_LINK_MBS,
+    LinkConfig,
+    PipelineTimes,
+    SliceMeasurement,
+    measure_slices,
+    simulate_pipeline,
+    vanilla_transfer_seconds,
+)
+from .scaling import (
+    PAPER_CORE_COUNTS,
+    ScalingComparison,
+    compare_strong_scaling,
+    gain_vs_bandwidth,
+)
+
+__all__ = [
+    "DiskPipelineResult",
+    "run_disk_pipeline",
+    "PAPER_LINK_MBS",
+    "LinkConfig",
+    "PipelineTimes",
+    "SliceMeasurement",
+    "measure_slices",
+    "simulate_pipeline",
+    "vanilla_transfer_seconds",
+    "PAPER_CORE_COUNTS",
+    "ScalingComparison",
+    "compare_strong_scaling",
+    "gain_vs_bandwidth",
+]

@@ -1,0 +1,53 @@
+"""Strong-scaling comparison helpers for the Fig. 18 experiment."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .pipeline import LinkConfig, PipelineTimes, SliceMeasurement, simulate_pipeline
+
+__all__ = ["ScalingComparison", "compare_strong_scaling", "gain_vs_bandwidth"]
+
+PAPER_CORE_COUNTS = (225, 450, 900, 1800)
+
+
+@dataclass
+class ScalingComparison:
+    """Base vs +QP pipeline times across core counts."""
+
+    base: list[PipelineTimes]
+    qp: list[PipelineTimes]
+
+    def gains(self) -> list[float]:
+        """End-to-end speedup of +QP over the base, per core count."""
+        return [b.total / q.total for b, q in zip(self.base, self.qp)]
+
+
+def compare_strong_scaling(
+    base_m: SliceMeasurement,
+    qp_m: SliceMeasurement,
+    cores: tuple[int, ...] = PAPER_CORE_COUNTS,
+    link: LinkConfig = LinkConfig(),
+    scale_to_slices: int | None = None,
+) -> ScalingComparison:
+    return ScalingComparison(
+        base=[simulate_pipeline(base_m, c, link, scale_to_slices) for c in cores],
+        qp=[simulate_pipeline(qp_m, c, link, scale_to_slices) for c in cores],
+    )
+
+
+def gain_vs_bandwidth(
+    base_m: SliceMeasurement,
+    qp_m: SliceMeasurement,
+    cores: int,
+    multipliers: tuple[float, ...] = (1.0, 2.0, 4.0),
+    scale_to_slices: int | None = None,
+) -> list[tuple[float, float]]:
+    """The paper's sensitivity argument: doubling the link bandwidth shrinks
+    QP's end-to-end gain (16% -> 11%).  Returns (multiplier, gain) pairs."""
+    out = []
+    for mult in multipliers:
+        link = LinkConfig(link_mbs=LinkConfig().link_mbs * mult)
+        b = simulate_pipeline(base_m, cores, link, scale_to_slices)
+        q = simulate_pipeline(qp_m, cores, link, scale_to_slices)
+        out.append((mult, b.total / q.total))
+    return out

@@ -1,0 +1,21 @@
+"""Shared utilities: level math, blocks, validation, timing."""
+from .blocks import block_grid_shape, iter_blocks, pad_to_multiple
+from .levels import Pass, anchor_slices, anchor_stride, level_passes, num_levels, pass_sizes
+from .timer import Stopwatch, throughput_mbs
+from .validation import check_error_bound, check_ndarray
+
+__all__ = [
+    "Pass",
+    "anchor_slices",
+    "anchor_stride",
+    "level_passes",
+    "num_levels",
+    "pass_sizes",
+    "block_grid_shape",
+    "iter_blocks",
+    "pad_to_multiple",
+    "Stopwatch",
+    "throughput_mbs",
+    "check_ndarray",
+    "check_error_bound",
+]

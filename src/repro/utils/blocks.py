@@ -1,0 +1,30 @@
+"""Block decomposition helpers (HPEZ-style 32^d tuning blocks, ZFP 4^d)."""
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["iter_blocks", "block_grid_shape", "pad_to_multiple"]
+
+
+def block_grid_shape(shape: tuple[int, ...], block: int) -> tuple[int, ...]:
+    return tuple(-(-n // block) for n in shape)
+
+
+def iter_blocks(shape: tuple[int, ...], block: int) -> Iterator[tuple[slice, ...]]:
+    """Yield slice tuples tiling ``shape`` with ``block``-sized cubes
+    (edge blocks are smaller)."""
+    grid = block_grid_shape(shape, block)
+    for idx in np.ndindex(*grid):
+        yield tuple(
+            slice(i * block, min((i + 1) * block, n)) for i, n in zip(idx, shape)
+        )
+
+
+def pad_to_multiple(data: np.ndarray, multiple: int, mode: str = "edge") -> np.ndarray:
+    """Pad every axis up to the next multiple (used by ZFP/SPERR blocks)."""
+    pads = [(0, (-n) % multiple) for n in data.shape]
+    if all(p == (0, 0) for p in pads):
+        return data
+    return np.pad(data, pads, mode=mode)

@@ -1,0 +1,33 @@
+"""Lightweight wall-clock timing helpers for the speed experiments."""
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "throughput_mbs"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named wall-clock segments (compression, encode, ...)."""
+
+    totals: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] = self.totals.get(name, 0.0) + time.perf_counter() - start
+
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+
+def throughput_mbs(nbytes: int, seconds: float) -> float:
+    """Throughput in MB/s (paper convention, 1 MB = 1e6 bytes)."""
+    if seconds <= 0:
+        return float("inf")
+    return nbytes / 1e6 / seconds

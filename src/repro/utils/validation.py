@@ -1,0 +1,29 @@
+"""Shared input validation helpers."""
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_ndarray", "check_error_bound"]
+
+_SUPPORTED_DTYPES = (np.float32, np.float64)
+
+
+def check_ndarray(data: np.ndarray, min_ndim: int = 1, max_ndim: int = 4) -> np.ndarray:
+    """Validate and canonicalize compressor input (C-contiguous float array)."""
+    data = np.asarray(data)
+    if data.dtype not in [np.dtype(d) for d in _SUPPORTED_DTYPES]:
+        raise TypeError(f"unsupported dtype {data.dtype}; use float32/float64")
+    if not (min_ndim <= data.ndim <= max_ndim):
+        raise ValueError(f"expected {min_ndim}..{max_ndim}-D data, got {data.ndim}-D")
+    if data.size == 0:
+        raise ValueError("empty input")
+    if not np.isfinite(data).all():
+        raise ValueError("input contains NaN or Inf")
+    return np.ascontiguousarray(data)
+
+
+def check_error_bound(eb: float) -> float:
+    eb = float(eb)
+    if not np.isfinite(eb) or eb <= 0:
+        raise ValueError(f"error bound must be finite and positive, got {eb}")
+    return eb

@@ -1,0 +1,50 @@
+"""Tests for the rate-distortion sweep harness and table rendering."""
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, max_cr_gain, qp_comparison, rd_sweep
+from repro.core import QPConfig
+
+
+@pytest.fixture(scope="module")
+def small_field():
+    n = 40
+    x, y, z = np.meshgrid(*[np.linspace(0, 1, n)] * 3, indexing="ij")
+    return (np.sin(5 * np.pi * x) * np.cos(3 * np.pi * y) * (1 - z)).astype(np.float32)
+
+
+def test_rd_sweep_monotone(small_field):
+    results = rd_sweep("sz3", small_field, rel_bounds=(1e-2, 1e-3, 1e-4))
+    crs = [r.cr for r in results]
+    psnrs = [r.psnr for r in results]
+    # tighter bounds -> lower CR, higher PSNR
+    assert crs[0] > crs[-1]
+    assert psnrs[0] < psnrs[-1]
+
+
+def test_qp_comparison_same_psnr(small_field):
+    points = qp_comparison("sz3", small_field, rel_bounds=(1e-3, 1e-4),
+                           predictor="interp")
+    for p in points:
+        assert p.base.psnr == pytest.approx(p.qp.psnr, abs=1e-9)
+        assert p.qp.max_abs_error == p.base.max_abs_error
+
+
+def test_max_cr_gain_annotation(small_field):
+    points = qp_comparison("sz3", small_field, rel_bounds=(1e-3, 1e-4),
+                           predictor="interp")
+    gain, at_psnr = max_cr_gain(points)
+    assert np.isfinite(gain)
+    assert at_psnr > 0
+
+
+def test_rd_sweep_transform_compressor(small_field):
+    results = rd_sweep("sperr", small_field, rel_bounds=(1e-2,))
+    assert results[0].cr > 1
+
+
+def test_format_table():
+    rows = [{"a": 1, "b": 2.5}, {"a": 30, "b": 0.00012}]
+    text = format_table(rows, title="T")
+    assert "T" in text and "a" in text and "30" in text
+    assert format_table([]).startswith("(empty)")

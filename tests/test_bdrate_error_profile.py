@@ -1,0 +1,91 @@
+"""Tests for BD-rate metrics and error-profile analysis."""
+import numpy as np
+import pytest
+
+from repro.analysis import bd_psnr, bd_rate, error_profile
+from repro.compressors import SZ3
+from repro.core import QPConfig
+
+
+class TestBDRate:
+    def test_identical_curves_zero(self):
+        rates = [1.0, 2.0, 4.0, 8.0]
+        psnrs = [40.0, 50.0, 60.0, 70.0]
+        assert bd_rate(rates, psnrs, rates, psnrs) == pytest.approx(0.0, abs=1e-9)
+        assert bd_psnr(rates, psnrs, rates, psnrs) == pytest.approx(0.0, abs=1e-9)
+
+    def test_half_rate_curve(self):
+        rates = np.array([1.0, 2.0, 4.0, 8.0])
+        psnrs = np.array([40.0, 50.0, 60.0, 70.0])
+        # same quality at half the bits -> BD-rate = -50%
+        assert bd_rate(rates, psnrs, rates / 2, psnrs) == pytest.approx(-50.0, abs=1e-6)
+
+    def test_better_psnr_curve(self):
+        rates = np.array([1.0, 2.0, 4.0, 8.0])
+        psnrs = np.array([40.0, 50.0, 60.0, 70.0])
+        assert bd_psnr(rates, psnrs, rates, psnrs + 3) == pytest.approx(3.0, abs=1e-6)
+
+    def test_no_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            bd_rate([1, 2], [10, 20], [1, 2], [30, 40])
+        with pytest.raises(ValueError):
+            bd_psnr([1, 2], [10, 20], [100, 200], [10, 20])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            bd_rate([1], [10], [1, 2], [10, 20])
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            bd_rate([0, 2], [10, 20], [1, 2], [10, 20])
+
+    def test_qp_gives_negative_bdrate(self, smooth_field):
+        """QP shifts curves left, so its BD-rate vs the base is negative."""
+        rates_b, psnrs_b, rates_q, psnrs_q = [], [], [], []
+        for rel in (1e-2, 1e-3, 1e-4):
+            eb = rel * float(smooth_field.max() - smooth_field.min())
+            b = SZ3(eb, predictor="interp")
+            q = SZ3(eb, predictor="interp", qp=QPConfig())
+            sb, sq = len(b.compress(smooth_field)), len(q.compress(smooth_field))
+            out = b.decompress(b.compress(smooth_field))
+            from repro.metrics import psnr
+
+            p = psnr(smooth_field, out)
+            rates_b.append(8 * sb / smooth_field.size)
+            rates_q.append(8 * sq / smooth_field.size)
+            psnrs_b.append(p)
+            psnrs_q.append(p)
+        assert bd_rate(rates_b, psnrs_b, rates_q, psnrs_q) < 0
+
+
+class TestErrorProfile:
+    def test_uniform_quantization_error_profile(self, smooth_field):
+        eb = 1e-3
+        comp = SZ3(eb, predictor="interp")
+        out = comp.decompress(comp.compress(smooth_field))
+        prof = error_profile(smooth_field, out, eb)
+        assert abs(prof.mean_bias) < 0.05
+        # linear quantization: RMS/eb near 1/sqrt(3)
+        assert 0.3 < prof.rms < 0.75
+        assert prof.bound_utilization <= 1.0 + 1e-9
+        # roughly uniform (far from a delta at zero)
+        assert prof.uniformity < 0.6
+
+    def test_zero_error(self):
+        d = np.ones((8, 8))
+        prof = error_profile(d, d.copy(), 0.1)
+        assert prof.rms == 0.0
+        assert prof.bound_utilization == 0.0
+
+    def test_structured_error_has_autocorrelation(self):
+        rng = np.random.default_rng(0)
+        d = rng.normal(0, 1, (64, 64))
+        smooth_err = np.cumsum(rng.normal(0, 1e-3, (64, 64)), axis=0)
+        smooth_err = np.clip(smooth_err, -0.1, 0.1)
+        prof = error_profile(d, d + smooth_err, 0.1)
+        white = error_profile(d, d + rng.uniform(-0.1, 0.1, d.shape), 0.1)
+        assert prof.lag1_autocorr > white.lag1_autocorr + 0.3
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            error_profile(np.ones(4), np.ones(4), 0.0)

@@ -1,0 +1,103 @@
+"""Unit tests for the bit-level I/O substrate."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.bitstream import BitReader, BitWriter, pack_bits, unpack_bits
+
+
+def test_pack_unpack_roundtrip():
+    bits = np.array([1, 0, 1, 1, 0, 0, 1, 0, 1], dtype=np.uint8)
+    packed = pack_bits(bits)
+    assert np.array_equal(unpack_bits(packed, bits.size), bits)
+
+
+def test_unpack_too_many_bits_raises():
+    with pytest.raises(ValueError):
+        unpack_bits(b"\x00", 9)
+
+
+def test_write_read_single_uint():
+    w = BitWriter()
+    w.write_uint(0b1011, 4)
+    r = BitReader(w.getvalue(), nbits=4)
+    assert r.read_uint(4) == 0b1011
+
+
+def test_write_uint_zero_width_is_noop():
+    w = BitWriter()
+    w.write_uint(0, 0)
+    assert len(w) == 0
+
+
+def test_write_uint_overflow_raises():
+    w = BitWriter()
+    with pytest.raises(ValueError):
+        w.write_uint(4, 2)
+    with pytest.raises(ValueError):
+        w.write_uint(-1, 2)
+
+
+def test_write_bit_sequence():
+    w = BitWriter()
+    for b in (1, 0, 1, 1):
+        w.write_bit(b)
+    r = BitReader(w.getvalue(), nbits=4)
+    assert [r.read_bit() for _ in range(4)] == [1, 0, 1, 1]
+
+
+def test_reader_eof():
+    r = BitReader(b"", nbits=0)
+    with pytest.raises(EOFError):
+        r.read_bit()
+    with pytest.raises(EOFError):
+        r.read_uint(1)
+
+
+def test_write_codes_matches_individual_writes():
+    codes = np.array([0b1, 0b10, 0b111, 0b0], dtype=np.uint64)
+    lengths = np.array([1, 2, 3, 2], dtype=np.int64)
+    w1 = BitWriter()
+    w1.write_codes(codes, lengths)
+    w2 = BitWriter()
+    for c, ln in zip(codes, lengths):
+        w2.write_uint(int(c), int(ln))
+    assert w1.getvalue() == w2.getvalue()
+    assert len(w1) == int(lengths.sum())
+
+
+def test_write_codes_empty():
+    w = BitWriter()
+    w.write_codes(np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64))
+    assert w.getvalue() == b""
+
+
+def test_write_codes_shape_mismatch():
+    w = BitWriter()
+    with pytest.raises(ValueError):
+        w.write_codes(np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.int64))
+
+
+def test_reader_bits_view_and_advance():
+    w = BitWriter()
+    w.write_uint(0b10110, 5)
+    r = BitReader(w.getvalue(), nbits=5)
+    r.advance(2)
+    assert np.array_equal(r.bits_view(), np.array([1, 1, 0], dtype=np.uint8))
+    with pytest.raises(EOFError):
+        r.advance(4)
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**20 - 1), st.integers(1, 21)), max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(pairs):
+    """Any sequence of (value, width) pairs round-trips through the stream."""
+    pairs = [(v & ((1 << w) - 1), w) for v, w in pairs]
+    w = BitWriter()
+    for v, width in pairs:
+        w.write_uint(v, width)
+    total = sum(width for _, width in pairs)
+    r = BitReader(w.getvalue(), nbits=total)
+    for v, width in pairs:
+        assert r.read_uint(width) == v

@@ -1,0 +1,69 @@
+"""Tests for the blob container and shared index-stream stages."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compressors.base import (
+    Blob,
+    decode_index_stream,
+    encode_index_stream,
+)
+
+
+class TestBlob:
+    def test_roundtrip(self):
+        b = Blob({"a": 1, "b": [1, 2]}, {"x": b"abc", "y": b""})
+        out = Blob.from_bytes(b.to_bytes())
+        assert out.header["a"] == 1 and out.header["b"] == [1, 2]
+        assert out.sections == {"x": b"abc", "y": b""}
+
+    def test_section_order_preserved(self):
+        b = Blob({}, {"z": b"1", "a": b"22", "m": b"333"})
+        out = Blob.from_bytes(b.to_bytes())
+        assert list(out.sections) == ["z", "a", "m"]
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            Blob.from_bytes(b"XXXX" + b"\x00" * 8)
+
+    def test_trailing_bytes_rejected(self):
+        raw = Blob({}, {"x": b"abc"}).to_bytes()
+        with pytest.raises(ValueError):
+            Blob.from_bytes(raw + b"!")
+
+    def test_no_sections(self):
+        out = Blob.from_bytes(Blob({"k": "v"}, {}).to_bytes())
+        assert out.header["k"] == "v"
+        assert out.sections == {}
+
+
+class TestIndexStream:
+    def test_roundtrip_signed(self):
+        v = np.array([-5, 0, 3, -1, 100, -32768], dtype=np.int64)
+        assert np.array_equal(decode_index_stream(encode_index_stream(v)), v)
+
+    def test_empty(self):
+        out = decode_index_stream(encode_index_stream(np.empty(0, dtype=np.int64)))
+        assert out.size == 0
+
+    def test_all_backends(self):
+        v = np.arange(-50, 50)
+        for backend in ("zlib", "rle", "lz77", "raw"):
+            blob = encode_index_stream(v, backend)
+            assert np.array_equal(decode_index_stream(blob), v)
+
+    def test_compresses_low_entropy(self):
+        v = np.zeros(100000, dtype=np.int64)
+        v[::97] = 1
+        blob = encode_index_stream(v)
+        assert len(blob) < v.size // 8  # far below 1 bit/symbol on average
+
+    @given(
+        hnp.arrays(np.int64, st.integers(0, 3000),
+                   elements=st.integers(-(2**40), 2**40))
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, v):
+        assert np.array_equal(decode_index_stream(encode_index_stream(v)), v)

@@ -1,0 +1,89 @@
+"""Tests for quantization-index characterization tools (Section IV)."""
+import numpy as np
+import pytest
+
+from repro.core import (
+    clustering_stats,
+    plane_slice,
+    regional_entropy,
+    shannon_entropy,
+    slice_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_empty(self):
+        assert shannon_entropy(np.array([])) == 0.0
+
+    def test_constant(self):
+        assert shannon_entropy(np.zeros(100, dtype=int)) == 0.0
+
+    def test_uniform_binary(self):
+        v = np.array([0, 1] * 50)
+        assert shannon_entropy(v) == pytest.approx(1.0)
+
+    def test_uniform_k_symbols(self):
+        v = np.repeat(np.arange(8), 10)
+        assert shannon_entropy(v) == pytest.approx(3.0)
+
+    def test_skew_reduces_entropy(self):
+        balanced = np.array([0, 1] * 50)
+        skewed = np.array([0] * 90 + [1] * 10)
+        assert shannon_entropy(skewed) < shannon_entropy(balanced)
+
+
+class TestPlaneSlice:
+    def setup_method(self):
+        self.vol = np.arange(4 * 5 * 6).reshape(4, 5, 6)
+
+    def test_xy_slice(self):
+        assert np.array_equal(plane_slice(self.vol, "xy", 2), self.vol[2])
+
+    def test_xz_slice(self):
+        assert np.array_equal(plane_slice(self.vol, "xz", 3), self.vol[:, 3, :])
+
+    def test_yz_slice(self):
+        assert np.array_equal(plane_slice(self.vol, "yz", 1), self.vol[:, :, 1])
+
+    def test_stride(self):
+        s = plane_slice(self.vol, "xy", 0, stride=2)
+        assert np.array_equal(s, self.vol[0, ::2, ::2])
+
+    def test_bad_plane(self):
+        with pytest.raises(ValueError):
+            plane_slice(self.vol, "zz", 0)
+
+    def test_bad_ndim(self):
+        with pytest.raises(ValueError):
+            plane_slice(np.zeros((2, 2)), "xy", 0)
+
+
+def test_slice_entropy_shape_and_values():
+    vol = np.zeros((3, 8, 8), dtype=int)
+    vol[1] = np.random.default_rng(0).integers(0, 4, (8, 8))
+    ent = slice_entropy(vol, "xy")
+    assert ent.shape == (3,)
+    assert ent[0] == 0.0 and ent[2] == 0.0 and ent[1] > 0
+
+
+def test_regional_entropy_window():
+    vol = np.zeros((2, 10, 10), dtype=int)
+    vol[0, 2:4, 2:4] = np.arange(4).reshape(2, 2)
+    full = regional_entropy(vol, "xy", 0, (0, 10), (0, 10))
+    window = regional_entropy(vol, "xy", 0, (2, 4), (2, 4))
+    assert window > full  # zoom region is locally diverse
+
+
+def test_clustering_stats_on_clustered_vs_random():
+    rng = np.random.default_rng(1)
+    clustered = np.sign(np.cumsum(rng.normal(0.2, 1, (32, 32)), axis=1)).astype(int)
+    random = rng.integers(-1, 2, (32, 32))
+    cs = clustering_stats(clustered)
+    rs = clustering_stats(random)
+    assert cs.same_sign_neighbour > rs.same_sign_neighbour
+    assert 0 <= cs.nonzero_fraction <= 1
+
+
+def test_clustering_stats_requires_2d():
+    with pytest.raises(ValueError):
+        clustering_stats(np.zeros(5, dtype=int))

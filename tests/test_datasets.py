@@ -1,0 +1,134 @@
+"""Tests for the synthetic dataset generators."""
+import numpy as np
+import pytest
+
+from repro.datasets import DATASETS, generate, generate_all, table3_rows
+from repro.datasets.fields import (
+    front_field,
+    lat_lon_climate,
+    layered_model,
+    point_source_wavefield,
+    salt_body,
+    spectral_field,
+    vortex_field,
+)
+
+
+def test_registry_covers_paper_table3():
+    assert set(DATASETS) == {
+        "miranda", "hurricane", "segsalt", "scale", "s3d", "cesm", "rtm",
+    }
+    assert DATASETS["segsalt"].paper_dims == (1008, 1008, 352)
+    assert DATASETS["rtm"].paper_dims == (3600, 449, 449, 235)
+    assert DATASETS["s3d"].dtype == "f8"
+
+
+def test_table3_rows_complete():
+    rows = table3_rows()
+    assert len(rows) == 7
+    assert all("Dimension (paper)" in r for r in rows)
+
+
+@pytest.mark.parametrize("name", list(DATASETS))
+def test_generate_default_field(name):
+    data = generate(name)
+    info = DATASETS[name]
+    assert data.shape == info.default_dims
+    assert data.dtype == np.dtype(info.dtype)
+    assert np.isfinite(data).all()
+
+
+def test_generate_deterministic():
+    a = generate("miranda", "pressure", seed=1)
+    b = generate("miranda", "pressure", seed=1)
+    assert np.array_equal(a, b)
+    c = generate("miranda", "pressure", seed=2)
+    assert not np.array_equal(a, c)
+
+
+def test_fields_differ():
+    a = generate("miranda", "velocityx")
+    b = generate("miranda", "velocityy")
+    assert not np.array_equal(a, b)
+
+
+def test_generate_custom_shape():
+    data = generate("segsalt", "Velocity", shape=(20, 24, 16))
+    assert data.shape == (20, 24, 16)
+
+
+def test_generate_all_returns_every_field():
+    fields = generate_all("segsalt", shape=(16, 16, 8))
+    assert set(fields) == set(DATASETS["segsalt"].fields)
+
+
+def test_unknown_dataset_and_field():
+    with pytest.raises(KeyError):
+        generate("nyx")
+    with pytest.raises(KeyError):
+        generate("miranda", "entropy_field")
+
+
+class TestFieldPrimitives:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_spectral_field_normalized(self):
+        f = spectral_field((32, 32, 32), 2.0, self.rng)
+        assert abs(f.mean()) < 1e-10
+        assert abs(f.std() - 1.0) < 0.05
+
+    def test_spectral_slope_controls_smoothness(self):
+        rough = spectral_field((64, 64), 1.0, np.random.default_rng(1))
+        smooth = spectral_field((64, 64), 4.0, np.random.default_rng(1))
+        # gradient energy much higher for the shallow spectrum
+        g_rough = np.abs(np.diff(rough, axis=0)).mean()
+        g_smooth = np.abs(np.diff(smooth, axis=0)).mean()
+        assert g_rough > 2 * g_smooth
+
+    def test_layered_model_piecewise(self):
+        m = layered_model((40, 16, 16), self.rng)
+        assert len(np.unique(m)) <= 14  # at most n_layers distinct values
+
+    def test_salt_body_binary(self):
+        s = salt_body((24, 24, 24), self.rng, value=4.8)
+        assert set(np.unique(s)) <= {0.0, 4.8}
+        assert (s > 0).any()
+
+    def test_wavefield_peaks_at_front(self):
+        w = point_source_wavefield((32, 32, 32), self.rng, t=0.4,
+                                   center=(0.5, 0.5, 0.5))
+        # energy concentrated near radius 0.4 from the center
+        assert np.abs(w).max() > 0.1
+
+    def test_vortex_components(self):
+        for comp in ("u", "v", "w", "scalar"):
+            f = vortex_field((8, 32, 32), self.rng, comp)
+            assert np.isfinite(f).all()
+
+    def test_front_field_bounded(self):
+        f = front_field((32, 32), self.rng)
+        assert f.min() >= 0.0 and f.max() <= 1.0
+        # sharp fronts: most mass near 0 or 1
+        mid = ((f > 0.2) & (f < 0.8)).mean()
+        assert mid < 0.35
+
+    def test_climate_zonal_gradient(self):
+        f = lat_lon_climate((8, 48, 96), self.rng)
+        # equator (middle latitude) warmer than poles on average
+        assert f[:, 24, :].mean() > f[:, 0, :].mean()
+
+
+def test_rtm_wavefront_expands():
+    data = generate("rtm", shape=(6, 24, 24, 16))
+    # the energetic shell moves outward over time: later snapshots spread
+    def radius_of_energy(vol):
+        z, y, x = np.meshgrid(*[np.linspace(0, 1, n) for n in vol.shape], indexing="ij")
+        w = vol**2
+        if w.sum() == 0:
+            return 0.0
+        c = [(w * g).sum() / w.sum() for g in (z, y, x)]
+        r = np.sqrt(sum((g - ci) ** 2 for g, ci in zip((z, y, x), c)))
+        return float((w * r).sum() / w.sum())
+
+    assert radius_of_energy(data[-1]) > radius_of_energy(data[0])

@@ -1,0 +1,50 @@
+"""Tests for the fixed-width integer codec."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.codecs.fixed import decode_fixed, encode_fixed
+
+
+def test_empty():
+    assert decode_fixed(encode_fixed(np.empty(0, dtype=np.int64))).size == 0
+
+
+def test_zeros():
+    v = np.zeros(17, dtype=np.int64)
+    assert np.array_equal(decode_fixed(encode_fixed(v)), v)
+
+
+def test_single():
+    assert decode_fixed(encode_fixed(np.array([123456789]))).tolist() == [123456789]
+
+
+def test_width_is_minimal():
+    small = encode_fixed(np.array([1, 0, 1]))
+    large = encode_fixed(np.array([255, 0, 1]))
+    assert len(small) < len(large)
+
+
+def test_bad_magic():
+    with pytest.raises(ValueError):
+        decode_fixed(b"nope" + b"\x00" * 9)
+
+
+def test_multidim_input_flattened():
+    v = np.arange(12).reshape(3, 4)
+    assert np.array_equal(decode_fixed(encode_fixed(v)), v.ravel())
+
+
+@given(
+    hnp.arrays(
+        dtype=np.uint64,
+        shape=st.integers(0, 500),
+        elements=st.integers(0, 2**50),
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(v):
+    out = decode_fixed(encode_fixed(v))
+    assert np.array_equal(out.astype(np.uint64), v)

@@ -1,0 +1,110 @@
+"""Gap-filling tests: edge cases uncovered by the main suites."""
+import numpy as np
+import pytest
+
+from repro.compressors import HPEZ, MGARD, SZ3, QoZ
+from repro.compressors.qoz import tune_level_eb
+from repro.compressors.sperr import SPERR
+from repro.core import QPConfig
+
+
+class TestMGARDResolutionEdges:
+    def test_level_beyond_hierarchy(self, smooth_field):
+        comp = MGARD(1e-3)
+        blob = comp.compress(smooth_field)
+        from repro.utils.levels import num_levels
+
+        levels = num_levels(smooth_field.shape)
+        coarse = comp.decompress_resolution(blob, levels)
+        s = 1 << levels
+        expected = tuple(-(-n // s) for n in smooth_field.shape)
+        assert coarse.shape == expected
+
+    def test_resolution_with_qp(self, smooth_field):
+        comp = MGARD(1e-3, qp=QPConfig())
+        blob = comp.compress(smooth_field)
+        half = comp.decompress_resolution(blob, 1)
+        full = comp.decompress(blob)
+        assert np.array_equal(half, full[::2, ::2, ::2])
+
+    def test_rejects_foreign_blob(self, smooth_field):
+        blob = SZ3(1e-3).compress(smooth_field)
+        with pytest.raises(ValueError):
+            MGARD(1e-3).decompress_resolution(blob, 1)
+
+
+class TestQoZTuner:
+    def test_explicit_passthrough(self, smooth_field):
+        assert tune_level_eb(smooth_field, 1e-3, 4, alpha=1.5, beta=2.0) == (1.5, 2.0)
+
+    def test_auto_returns_candidate(self, smooth_field):
+        a, b = tune_level_eb(smooth_field, 1e-3, 5)
+        assert a in (1.0, 1.25, 1.5, 2.0)
+        assert b in (1.5, 2.0, 3.0, 4.0)
+
+    def test_partial_auto(self, smooth_field):
+        a, b = tune_level_eb(smooth_field, 1e-3, 5, alpha=1.25, beta="auto")
+        assert a == 1.25
+
+
+class TestSperrQP2D:
+    def test_sperr_qp_on_2d(self, field_2d):
+        eb = 1e-3
+        base = SPERR(eb)
+        plus = SPERR(eb, qp=QPConfig())
+        out_b = base.decompress(base.compress(field_2d))
+        out_p = plus.decompress(plus.compress(field_2d))
+        assert np.array_equal(out_b, out_p)
+        assert np.abs(out_b.astype(np.float64) - field_2d).max() <= eb
+
+
+class TestHPEZEdges:
+    def test_hpez_2d_data(self, field_2d):
+        comp = HPEZ(1e-3, qp=QPConfig())
+        out = comp.decompress(comp.compress(field_2d))
+        assert np.abs(out.astype(np.float64) - field_2d).max() <= 1e-3 * (1 + 1e-9)
+
+    def test_hpez_tiny_block_side(self, smooth_field):
+        comp = HPEZ(1e-2, block_side=16)
+        out = comp.decompress(comp.compress(smooth_field))
+        assert np.abs(out.astype(np.float64) - smooth_field).max() <= 1e-2 * (1 + 1e-9)
+
+
+class TestExtremeInputs:
+    def test_constant_field(self):
+        data = np.full((20, 20, 20), 3.25, dtype=np.float32)
+        for cls in (SZ3, QoZ, MGARD):
+            comp = cls(1e-4, qp=QPConfig())
+            blob = comp.compress(data)
+            out = comp.decompress(blob)
+            assert np.abs(out - data).max() <= 1e-4
+            # constants compress extremely well
+            assert len(blob) < data.nbytes / 50
+
+    def test_large_dynamic_range(self):
+        rng = np.random.default_rng(0)
+        data = (rng.normal(0, 1, (16, 16, 16)) * 1e20).astype(np.float64)
+        eb = 1e15
+        comp = SZ3(eb, predictor="interp")
+        out = comp.decompress(comp.compress(data))
+        assert np.abs(out - data).max() <= eb
+
+    def test_tiny_values(self):
+        data = (np.random.default_rng(1).normal(0, 1, (16, 16)) * 1e-20).astype(np.float64)
+        eb = 1e-25
+        comp = SZ3(eb, predictor="interp")
+        out = comp.decompress(comp.compress(data))
+        assert np.abs(out - data).max() <= eb
+
+    def test_very_loose_bound_collapses(self, smooth_field):
+        comp = SZ3(100.0, predictor="interp")
+        blob = comp.compress(smooth_field)
+        out = comp.decompress(blob)
+        assert np.abs(out.astype(np.float64) - smooth_field).max() <= 100.0
+        assert len(blob) < smooth_field.nbytes / 100
+
+    def test_single_voxel_axis(self):
+        data = np.sin(np.linspace(0, 6, 64)).astype(np.float32).reshape(1, 64, 1)
+        comp = SZ3(1e-3, qp=QPConfig())
+        out = comp.decompress(comp.compress(data))
+        assert np.abs(out.astype(np.float64) - data).max() <= 1e-3 * (1 + 1e-9)

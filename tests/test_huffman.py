@@ -1,0 +1,147 @@
+"""Unit + property tests for the canonical length-limited Huffman codec."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.codecs.huffman import (
+    MAX_CODE_LEN,
+    HuffmanCodec,
+    canonical_codes,
+    huffman_code_lengths,
+)
+
+
+def kraft_sum(lengths):
+    present = lengths[lengths > 0]
+    return float(np.sum(2.0 ** (-present)))
+
+
+class TestCodeLengths:
+    def test_empty(self):
+        assert huffman_code_lengths(np.zeros(4, dtype=np.int64)).sum() == 0
+
+    def test_single_symbol_gets_one_bit(self):
+        lens = huffman_code_lengths(np.array([0, 5, 0]))
+        assert lens.tolist() == [0, 1, 0]
+
+    def test_two_equal_symbols(self):
+        lens = huffman_code_lengths(np.array([3, 3]))
+        assert lens.tolist() == [1, 1]
+
+    def test_kraft_inequality_holds(self):
+        rng = np.random.default_rng(1)
+        freqs = rng.integers(0, 1000, size=300)
+        lens = huffman_code_lengths(freqs)
+        assert kraft_sum(lens) <= 1.0 + 1e-12
+
+    def test_skewed_distribution_is_near_entropy(self):
+        # geometric-ish distribution: expected code length close to entropy
+        freqs = np.array([2 ** (20 - i) for i in range(20)], dtype=np.int64)
+        lens = huffman_code_lengths(freqs)
+        p = freqs / freqs.sum()
+        entropy = -(p * np.log2(p)).sum()
+        avg = (p * lens).sum()
+        assert avg <= entropy + 1.0  # Huffman is within 1 bit of entropy
+
+    def test_length_limit_enforced(self):
+        # Fibonacci-like frequencies force very deep optimal trees
+        freqs = np.ones(64, dtype=np.int64)
+        a, b = 1, 2
+        for i in range(64):
+            freqs[i] = a
+            a, b = b, a + b
+        lens = huffman_code_lengths(freqs)
+        assert lens.max() <= MAX_CODE_LEN
+        assert kraft_sum(lens) <= 1.0 + 1e-12
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_code_lengths(np.array([1, -1]))
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            huffman_code_lengths(np.ones((2, 2), dtype=np.int64))
+
+
+class TestCanonicalCodes:
+    def test_prefix_free(self):
+        lens = huffman_code_lengths(np.array([50, 30, 10, 7, 2, 1]))
+        codes = canonical_codes(lens)
+        present = np.nonzero(lens)[0]
+        strings = {
+            format(int(codes[s]), f"0{int(lens[s])}b") for s in present
+        }
+        assert len(strings) == present.size
+        for a in strings:
+            for b in strings:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_empty_lengths(self):
+        assert canonical_codes(np.zeros(3, dtype=np.int64)).sum() == 0
+
+
+class TestCodecRoundtrip:
+    def test_empty(self):
+        c = HuffmanCodec()
+        assert c.decode(c.encode(np.empty(0, dtype=np.int64))).size == 0
+
+    def test_single_value_repeated(self):
+        c = HuffmanCodec()
+        sym = np.full(1000, 7, dtype=np.int64)
+        assert np.array_equal(c.decode(c.encode(sym)), sym)
+
+    def test_one_symbol(self):
+        c = HuffmanCodec()
+        sym = np.array([42])
+        assert np.array_equal(c.decode(c.encode(sym)), sym)
+
+    def test_negative_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanCodec().encode(np.array([-1, 2]))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanCodec().decode(b"XXXX" + b"\x00" * 16)
+
+    def test_gaussian_indices(self):
+        rng = np.random.default_rng(2)
+        sym = np.abs(rng.normal(0, 5, 100000)).astype(np.int64)
+        c = HuffmanCodec()
+        blob = c.encode(sym)
+        assert np.array_equal(c.decode(blob), sym)
+        # must actually compress a low-entropy stream
+        assert len(blob) < sym.size * 8 / 2
+
+    def test_block_boundaries(self):
+        # sizes around multiples of the block size stress the lockstep decode
+        c = HuffmanCodec(block_size=64)
+        rng = np.random.default_rng(3)
+        for n in (1, 63, 64, 65, 128, 129, 1000):
+            sym = rng.integers(0, 10, n)
+            assert np.array_equal(c.decode(c.encode(sym)), sym), n
+
+    def test_large_alphabet(self):
+        rng = np.random.default_rng(4)
+        sym = rng.integers(0, 5000, 20000)
+        c = HuffmanCodec()
+        assert np.array_equal(c.decode(c.encode(sym)), sym)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            HuffmanCodec(block_size=0)
+
+
+@given(
+    hnp.arrays(
+        dtype=np.int64,
+        shape=st.integers(0, 2000),
+        elements=st.integers(0, 200),
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(sym):
+    c = HuffmanCodec(block_size=97)
+    assert np.array_equal(c.decode(c.encode(sym)), sym)

@@ -1,0 +1,98 @@
+"""Tests for array I/O and the compressed archive container."""
+import numpy as np
+import pytest
+
+from repro.io import Archive, infer_dtype, load_array, parse_dims, save_array
+
+
+class TestArrays:
+    def test_npy_roundtrip(self, tmp_path):
+        data = np.random.default_rng(0).normal(0, 1, (4, 5)).astype(np.float32)
+        path = tmp_path / "a.npy"
+        save_array(path, data)
+        assert np.array_equal(load_array(path), data)
+
+    def test_raw_f32_roundtrip(self, tmp_path):
+        data = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        path = tmp_path / "field_2x3x4.f32"
+        save_array(path, data)
+        out = load_array(path)
+        assert out.shape == (2, 3, 4)
+        assert out.dtype == np.float32
+        assert np.array_equal(out, data)
+
+    def test_raw_f64(self, tmp_path):
+        data = np.linspace(0, 1, 10)
+        path = tmp_path / "x.f64"
+        save_array(path, data)
+        out = load_array(path, shape=(10,))
+        assert out.dtype == np.float64
+        assert np.allclose(out, data)
+
+    def test_explicit_shape_mismatch(self, tmp_path):
+        path = tmp_path / "x.f32"
+        save_array(path, np.zeros(10, dtype=np.float32))
+        with pytest.raises(ValueError):
+            load_array(path, shape=(3, 3))
+
+    def test_infer_dtype(self):
+        assert infer_dtype("a.f32") == np.float32
+        assert infer_dtype("a.F64") == np.float64
+        with pytest.raises(ValueError):
+            infer_dtype("a.bin")
+
+    def test_parse_dims(self):
+        assert parse_dims("CLOUD_100x500x500.f32") == (100, 500, 500)
+        assert parse_dims("pressure_256x384x384.dat") == (256, 384, 384)
+        assert parse_dims("noshape.f32") is None
+
+
+class TestArchive:
+    def test_create_empty(self, tmp_path):
+        arch = Archive.create(tmp_path / "a.rarc")
+        assert arch.names() == []
+
+    def test_append_and_read(self, tmp_path):
+        arch = Archive.create(tmp_path / "a.rarc")
+        arch.append("u", b"payload-u")
+        arch.append("v", b"payload-v-longer")
+        assert arch.names() == ["u", "v"]
+        assert arch.read("u") == b"payload-u"
+        assert arch.read("v") == b"payload-v-longer"
+        assert arch.sizes() == {"u": 9, "v": 16}
+
+    def test_append_many(self, tmp_path):
+        arch = Archive.create(tmp_path / "a.rarc")
+        blobs = {f"slice{i:03d}": bytes([i]) * (i + 1) for i in range(20)}
+        arch.append_many(blobs)
+        for name, blob in blobs.items():
+            assert arch.read(name) == blob
+
+    def test_duplicate_rejected(self, tmp_path):
+        arch = Archive.create(tmp_path / "a.rarc")
+        arch.append("u", b"x")
+        with pytest.raises(KeyError):
+            arch.append("u", b"y")
+
+    def test_missing_entry(self, tmp_path):
+        arch = Archive.create(tmp_path / "a.rarc")
+        with pytest.raises(KeyError):
+            arch.read("ghost")
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"garbage data here")
+        with pytest.raises(ValueError):
+            Archive(path).names()
+
+    def test_end_to_end_with_compressor(self, tmp_path, smooth_field):
+        from repro.compressors import SZ3, decompress_any
+
+        arch = Archive.create(tmp_path / "fields.rarc")
+        comp = SZ3(1e-3)
+        for i in range(3):
+            arch.append(f"slab{i}", comp.compress(smooth_field[i * 8:(i + 1) * 8]))
+        for i in range(3):
+            out = decompress_any(arch.read(f"slab{i}"))
+            ref = smooth_field[i * 8:(i + 1) * 8]
+            assert np.abs(out.astype(np.float64) - ref).max() <= 1e-3

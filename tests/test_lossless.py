@@ -1,0 +1,84 @@
+"""Unit + property tests for the lossless byte backends."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codecs.lossless import BACKENDS, compress, decompress
+
+
+ALL = list(BACKENDS)
+
+
+@pytest.mark.parametrize("backend", ALL)
+def test_empty(backend):
+    assert decompress(compress(b"", backend)) == b""
+
+
+@pytest.mark.parametrize("backend", ALL)
+def test_short(backend):
+    for data in (b"a", b"ab", b"abc", b"\x00\x01"):
+        assert decompress(compress(data, backend)) == data
+
+
+@pytest.mark.parametrize("backend", ALL)
+def test_runs(backend):
+    data = b"\x00" * 1000 + b"abc" + b"\xff" * 300
+    blob = compress(data, backend)
+    assert decompress(blob) == data
+    if backend in ("zlib", "rle", "lz77"):
+        assert len(blob) < len(data)
+
+
+@pytest.mark.parametrize("backend", ALL)
+def test_repetitive_structure(backend):
+    data = b"the quick brown fox " * 200
+    blob = compress(data, backend)
+    assert decompress(blob) == data
+    if backend in ("zlib", "lz77"):
+        assert len(blob) < len(data) // 2
+
+
+@pytest.mark.parametrize("backend", ALL)
+def test_incompressible_falls_back_to_raw(backend):
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, 5000, dtype=np.uint8).tobytes()
+    blob = compress(data, backend)
+    assert decompress(blob) == data
+    # raw fallback caps expansion at the 9-byte frame header
+    assert len(blob) <= len(data) + 9
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        compress(b"x", "snappy")
+
+
+def test_corrupt_backend_id_rejected():
+    blob = bytearray(compress(b"hello world", "zlib"))
+    blob[0] = 99
+    with pytest.raises(ValueError):
+        decompress(bytes(blob))
+
+
+def test_size_mismatch_detected():
+    import struct
+
+    payload = compress(b"hello", "raw")
+    # tamper with the recorded original size
+    bad = payload[:1] + struct.pack("<Q", 99) + payload[9:]
+    with pytest.raises(ValueError):
+        decompress(bad)
+
+
+def test_lz77_overlapping_match():
+    # "aaaa..." forces dist=1 overlapping copies
+    data = b"a" * 500 + b"bcd" + b"a" * 500
+    assert decompress(compress(data, "lz77")) == data
+
+
+@given(st.binary(max_size=3000))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property_all_backends(data):
+    for backend in ALL:
+        assert decompress(compress(data, backend)) == data

@@ -1,0 +1,83 @@
+"""Tests for distortion/rate metrics and the evaluation harness."""
+import numpy as np
+import pytest
+
+from repro.compressors import SZ3
+from repro.metrics import (
+    bitrate,
+    compression_ratio,
+    evaluate,
+    max_abs_error,
+    max_rel_error,
+    mse,
+    nrmse,
+    psnr,
+)
+
+
+class TestErrors:
+    def test_mse_zero_for_identical(self):
+        a = np.arange(10.0)
+        assert mse(a, a) == 0.0
+
+    def test_mse_known_value(self):
+        a = np.zeros(4)
+        b = np.full(4, 2.0)
+        assert mse(a, b) == 4.0
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_psnr_paper_convention(self):
+        # range 10, MSE 1 -> 20*log10(10/1) = 20 dB
+        a = np.linspace(0, 10, 1000)
+        b = a + 1.0
+        assert psnr(a, b) == pytest.approx(20.0, abs=0.01)
+
+    def test_psnr_infinite_for_lossless(self):
+        a = np.arange(5.0)
+        assert psnr(a, a.copy()) == float("inf")
+
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([0.0, 1.0]), np.array([0.5, 1.0])) == 0.5
+
+    def test_max_rel_error_uses_range(self):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 10.0])
+        assert max_rel_error(a, b) == pytest.approx(0.1)
+
+    def test_nrmse(self):
+        a = np.array([0.0, 2.0])
+        assert nrmse(a, a + 1.0) == pytest.approx(0.5)
+
+
+class TestRate:
+    def test_compression_ratio(self):
+        data = np.zeros(100, dtype=np.float32)
+        assert compression_ratio(data, 100) == 4.0
+
+    def test_bitrate_relation(self):
+        data = np.zeros(100, dtype=np.float32)
+        # bitrate = 32 / CR for f32
+        assert bitrate(data, 100) == pytest.approx(32.0 / compression_ratio(data, 100))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            compression_ratio(np.zeros(4), 0)
+
+
+def test_evaluate_end_to_end(smooth_field):
+    res = evaluate(SZ3(1e-3), smooth_field)
+    assert res.cr > 1
+    assert res.max_abs_error <= 1e-3 * (1 + 1e-9)
+    assert res.psnr > 40
+    assert res.compress_mbs > 0 and res.decompress_mbs > 0
+    assert res.bitrate == pytest.approx(32.0 / res.cr, rel=1e-6)
+    row = res.row()
+    assert set(row) >= {"compressor", "CR", "PSNR"}
+
+
+def test_evaluate_label_override(smooth_field):
+    res = evaluate(SZ3(1e-2), smooth_field, label="sz3+QP")
+    assert res.compressor == "sz3+QP"

@@ -1,0 +1,112 @@
+"""Tests for PW_REL mode, the parallel block compressor, and the SZ2-style
+regression predictor."""
+import numpy as np
+import pytest
+
+from repro.compressors import SZ3
+from repro.core import QPConfig
+from repro.modes import PointwiseRelativeCompressor, relative_bound
+from repro.parallel import ParallelCompressor
+from repro.predictors.regression import fit_plane, plane_prediction
+
+
+class TestRegressionPredictor:
+    def test_fit_exact_on_plane(self):
+        i, j = np.meshgrid(np.arange(6.0), np.arange(6.0), indexing="ij")
+        block = 3.0 + 2.0 * (i - 2.5) - 0.5 * (j - 2.5)
+        coeffs = fit_plane(block)
+        pred = plane_prediction(block.shape, coeffs)
+        assert np.allclose(pred, block, atol=1e-5)
+
+    def test_fit_constant(self):
+        block = np.full((4, 4, 4), 7.25)
+        coeffs = fit_plane(block)
+        assert coeffs[0] == pytest.approx(7.25)
+        assert np.allclose(coeffs[1:], 0.0, atol=1e-7)
+
+    def test_sz3_regression_roundtrip(self, smooth_field):
+        eb = 1e-3
+        comp = SZ3(eb, predictor="regression")
+        out = comp.decompress(comp.compress(smooth_field))
+        assert np.abs(out.astype(np.float64) - smooth_field).max() <= eb * (1 + 1e-9)
+
+    def test_regression_worse_than_interp_on_smooth(self, smooth_field):
+        """The paper's premise: interpolation superseded regression."""
+        eb = 1e-3
+        s_reg = len(SZ3(eb, predictor="regression").compress(smooth_field))
+        s_int = len(SZ3(eb, predictor="interp").compress(smooth_field))
+        assert s_int < s_reg
+
+    def test_regression_state_collection(self, smooth_field):
+        from repro.compressors import CompressionState
+
+        st = CompressionState()
+        SZ3(1e-2, predictor="regression").compress(smooth_field, state=st)
+        assert st.extras["predictor"] == "regression"
+        assert st.index_volume.shape == smooth_field.shape
+
+
+class TestPWRelMode:
+    def test_relative_bound_helper(self):
+        data = np.array([0.0, 10.0])
+        assert relative_bound(data, 1e-3) == pytest.approx(0.01)
+        with pytest.raises(ValueError):
+            relative_bound(data, 0)
+
+    def test_pointwise_relative_bound_holds(self):
+        rng = np.random.default_rng(0)
+        # values spanning four orders of magnitude
+        data = np.exp(rng.uniform(0, 9, (24, 24, 24))).astype(np.float64)
+        rel = 1e-3
+        comp = PointwiseRelativeCompressor("sz3", rel, qp=QPConfig())
+        blob = comp.compress(data)
+        out = PointwiseRelativeCompressor.decompress(blob)
+        rel_err = np.abs(out - data) / np.abs(data)
+        assert rel_err.max() <= rel * (1 + 1e-6)
+
+    def test_rejects_nonpositive(self):
+        comp = PointwiseRelativeCompressor("sz3", 1e-3)
+        with pytest.raises(ValueError):
+            comp.compress(np.array([1.0, -2.0, 3.0]))
+        with pytest.raises(ValueError):
+            PointwiseRelativeCompressor("sz3", 0.0)
+
+    def test_non_pwrel_blob_rejected(self, smooth_field):
+        blob = SZ3(1e-3).compress(smooth_field)
+        with pytest.raises(ValueError):
+            PointwiseRelativeCompressor.decompress(blob)
+
+
+class TestParallelCompressor:
+    def test_roundtrip_serial_workers(self, smooth_field):
+        comp = ParallelCompressor("sz3", 1e-3, workers=1, n_slabs=3,
+                                  predictor="interp")
+        out = comp.decompress(comp.compress(smooth_field))
+        assert np.abs(out.astype(np.float64) - smooth_field).max() <= 1e-3 * (1 + 1e-9)
+
+    def test_roundtrip_multiprocess(self, smooth_field):
+        comp = ParallelCompressor("sz3", 1e-3, workers=2, n_slabs=2,
+                                  qp=QPConfig(), predictor="interp")
+        out = comp.decompress(comp.compress(smooth_field))
+        assert np.abs(out.astype(np.float64) - smooth_field).max() <= 1e-3 * (1 + 1e-9)
+
+    def test_slab_count_respects_minimum(self):
+        comp = ParallelCompressor("sz3", 1e-3, workers=8, n_slabs=64)
+        data = np.sin(np.linspace(0, 6, 40 * 9 * 9)).reshape(40, 9, 9).astype(np.float32)
+        out = comp.decompress(comp.compress(data))
+        assert out.shape == data.shape
+
+    def test_deterministic_bytes_across_worker_counts(self, smooth_field):
+        a = ParallelCompressor("sz3", 1e-3, workers=1, n_slabs=2, predictor="interp")
+        b = ParallelCompressor("sz3", 1e-3, workers=2, n_slabs=2, predictor="interp")
+        assert a.compress(smooth_field) == b.compress(smooth_field)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ParallelCompressor("sz3", 1e-3, workers=0)
+
+    def test_corrupt_container(self, smooth_field):
+        comp = ParallelCompressor("sz3", 1e-3, workers=1, n_slabs=2)
+        blob = comp.compress(smooth_field)
+        with pytest.raises(ValueError):
+            comp.decompress(b"XXXX" + blob[4:])

@@ -1,0 +1,88 @@
+"""Tests for the future-work extensions: QP on wavelet-domain indices
+(SPERR+QP) and the fast Case-I inverse."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compressors.sperr import SPERR, subband_regions
+from repro.core import QPConfig, qp_forward, qp_inverse
+
+
+class TestSubbandRegions:
+    def test_tiles_exactly(self):
+        shape = (16, 32)
+        counter = np.zeros(shape, dtype=int)
+        for _, region in subband_regions(shape, 3):
+            counter[region] += 1
+        assert counter.min() == 1 and counter.max() == 1
+
+    def test_levels_and_counts_3d(self):
+        regions = subband_regions((16, 16, 16), 2)
+        # per level: 2^3 - 1 = 7 detail bands; plus one approximation band
+        assert len(regions) == 2 * 7 + 1
+        assert regions[-1][0] == 2
+
+    def test_finest_level_first(self):
+        regions = subband_regions((16, 16), 2)
+        assert regions[0][0] == 1
+
+
+class TestSperrQP:
+    def test_reconstruction_identical(self, smooth_field):
+        eb = 1e-3
+        base = SPERR(eb)
+        plus = SPERR(eb, qp=QPConfig())
+        out_base = base.decompress(base.compress(smooth_field))
+        out_plus = plus.decompress(plus.compress(smooth_field))
+        assert np.array_equal(out_base, out_plus)
+
+    def test_bound_holds_with_qp(self, smooth_field):
+        eb = 1e-4
+        comp = SPERR(eb, qp=QPConfig())
+        out = comp.decompress(comp.compress(smooth_field))
+        assert np.abs(out.astype(np.float64) - smooth_field).max() <= eb
+
+    def test_qp_helps_on_smooth_turbulence(self):
+        from repro.datasets import generate
+
+        data = generate("miranda", "velocityx", shape=(48, 48, 48))
+        eb = 1e-4 * float(data.max() - data.min())
+        s_base = len(SPERR(eb).compress(data))
+        s_qp = len(SPERR(eb, qp=QPConfig()).compress(data))
+        assert s_qp < s_base
+
+    def test_disabled_qp_matches_vanilla_blob_size(self, smooth_field):
+        eb = 1e-3
+        a = SPERR(eb).compress(smooth_field)
+        b = SPERR(eb, qp=QPConfig.disabled()).compress(smooth_field)
+        assert abs(len(a) - len(b)) < 64  # only header qp dict differs
+
+
+class TestFastCase1Inverse:
+    def test_matches_forward(self):
+        rng = np.random.default_rng(0)
+        q = rng.integers(-20, 20, (6, 15, 17))
+        cfg = QPConfig(condition="I")
+        qp = qp_forward(q, -99, cfg, level=1)
+        assert np.array_equal(qp_inverse(qp, -99, cfg, level=1), q)
+
+    def test_case1_inverse_is_prefix_sum(self):
+        # for Case I the inverse must equal cumulative sums along both axes
+        rng = np.random.default_rng(1)
+        qp = rng.integers(-5, 5, (3, 8, 9))
+        cfg = QPConfig(condition="I")
+        out = qp_inverse(qp, -99, cfg, level=1)
+        ref = np.cumsum(np.cumsum(qp, axis=-1), axis=-2)
+        assert np.array_equal(out, ref)
+
+    @given(
+        hnp.arrays(np.int64, hnp.array_shapes(min_dims=2, max_dims=3, max_side=9),
+                   elements=st.integers(-50, 50))
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_case1_roundtrip(self, q):
+        cfg = QPConfig(condition="I")
+        qp = qp_forward(q, -999, cfg, level=1)
+        assert np.array_equal(qp_inverse(qp, -999, cfg, level=1), q)

@@ -1,0 +1,153 @@
+"""Tests for the QP transform — above all the reversibility invariant
+``qp_inverse(qp_forward(Q)) == Q`` for every configuration (the paper's
+guarantee that QP never changes decompressed data)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import QP_CONDITIONS, QP_DIMENSIONS, QPConfig, qp_forward, qp_inverse
+
+SENTINEL = -32
+
+
+def sample_indices(shape, seed=0, sentinel_frac=0.05):
+    rng = np.random.default_rng(seed)
+    q = np.rint(rng.normal(0, 3, shape)).astype(np.int64)
+    mask = rng.random(shape) < sentinel_frac
+    q[mask] = SENTINEL
+    return q
+
+
+@pytest.mark.parametrize("dimension", QP_DIMENSIONS)
+@pytest.mark.parametrize("condition", QP_CONDITIONS)
+def test_roundtrip_3d(dimension, condition):
+    q = sample_indices((6, 7, 8))
+    cfg = QPConfig(dimension=dimension, condition=condition, max_level=2)
+    qp = qp_forward(q, SENTINEL, cfg, level=1)
+    back = qp_inverse(qp, SENTINEL, cfg, level=1)
+    assert np.array_equal(back, q)
+
+
+@pytest.mark.parametrize("dimension", QP_DIMENSIONS)
+@pytest.mark.parametrize("condition", QP_CONDITIONS)
+def test_roundtrip_2d_pass(dimension, condition):
+    q = sample_indices((9, 11), seed=1)
+    cfg = QPConfig(dimension=dimension, condition=condition)
+    qp = qp_forward(q, SENTINEL, cfg, level=2)
+    assert np.array_equal(qp_inverse(qp, SENTINEL, cfg, level=2), q)
+
+
+@pytest.mark.parametrize("dimension", QP_DIMENSIONS)
+def test_roundtrip_1d_pass(dimension):
+    q = sample_indices((40,), seed=2)
+    cfg = QPConfig(dimension=dimension)
+    qp = qp_forward(q, SENTINEL, cfg, level=1)
+    assert np.array_equal(qp_inverse(qp, SENTINEL, cfg, level=1), q)
+
+
+def test_roundtrip_4d_pass():
+    q = sample_indices((3, 4, 5, 6), seed=3)
+    cfg = QPConfig(dimension="2d", condition="III")
+    qp = qp_forward(q, SENTINEL, cfg, level=1)
+    assert np.array_equal(qp_inverse(qp, SENTINEL, cfg, level=1), q)
+
+
+def test_level_gating():
+    q = sample_indices((5, 5, 5), seed=4)
+    cfg = QPConfig(max_level=2)
+    assert qp_forward(q, SENTINEL, cfg, level=3) is q  # identity above max_level
+    assert qp_forward(q, SENTINEL, cfg, level=2) is not q
+
+
+def test_disabled_config_is_identity():
+    q = sample_indices((5, 5, 5), seed=5)
+    cfg = QPConfig.disabled()
+    assert qp_forward(q, SENTINEL, cfg, level=1) is q
+    assert qp_inverse(q, SENTINEL, cfg, level=1) is q
+
+
+def test_entropy_reduction_on_clustered_indices():
+    """QP must reduce entropy on the clustered patterns it targets."""
+    from repro.core import shannon_entropy
+
+    rng = np.random.default_rng(6)
+    # smooth positive field -> neighbouring indices share sign and magnitude
+    base = np.cumsum(rng.normal(0.5, 0.2, (20, 40, 40)), axis=1)
+    q = np.rint(base).astype(np.int64) + 1
+    cfg = QPConfig(dimension="2d", condition="III")
+    qp = qp_forward(q, SENTINEL, cfg, level=1)
+    assert shannon_entropy(qp) < shannon_entropy(q)
+    assert np.array_equal(qp_inverse(qp, SENTINEL, cfg, level=1), q)
+
+
+def test_case3_skips_sign_disagreement():
+    q = np.array([[[1, 1], [1, 1]]], dtype=np.int64)  # all positive
+    q2 = np.array([[[1, -1], [1, 1]]], dtype=np.int64)  # left/top disagree at (1,1)
+    cfg = QPConfig(dimension="2d", condition="III")
+    # uniform positive plane: interior point predicted exactly -> Q' = 0 there
+    out = qp_forward(q, SENTINEL, cfg, level=1)
+    assert out[0, 1, 1] == 0
+    # mixed signs: no prediction anywhere
+    out2 = qp_forward(q2, SENTINEL, cfg, level=1)
+    assert np.array_equal(out2, q2)
+
+
+def test_case2_skips_unpredictable_neighbours():
+    q = np.array([[[5, 5], [5, 5]]], dtype=np.int64)
+    q[0, 0, 0] = SENTINEL
+    cfg = QPConfig(dimension="2d", condition="II")
+    out = qp_forward(q, SENTINEL, cfg, level=1)
+    # (1,1) involves the sentinel at (0,0) -> skipped
+    assert out[0, 1, 1] == q[0, 1, 1]
+
+
+def test_case1_predicts_through_sentinels():
+    q = np.array([[[5, 5], [5, 5]]], dtype=np.int64)
+    q[0, 0, 0] = SENTINEL
+    cfg = QPConfig(dimension="2d", condition="I")
+    out = qp_forward(q, SENTINEL, cfg, level=1)
+    # c = 5 + 5 - SENTINEL  -> Q' = 5 - (10 - SENTINEL)
+    assert out[0, 1, 1] == 5 - (10 - SENTINEL)
+    assert np.array_equal(qp_inverse(out, SENTINEL, cfg, level=1), q)
+
+
+def test_case4_more_conservative_than_case3():
+    q = sample_indices((8, 16, 16), seed=7, sentinel_frac=0.0)
+    c3 = QPConfig(dimension="2d", condition="III")
+    c4 = QPConfig(dimension="2d", condition="IV")
+    n3 = int((qp_forward(q, SENTINEL, c3, 1) != q).sum())
+    n4 = int((qp_forward(q, SENTINEL, c4, 1) != q).sum())
+    assert n4 <= n3
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        QPConfig(dimension="4d")
+    with pytest.raises(ValueError):
+        QPConfig(condition="V")
+    with pytest.raises(ValueError):
+        QPConfig(max_level=-1)
+
+
+def test_config_dict_roundtrip():
+    cfg = QPConfig(dimension="3d", condition="II", max_level=3, enabled=False)
+    assert QPConfig.from_dict(cfg.to_dict()) == cfg
+
+
+@given(
+    hnp.arrays(np.int64, hnp.array_shapes(min_dims=1, max_dims=3, max_side=10),
+               elements=st.integers(-31, 31)),
+    st.sampled_from(QP_DIMENSIONS),
+    st.sampled_from(QP_CONDITIONS),
+    st.booleans(),
+)
+@settings(max_examples=120, deadline=None)
+def test_property_reversibility(q, dimension, condition, with_sentinels):
+    if with_sentinels:
+        q = q.copy()
+        q[q == -31] = SENTINEL
+    cfg = QPConfig(dimension=dimension, condition=condition)
+    qp = qp_forward(q, SENTINEL, cfg, level=1)
+    assert np.array_equal(qp_inverse(qp, SENTINEL, cfg, level=1), q)

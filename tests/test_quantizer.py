@@ -1,0 +1,88 @@
+"""Tests for the linear-scaling quantizer."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quantize import LinearQuantizer
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        LinearQuantizer(0.0)
+    with pytest.raises(ValueError):
+        LinearQuantizer(-1.0)
+    with pytest.raises(ValueError):
+        LinearQuantizer(1.0, radius=1)
+
+
+def test_exact_prediction_gives_zero_index():
+    q = LinearQuantizer(0.1)
+    values = np.array([1.0, 2.0, 3.0])
+    res = q.quantize(values, values.copy())
+    assert res.indices.tolist() == [0, 0, 0]
+    assert np.array_equal(res.decoded, values)
+    assert res.literals.size == 0
+
+
+def test_error_bound_enforced():
+    rng = np.random.default_rng(0)
+    values = rng.normal(0, 10, (20, 20))
+    preds = values + rng.normal(0, 1, values.shape)
+    q = LinearQuantizer(0.05)
+    res = q.quantize(values, preds)
+    assert np.abs(res.decoded - values).max() <= 0.05 + 1e-12
+
+
+def test_unpredictable_points_stored_exactly():
+    q = LinearQuantizer(1e-6, radius=4)
+    values = np.array([0.0, 100.0, 0.5])  # 100.0 and 0.5 blow past radius*2eb
+    preds = np.zeros(3)
+    res = q.quantize(values, preds)
+    assert res.indices[1] == q.sentinel
+    assert res.indices[2] == q.sentinel
+    assert res.decoded[1] == 100.0
+    assert res.decoded[2] == 0.5
+    assert res.literals.tolist() == [100.0, 0.5]
+
+
+def test_dequantize_roundtrip():
+    rng = np.random.default_rng(1)
+    values = rng.normal(0, 5, (8, 9)).astype(np.float32)
+    preds = values + rng.normal(0, 2, values.shape).astype(np.float32)
+    q = LinearQuantizer(0.01, radius=64)
+    res = q.quantize(values, preds)
+    recon = q.dequantize(res.indices, preds, res.literals)
+    assert np.array_equal(recon, res.decoded)
+
+
+def test_dequantize_literal_mismatch_raises():
+    q = LinearQuantizer(0.1, radius=4)
+    idx = np.array([q.sentinel, 0])
+    with pytest.raises(ValueError):
+        q.dequantize(idx, np.zeros(2), np.empty(0))
+
+
+def test_decoded_matches_decompressor_view():
+    """decoded values are what a decompressor reproduces — integer index math."""
+    q = LinearQuantizer(0.25)
+    values = np.array([1.3])
+    preds = np.array([1.0])
+    res = q.quantize(values, preds)
+    assert res.indices[0] == 1  # round(0.3/0.5) = 1
+    assert res.decoded[0] == pytest.approx(1.5)
+
+
+@given(
+    hnp.arrays(np.float64, st.integers(1, 200), elements=st.floats(-1e6, 1e6)),
+    st.floats(1e-6, 1e2),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_bound_and_roundtrip(values, eb):
+    q = LinearQuantizer(eb, radius=1024)
+    preds = np.zeros_like(values)
+    res = q.quantize(values, preds)
+    assert np.abs(res.decoded - values).max() <= eb
+    recon = q.dequantize(res.indices, preds, res.literals)
+    assert np.array_equal(recon, res.decoded)

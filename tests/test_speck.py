@@ -1,0 +1,90 @@
+"""Tests for the SPECK-style embedded set-partitioning coder."""
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.codecs.speck import speck_decode, speck_encode
+from repro.compressors.sperr import SPERR
+
+
+class TestSpeckCodec:
+    def test_zero_array(self):
+        c = np.zeros((8, 8))
+        out = speck_decode(speck_encode(c, 0.1))
+        assert np.array_equal(out, c)
+
+    def test_single_spike(self):
+        c = np.zeros((8, 8))
+        c[3, 5] = 7.3
+        out = speck_decode(speck_encode(c, 0.01))
+        assert abs(out[3, 5] - 7.3) <= 0.01
+        assert np.abs(out).sum() == pytest.approx(abs(out[3, 5]))
+
+    def test_accuracy_guarantee(self):
+        rng = np.random.default_rng(0)
+        c = rng.normal(0, 2, (16, 16, 8))
+        thr = 0.05
+        out = speck_decode(speck_encode(c, thr))
+        assert np.abs(out - c).max() <= thr
+
+    def test_signs_preserved(self):
+        c = np.array([[-5.0, 5.0], [0.25, -0.25]])
+        out = speck_decode(speck_encode(c, 0.01))
+        assert np.sign(out[0, 0]) == -1 and np.sign(out[0, 1]) == 1
+
+    def test_sparse_cheaper_than_dense(self):
+        rng = np.random.default_rng(1)
+        dense = rng.normal(0, 1, (16, 16))
+        sparse = dense * (rng.random((16, 16)) < 0.05)
+        assert len(speck_encode(sparse, 0.01)) < len(speck_encode(dense, 0.01))
+
+    def test_non_power_of_two_shapes(self):
+        rng = np.random.default_rng(2)
+        c = rng.normal(0, 1, (7, 13, 5))
+        out = speck_decode(speck_encode(c, 0.02))
+        assert np.abs(out - c).max() <= 0.02
+
+    def test_1d(self):
+        c = np.sin(np.linspace(0, 6, 33))
+        out = speck_decode(speck_encode(c, 1e-3))
+        assert np.abs(out - c).max() <= 1e-3
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            speck_encode(np.ones(4), 0.0)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            speck_decode(b"XXXX" + b"\x00" * 16)
+
+    @given(
+        hnp.arrays(np.float64, hnp.array_shapes(min_dims=1, max_dims=3, max_side=9),
+                   elements=st.floats(-100, 100)),
+        st.floats(1e-3, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_accuracy(self, c, thr):
+        out = speck_decode(speck_encode(c, thr))
+        assert np.abs(out - c).max() <= thr
+
+
+class TestSperrSpeckMode:
+    def test_roundtrip_bound(self, field_2d):
+        eb = 1e-3
+        comp = SPERR(eb, coder="speck")
+        out = comp.decompress(comp.compress(field_2d))
+        assert np.abs(out.astype(np.float64) - field_2d).max() <= eb
+
+    def test_3d(self):
+        n = 24
+        x, y, z = np.meshgrid(*[np.linspace(0, 1, n)] * 3, indexing="ij")
+        data = (np.sin(3 * np.pi * x) * (1 - y) * z).astype(np.float32)
+        comp = SPERR(1e-3, coder="speck")
+        out = comp.decompress(comp.compress(data))
+        assert np.abs(out.astype(np.float64) - data).max() <= 1e-3
+
+    def test_invalid_coder(self):
+        with pytest.raises(ValueError):
+            SPERR(1e-3, coder="ezw")

@@ -1,0 +1,43 @@
+"""Tests for the disk-backed transfer pipeline."""
+import numpy as np
+import pytest
+
+from repro.core import QPConfig
+from repro.datasets import generate
+from repro.transfer import run_disk_pipeline
+
+
+@pytest.fixture(scope="module")
+def slices():
+    data = generate("rtm", shape=(4, 32, 32, 16))
+    return [np.ascontiguousarray(data[i]) for i in range(data.shape[0])]
+
+
+def test_disk_pipeline_end_to_end(tmp_path, slices):
+    res = run_disk_pipeline(
+        slices, tmp_path, "sz3", 1e-3, predictor="interp"
+    )
+    assert res.n_slices == len(slices)
+    assert 0 < res.archive_bytes < res.raw_bytes
+    assert res.max_abs_error <= 1e-3 * (1 + 1e-9)
+    assert res.total > 0
+    assert res.cr > 1
+    # real I/O happened
+    assert (tmp_path / "transfer.rarc").exists()
+    assert res.write_seconds > 0 and res.read_seconds > 0
+
+
+def test_disk_pipeline_qp_reduces_archive(tmp_path, slices):
+    eb = 2e-4
+    base = run_disk_pipeline(slices, tmp_path / "b", "sz3", eb, predictor="interp")
+    qp = run_disk_pipeline(
+        slices, tmp_path / "q", "sz3", eb, qp=QPConfig(), predictor="interp"
+    )
+    assert qp.archive_bytes <= base.archive_bytes
+    assert qp.transfer_seconds <= base.transfer_seconds
+
+
+def test_disk_pipeline_rerun_overwrites(tmp_path, slices):
+    run_disk_pipeline(slices[:2], tmp_path, "sz3", 1e-3, predictor="interp")
+    res = run_disk_pipeline(slices[:2], tmp_path, "sz3", 1e-3, predictor="interp")
+    assert res.n_slices == 2

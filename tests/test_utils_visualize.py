@@ -1,0 +1,130 @@
+"""Tests for the utility helpers and the visualization renderer."""
+import numpy as np
+import pytest
+
+from repro.analysis.visualize import ascii_heatmap, save_index_slice, to_pgm, to_ppm
+from repro.utils.blocks import block_grid_shape, iter_blocks, pad_to_multiple
+from repro.utils.timer import Stopwatch, throughput_mbs
+from repro.utils.validation import check_error_bound, check_ndarray
+
+
+class TestBlocks:
+    def test_grid_shape(self):
+        assert block_grid_shape((10, 20), 8) == (2, 3)
+        assert block_grid_shape((8,), 8) == (1,)
+
+    def test_iter_blocks_tiles_exactly(self):
+        shape = (10, 13)
+        counter = np.zeros(shape, dtype=int)
+        for sl in iter_blocks(shape, 4):
+            counter[sl] += 1
+        assert counter.min() == 1 and counter.max() == 1
+
+    def test_edge_blocks_smaller(self):
+        blocks = list(iter_blocks((10,), 8))
+        assert blocks[0] == (slice(0, 8),)
+        assert blocks[1] == (slice(8, 10),)
+
+    def test_pad_to_multiple(self):
+        data = np.arange(10.0).reshape(2, 5)
+        padded = pad_to_multiple(data, 4)
+        assert padded.shape == (4, 8)
+        assert np.array_equal(padded[:2, :5], data)
+        # edge mode: padding repeats the border
+        assert padded[3, 0] == data[1, 0]
+
+    def test_pad_noop_when_aligned(self):
+        data = np.zeros((4, 8))
+        assert pad_to_multiple(data, 4) is data
+
+
+class TestTimer:
+    def test_stopwatch_sections(self):
+        sw = Stopwatch()
+        with sw.section("a"):
+            pass
+        with sw.section("a"):
+            pass
+        with sw.section("b"):
+            pass
+        assert set(sw.totals) == {"a", "b"}
+        assert sw.total() == pytest.approx(sum(sw.totals.values()))
+
+    def test_throughput(self):
+        assert throughput_mbs(2_000_000, 2.0) == pytest.approx(1.0)
+        assert throughput_mbs(1, 0.0) == float("inf")
+
+
+class TestValidation:
+    def test_check_ndarray_contiguous(self):
+        data = np.asfortranarray(np.ones((4, 4), dtype=np.float32))
+        out = check_ndarray(data)
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_check_ndarray_rejects(self):
+        with pytest.raises(TypeError):
+            check_ndarray(np.ones(3, dtype=np.int32))
+        with pytest.raises(ValueError):
+            check_ndarray(np.ones((2,) * 5, dtype=np.float32))
+        with pytest.raises(ValueError):
+            check_ndarray(np.array([np.inf], dtype=np.float32))
+
+    def test_check_error_bound(self):
+        assert check_error_bound(1e-3) == 1e-3
+        for bad in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError):
+                check_error_bound(bad)
+
+
+class TestVisualize:
+    def test_ppm_header_and_size(self):
+        img = to_ppm(np.zeros((5, 7)), -1, 1)
+        assert img.startswith(b"P6\n7 5\n255\n")
+        assert len(img) == len(b"P6\n7 5\n255\n") + 5 * 7 * 3
+
+    def test_ppm_diverging_colors(self):
+        img = to_ppm(np.array([[-1.0, 0.0, 1.0]]), -1, 1)
+        pixels = np.frombuffer(img.split(b"255\n", 1)[1], dtype=np.uint8).reshape(1, 3, 3)
+        assert tuple(pixels[0, 0]) == (0, 0, 255)      # negative -> blue
+        assert tuple(pixels[0, 1]) == (255, 255, 255)  # zero -> white
+        assert tuple(pixels[0, 2]) == (255, 0, 0)      # positive -> red
+
+    def test_pgm(self):
+        img = to_pgm(np.array([[0.0, 1.0]]), 0, 1, scale=2)
+        assert img.startswith(b"P5\n4 2\n255\n")
+
+    def test_scale(self):
+        img = to_ppm(np.zeros((2, 2)), -1, 1, scale=3)
+        assert b"6 6" in img[:12]
+
+    def test_save_index_slice(self, tmp_path):
+        path = save_index_slice(tmp_path / "q.ppm", np.zeros((4, 4), dtype=int))
+        assert path.exists()
+        assert path.read_bytes().startswith(b"P6")
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            to_ppm(np.zeros(3), -1, 1)
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros((2, 2, 2)), -1, 1)
+
+    def test_ascii_heatmap(self):
+        art = ascii_heatmap(np.eye(8) * 4, -4, 4, width=8)
+        lines = art.splitlines()
+        assert len(lines) == 8
+        assert lines[0][0] != " "  # the diagonal is hot
+        assert lines[0][-1] == " "
+
+
+def test_4d_compression_end_to_end():
+    """The engine and QP handle 4-D (RTM-style) volumes directly."""
+    from repro.compressors import SZ3
+    from repro.core import QPConfig
+    from repro.datasets import generate
+
+    data = generate("rtm", shape=(6, 16, 16, 12))
+    eb = 1e-3 * float(data.max() - data.min())
+    comp = SZ3(eb, predictor="interp", qp=QPConfig())
+    out = comp.decompress(comp.compress(data))
+    assert out.shape == data.shape
+    assert np.abs(out.astype(np.float64) - data.astype(np.float64)).max() <= eb * (1 + 1e-9)
