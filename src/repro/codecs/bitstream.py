@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["BitWriter", "BitReader", "pack_bits", "unpack_bits"]
+__all__ = ["BitWriter", "BitReader", "pack_bits", "unpack_bits", "encode_codes_packed"]
 
 
 def pack_bits(bits: np.ndarray) -> bytes:
@@ -24,6 +24,62 @@ def unpack_bits(data: bytes, nbits: int) -> np.ndarray:
     if nbits > bits.size:
         raise ValueError(f"requested {nbits} bits but buffer holds {bits.size}")
     return bits[:nbits]
+
+
+def encode_codes_packed(
+    codes: np.ndarray,
+    lengths: np.ndarray,
+    bit_positions: np.ndarray | None = None,
+) -> bytes:
+    """Concatenate variable-length codes straight into packed bytes.
+
+    Produces exactly ``pack_bits`` of the bit expansion that
+    :meth:`BitWriter.write_codes` builds, but in O(symbols) instead of
+    O(total_bits): each code is left-aligned inside a byte-addressed integer
+    window and the windows are OR-merged per output byte with one
+    ``bitwise_or.reduceat`` per window column.  This is the Huffman encoder's
+    hot path (millions of symbols per volume).
+
+    ``bit_positions`` is the optional precomputed exclusive prefix sum of
+    ``lengths`` (length ``n + 1``), letting callers that already need it
+    (for block offsets) avoid a second cumsum.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if codes.shape != lengths.shape:
+        raise ValueError("codes and lengths must have the same shape")
+    if codes.size == 0:
+        return b""
+    if bit_positions is None:
+        bit_positions = np.concatenate(([0], np.cumsum(lengths)))
+    starts = bit_positions[:-1]
+    total = int(bit_positions[-1])
+    if total == 0:
+        return b""
+    max_len = int(lengths.max())
+    if max_len > 57 or int(lengths.min()) == 0:
+        # window math needs 1 <= length and length + 7 <= 64; fall back
+        writer = BitWriter()
+        writer.write_codes(codes, lengths)
+        return writer.getvalue()
+    window_bytes = (max_len + 7 + 7) >> 3  # code bits + worst-case bit offset
+    window_bits = 8 * window_bytes
+    byte0 = (starts >> 3).astype(np.int64)
+    bit_off = (starts & 7).astype(np.uint64)
+    w = codes << (np.uint64(window_bits) - lengths.astype(np.uint64) - bit_off)
+    nbytes = (total + 7) >> 3
+    out = np.zeros(nbytes + window_bytes, dtype=np.uint8)
+    # Codes whose windows start in the same output byte can be OR-merged as
+    # whole uint64 windows *before* splitting into byte columns: their start
+    # byte is equal, so every column lands on the same target.  One reduceat
+    # over the symbols, then per-column work on the (much smaller) merged set.
+    group_starts = np.concatenate(([0], np.flatnonzero(byte0[1:] != byte0[:-1]) + 1))
+    merged = np.bitwise_or.reduceat(w, group_starts)
+    first = byte0[group_starts]
+    for j in range(window_bytes):
+        col = ((merged >> np.uint64(window_bits - 8 * (j + 1))) & np.uint64(0xFF))
+        out[first + j] |= col.astype(np.uint8)
+    return out[:nbytes].tobytes()
 
 
 class BitWriter:

@@ -125,28 +125,32 @@ class HuffmanCodec:
 
     def encode(self, symbols: np.ndarray) -> bytes:
         symbols = np.ascontiguousarray(symbols).ravel()
-        if symbols.size and symbols.min() < 0:
-            raise ValueError("symbols must be non-negative")
         n = symbols.size
         if n == 0:
             return _MAGIC + struct.pack("<QII", 0, self.block_size, 0)
-        symbols = symbols.astype(np.int64, copy=False)
-        alphabet = int(symbols.max()) + 1
-        freqs = np.bincount(symbols, minlength=alphabet)
+        if symbols.dtype != np.int64:
+            symbols = symbols.astype(np.int64)
+        # bincount scans the data once and rejects negatives as it goes, so
+        # the frequency table, the alphabet bound and the sign guard all come
+        # out of a single pass (no separate min()/max() sweeps).
+        try:
+            freqs = np.bincount(symbols)
+        except ValueError:
+            raise ValueError("symbols must be non-negative") from None
         lengths = huffman_code_lengths(freqs)
         codes = canonical_codes(lengths)
 
         sym_lengths = lengths[symbols]
         sym_codes = codes[symbols]
-        bit_positions = np.concatenate(([0], np.cumsum(sym_lengths)))
+        bit_positions = np.empty(n + 1, dtype=np.int64)
+        bit_positions[0] = 0
+        np.cumsum(sym_lengths, out=bit_positions[1:])
         block_offsets = bit_positions[:-1:self.block_size].astype(np.uint64)
         total_bits = int(bit_positions[-1])
 
-        from .bitstream import BitWriter
+        from .bitstream import encode_codes_packed
 
-        writer = BitWriter()
-        writer.write_codes(sym_codes, sym_lengths)
-        payload = writer.getvalue()
+        payload = encode_codes_packed(sym_codes, sym_lengths, bit_positions)
 
         present = np.nonzero(lengths)[0].astype(np.uint32)
         present_lens = lengths[present].astype(np.uint8)

@@ -11,6 +11,7 @@ from .registry import (
     available_compressors,
     decompress_any,
     get_compressor,
+    supports_qp,
     traits_table,
 )
 from .sz3 import SZ3
@@ -28,5 +29,6 @@ __all__ = [
     "available_compressors",
     "get_compressor",
     "decompress_any",
+    "supports_qp",
     "traits_table",
 ]

@@ -21,6 +21,7 @@ from typing import Any
 import numpy as np
 
 from ..codecs import HuffmanCodec, compress as lossless_compress, decompress as lossless_decompress
+from ..perf import add_bytes, stage
 from ..utils.validation import check_error_bound, check_ndarray
 
 __all__ = ["Blob", "Compressor", "CompressionState", "encode_index_stream", "decode_index_stream"]
@@ -87,6 +88,10 @@ class Compressor(ABC):
     name: str = ""
     #: qualitative traits for Table I
     traits: dict[str, Any] = {}
+    #: whether the compressor honors a ``qp=`` config (quantization index
+    #: prediction integrates with the quantization-index structure, so only
+    #: prediction+quantization compressors can support it)
+    supports_qp: bool = False
 
     def __init__(self, error_bound: float, lossless_backend: str = "zlib") -> None:
         self.error_bound = check_error_bound(error_bound)
@@ -132,6 +137,28 @@ class Compressor(ABC):
 _STREAM_ALPHABET_CAP = 1 << 16
 _ENTROPY_IDS = {"huffman": 0, "range": 1}
 
+# range guard for the histogram median below: beyond this the bincount would
+# cost more than the partition it replaces
+_MEDIAN_RANGE_CAP = 1 << 21
+
+
+def _int_median(values: np.ndarray, lo: int, hi: int) -> float:
+    """Exact median of an integer array, histogram-based.
+
+    Produces bit-identical results to ``np.median`` (the mean of the two
+    middle order statistics, in float64) but via one bincount pass instead of
+    a partial sort — index streams are radius-bounded, so the histogram is
+    tiny next to the data.  Falls back to ``np.median`` for wide ranges.
+    ``lo``/``hi`` are the array's min/max, computed once by the caller.
+    """
+    if hi - lo > _MEDIAN_RANGE_CAP:
+        return float(np.median(values))
+    counts = np.cumsum(np.bincount(values - lo))
+    n = values.size
+    v_lo = lo + int(np.searchsorted(counts, (n - 1) // 2 + 1))
+    v_hi = lo + int(np.searchsorted(counts, n // 2 + 1))
+    return (v_lo + v_hi) / 2.0
+
 
 def encode_index_stream(
     indices: np.ndarray, backend: str = "zlib", entropy: str = "huffman"
@@ -156,7 +183,12 @@ def encode_index_stream(
         # magnitude natively — no alphabet window or escapes needed
         from ..codecs.rangecoder import RangeCodec
 
-        payload = lossless_compress(RangeCodec().encode(indices), backend)
+        with stage("huffman"):
+            coded = RangeCodec().encode(indices)
+        with stage("lossless"):
+            payload = lossless_compress(coded, backend)
+        add_bytes("huffman", len(coded))
+        add_bytes("lossless", len(payload))
         return (
             struct.pack("<BqQ", _ENTROPY_IDS["range"], 0, len(payload))
             + payload
@@ -166,19 +198,32 @@ def encode_index_stream(
     # streams keep their bulk in-alphabet; only genuine outliers escape
     # (two-sided, zigzag fixed-width).
     if indices.size:
-        offset = int(np.median(indices)) - (_STREAM_ALPHABET_CAP // 2 - 1)
+        lo = int(indices.min())
+        hi = int(indices.max())
+        offset = int(_int_median(indices, lo, hi)) - (_STREAM_ALPHABET_CAP // 2 - 1)
     else:
+        lo = hi = 0
         offset = 0
     codes = indices - offset
     esc = _STREAM_ALPHABET_CAP - 1
-    esc_mask = (codes < 0) | (codes >= esc)
-    esc_vals = codes[esc_mask]
+    if lo - offset >= 0 and hi - offset < esc:
+        # whole stream fits the alphabet window: no escape scan needed
+        esc_vals = np.empty(0, dtype=np.int64)
+        esc_mask = None
+    else:
+        esc_mask = (codes < 0) | (codes >= esc)
+        esc_vals = codes[esc_mask]
     escapes = encode_fixed(
         np.where(esc_vals >= 0, 2 * esc_vals, -2 * esc_vals - 1).astype(np.uint64)
     )
-    if esc_mask.any():
+    if esc_mask is not None and esc_mask.any():
         codes = np.where(esc_mask, esc, codes)
-    payload = lossless_compress(HuffmanCodec().encode(codes), backend)
+    with stage("huffman"):
+        coded = HuffmanCodec().encode(codes)
+    with stage("lossless"):
+        payload = lossless_compress(coded, backend)
+    add_bytes("huffman", len(coded))
+    add_bytes("lossless", len(payload))
     return (
         struct.pack("<BqQ", _ENTROPY_IDS["huffman"], offset, len(payload))
         + payload
@@ -191,15 +236,19 @@ def decode_index_stream(data: bytes) -> np.ndarray:
 
     entropy_id, offset, plen = struct.unpack_from("<BqQ", data, 0)
     head = struct.calcsize("<BqQ")
-    payload = lossless_decompress(data[head:head + plen])
-    if entropy_id == _ENTROPY_IDS["range"]:
-        from ..codecs.rangecoder import RangeCodec
+    with stage("lossless"):
+        payload = lossless_decompress(data[head:head + plen])
+    add_bytes("lossless", plen)
+    with stage("huffman"):
+        if entropy_id == _ENTROPY_IDS["range"]:
+            from ..codecs.rangecoder import RangeCodec
 
-        codes = RangeCodec().decode(payload)
-    elif entropy_id == _ENTROPY_IDS["huffman"]:
-        codes = HuffmanCodec().decode(payload)
-    else:
-        raise ValueError(f"unknown entropy stage id {entropy_id}")
+            codes = RangeCodec().decode(payload)
+        elif entropy_id == _ENTROPY_IDS["huffman"]:
+            codes = HuffmanCodec().decode(payload)
+        else:
+            raise ValueError(f"unknown entropy stage id {entropy_id}")
+    add_bytes("huffman", len(payload))
     escapes = decode_fixed(lossless_decompress(data[head + plen:]))
     esc = _STREAM_ALPHABET_CAP - 1
     esc_mask = codes == esc

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core.config import QPConfig
 from ..core.qp import qp_forward, qp_inverse
+from ..perf import stage
 from ..predictors.interpolation import predict_midpoints
 from ..quantize.linear import LinearQuantizer
 from ..utils.levels import (
@@ -104,13 +105,24 @@ def _pass_prediction(arr: np.ndarray, p: Pass | MDPass, method: str) -> np.ndarr
 def _choose_method(arr: np.ndarray, p: Pass | MDPass) -> str:
     """Auto interpolation selection: smaller L1 residual on this pass wins
     (SZ3's per-level linear-vs-cubic tuning)."""
+    return _choose_method_pred(arr, p)[0]
+
+
+def _choose_method_pred(
+    arr: np.ndarray, p: Pass | MDPass
+) -> tuple[str, np.ndarray]:
+    """Like :func:`_choose_method`, but also returns the winning method's
+    prediction for ``p`` so the caller can reuse it instead of recomputing
+    the identical array for the pass it just scored."""
     actual = arr[p.target]
-    best_method, best_err = "linear", None
+    best_method, best_err, best_pred = "linear", None, None
     for method in ("linear", "cubic"):
-        err = float(np.abs(actual - _pass_prediction(arr, p, method)).sum())
+        pred = _pass_prediction(arr, p, method)
+        err = float(np.abs(actual - pred).sum())
         if best_err is None or err < best_err:
-            best_method, best_err = method, err
-    return best_method
+            best_method, best_err, best_pred = method, err, pred
+    assert best_pred is not None
+    return best_method, best_pred
 
 
 def trial_level_bits(
@@ -123,7 +135,18 @@ def trial_level_bits(
 
     from ..core.characterize import shannon_entropy
 
-    work = arr.copy()
+    # A level at stride s only ever touches the stride-s subgrid, and its
+    # passes are exactly the level-1 passes of that subgrid (same values,
+    # same schedule, same quantizer) — so the scratch copy can shrink from
+    # the full array to the affected region, an 8x memory/copy saving per
+    # trial in 3-D at level 2 and more above.
+    s = 1 << (level - 1)
+    if s > 1:
+        work = arr[tuple(slice(None, None, s) for _ in arr.shape)].copy()
+        pass_level = 1
+    else:
+        work = arr.copy()
+        pass_level = level
     probe = replace(
         cfg,
         structure=scheme["structure"],
@@ -132,7 +155,7 @@ def trial_level_bits(
         scheme_selector=None,
     )
     quantizer = LinearQuantizer(probe.eb_for_level(level), probe.radius)
-    passes = _passes_for_level(work.shape, level, probe)
+    passes = _passes_for_level(work.shape, pass_level, probe)
     if not passes:
         return 0.0
     method = _choose_method(work, passes[0]) if probe.interp == "auto" else probe.interp
@@ -181,18 +204,26 @@ def compress_volume(
         passes = _passes_for_level(shape, level, cfg)
         if not passes:
             continue
+        first_pred: np.ndarray | None = None
         if cfg.interp == "auto":
-            methods[level] = _choose_method(arr, passes[0])
+            with stage("predict"):
+                # the selection already computed the winning method's
+                # prediction for the first pass — reuse it below
+                methods[level], first_pred = _choose_method_pred(arr, passes[0])
         else:
             methods[level] = cfg.interp
         method = methods[level]
         for p in passes:
-            pred = _pass_prediction(arr, p, method)
+            with stage("predict"):
+                pred = first_pred if p is passes[0] and first_pred is not None \
+                    else _pass_prediction(arr, p, method)
             target_view = arr[p.target]
-            res = quantizer.quantize(target_view, pred)
+            with stage("quantize"):
+                res = quantizer.quantize(target_view, pred)
             target_view[...] = res.decoded  # future passes see decoded values
             q = np.moveaxis(res.indices, p.axis, 0)
-            q_out = qp_forward(q, quantizer.sentinel, cfg.qp, level)
+            with stage("qp"):
+                q_out = qp_forward(q, quantizer.sentinel, cfg.qp, level)
             streams.append(np.ascontiguousarray(q_out).ravel())
             literal_parts.append(res.literals)
             if state is not None:
@@ -277,13 +308,16 @@ def decompress_volume(
             )
             q_out = index_stream[spos:spos + count].reshape(moved_shape)
             spos += count
-            q = qp_inverse(q_out, quantizer.sentinel, cfg.qp, level)
+            with stage("qp"):
+                q = qp_inverse(q_out, quantizer.sentinel, cfg.qp, level)
             indices = np.moveaxis(q, 0, p.axis)
             n_lit = int((indices == quantizer.sentinel).sum())
             lits = literals[lpos:lpos + n_lit]
             lpos += n_lit
-            pred = _pass_prediction(arr, p, method)
-            arr[p.target] = quantizer.dequantize(indices, pred, lits)
+            with stage("predict"):
+                pred = _pass_prediction(arr, p, method)
+            with stage("quantize"):
+                arr[p.target] = quantizer.dequantize(indices, pred, lits)
     if not exact_streams:
         return arr, spos, lpos
     if spos != index_stream.size:

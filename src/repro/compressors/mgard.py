@@ -39,6 +39,7 @@ class MGARD(Compressor):
     """MGARD-like multilevel compressor with optional QP."""
 
     name = "mgard"
+    supports_qp = True
     traits = {
         "speed": "low",
         "ratio": "low",

@@ -12,6 +12,7 @@ __all__ = [
     "get_compressor",
     "decompress_any",
     "available_compressors",
+    "supports_qp",
     "traits_table",
 ]
 
@@ -37,6 +38,19 @@ INTERP_COMPRESSORS = ("mgard", "sz3", "qoz", "hpez")
 
 def available_compressors() -> tuple[str, ...]:
     return tuple(_registry())
+
+
+def supports_qp(name: str) -> bool:
+    """Whether the named compressor honors a ``qp=`` config.
+
+    Reads the class-level capability flag, so wrappers (e.g. the parallel
+    slab compressor) can route QP by what the class declares instead of
+    keeping their own hardcoded name lists in sync.
+    """
+    reg = _registry()
+    if name not in reg:
+        raise KeyError(f"unknown compressor {name!r}; available: {tuple(reg)}")
+    return reg[name].supports_qp
 
 
 def get_compressor(name: str, error_bound: float, **kwargs: Any) -> Compressor:

@@ -64,6 +64,7 @@ class SZ3(Compressor):
     """
 
     name = "sz3"
+    supports_qp = True
     traits = {
         "speed": "high",
         "ratio": "medium",
@@ -103,17 +104,26 @@ class SZ3(Compressor):
     # -- predictor selection -------------------------------------------------
 
     def _select_predictor(self, data: np.ndarray) -> str:
+        return self._select_predictor_with_trial(data)[0]
+
+    def _select_predictor_with_trial(self, data: np.ndarray):
+        """Pick the predictor; also return the Lorenzo trial encoding when it
+        won, so the compression path reuses it instead of encoding twice."""
         if self.predictor != "auto":
-            return self.predictor
+            return self.predictor, None
         try:
-            lres, _ = lorenzo_encode(data, self.error_bound, self.radius)
+            lres, _ = lorenzo_encode(
+                data, self.error_bound, self.radius, want_recon=False
+            )
         except ValueError:  # eb too small for dual quantization
-            return "interp"
+            return "interp", None
         lorenzo_bpp = shannon_entropy(lres.indices) + (
             64.0 * lres.escapes.size / data.size
         )
         interp_bpp = self._estimate_interp_bpp(data)
-        return "lorenzo" if lorenzo_bpp < interp_bpp else "interp"
+        if lorenzo_bpp < interp_bpp:
+            return "lorenzo", lres
+        return "interp", None
 
     def _estimate_interp_bpp(self, data: np.ndarray) -> float:
         """Estimated bits/point of the interpolation path, computed on the
@@ -141,9 +151,9 @@ class SZ3(Compressor):
     def _compress(
         self, data: np.ndarray, state: CompressionState | None
     ) -> tuple[dict[str, Any], dict[str, bytes]]:
-        predictor = self._select_predictor(data)
+        predictor, trial = self._select_predictor_with_trial(data)
         if predictor == "lorenzo":
-            return self._compress_lorenzo(data, state)
+            return self._compress_lorenzo(data, state, trial)
         if predictor == "regression":
             return self._compress_regression(data, state)
         return self._compress_interp(data, state)
@@ -161,9 +171,14 @@ class SZ3(Compressor):
         return {"predictor": "interp", "engine": meta}, sections
 
     def _compress_lorenzo(
-        self, data: np.ndarray, state: CompressionState | None
+        self, data: np.ndarray, state: CompressionState | None, trial=None
     ) -> tuple[dict[str, Any], dict[str, bytes]]:
-        result, _ = lorenzo_encode(data, self.error_bound, self.radius)
+        if trial is not None:
+            result = trial  # auto-selection already encoded this exact input
+        else:
+            result, _ = lorenzo_encode(
+                data, self.error_bound, self.radius, want_recon=False
+            )
         if state is not None:
             state.index_volume = result.indices.copy()
             state.extras["predictor"] = "lorenzo"

@@ -23,11 +23,27 @@ __all__ = [
 _PLANES = {"xy": 0, "xz": 1, "yz": 2}  # plane -> normal axis (z,y,x) = (0,1,2)
 
 
+# histogram fast-path guard: beyond this range the bincount table would cost
+# more than the sort it replaces
+_ENTROPY_RANGE_CAP = 1 << 21
+
+
 def shannon_entropy(values: np.ndarray) -> float:
     """Shannon entropy (bits/symbol) of an integer array (Section III-A)."""
     values = np.asarray(values).ravel()
     if values.size == 0:
         return 0.0
+    if np.issubdtype(values.dtype, np.integer):
+        lo = int(values.min())
+        hi = int(values.max())
+        if hi - lo <= _ENTROPY_RANGE_CAP:
+            # bincount replaces np.unique's sort; dropping the zero bins
+            # leaves the exact count sequence unique would produce (ascending
+            # value order), so the float result is bit-identical
+            counts = np.bincount(values - lo)
+            counts = counts[counts > 0]
+            p = counts / values.size
+            return float(-(p * np.log2(p)).sum())
     _, counts = np.unique(values, return_counts=True)
     p = counts / values.size
     return float(-(p * np.log2(p)).sum())

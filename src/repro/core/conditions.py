@@ -66,10 +66,11 @@ def compensation(
 
     pred = np.asarray(pred)
     if condition == "I":
-        mask = np.ones(pred.shape, dtype=bool)
+        # unconditional: the compensation is the prediction everywhere
+        return pred
     else:
-        mask = np.ones(pred.shape, dtype=bool)
-        for nb in involved:
+        mask = involved[0] != sentinel
+        for nb in involved[1:]:
             mask &= nb != sentinel
         if condition == "III":
             mask &= _same_nonzero_sign(sign_pair)
@@ -89,9 +90,10 @@ def compensation(
 
 
 def _same_nonzero_sign(arrays: tuple[np.ndarray, ...]) -> np.ndarray:
-    all_pos = np.ones(arrays[0].shape, dtype=bool)
-    all_neg = all_pos.copy()
-    for a in arrays:
+    all_pos = arrays[0] > 0
+    all_neg = arrays[0] < 0
+    for a in arrays[1:]:
         all_pos &= a > 0
         all_neg &= a < 0
-    return all_pos | all_neg
+    all_pos |= all_neg
+    return all_pos

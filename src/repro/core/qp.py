@@ -20,6 +20,8 @@ walks i+j+k wavefronts).
 """
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from .conditions import compensation
@@ -48,12 +50,14 @@ def effective_dimension(dimension: str, ndim: int) -> str | None:
 
 def _shift(a: np.ndarray, axis: int) -> np.ndarray:
     """Previous element along ``axis``; missing neighbours read as 0."""
-    out = np.zeros_like(a)
+    out = np.empty_like(a)
     src = [slice(None)] * a.ndim
     dst = [slice(None)] * a.ndim
     src[axis] = slice(0, a.shape[axis] - 1)
     dst[axis] = slice(1, None)
     out[tuple(dst)] = a[tuple(src)]
+    dst[axis] = slice(0, 1)
+    out[tuple(dst)] = 0
     return out
 
 
@@ -78,7 +82,10 @@ def qp_forward(q: np.ndarray, sentinel: int, config: QPConfig, level: int) -> np
         return q
     back_ax, top_ax, left_ax = _plane_axes(q.ndim, dim)
 
-    zeros = np.zeros_like(q)
+    # only allocate the all-zero stand-in when some neighbour axis is missing
+    zeros = (
+        np.zeros_like(q) if (left_ax is None or top_ax is None) else None
+    )
     left = _shift(q, left_ax) if left_ax is not None else zeros
     top = _shift(q, top_ax) if top_ax is not None else zeros
     lt = (
@@ -117,6 +124,11 @@ def qp_inverse(qp: np.ndarray, sentinel: int, config: QPConfig, level: int) -> n
 
 def _inverse_1d(qp: np.ndarray, sentinel: int, cond: str, dim: str) -> np.ndarray:
     axis = {"1d-back": 0, "1d-top": qp.ndim - 2, "1d-left": qp.ndim - 1}[dim]
+    if cond == "I":
+        # Unconditional 1-D Lorenzo is a first difference along ``axis``; its
+        # inverse is a prefix sum — O(N) fully vectorized, no line walk
+        # (same fast path _inverse_2d has for the separable 2-D case).
+        return np.cumsum(qp, axis=axis)
     q = np.moveaxis(qp.copy(), axis, -1)  # view into the copy; scan last axis
     n = q.shape[-1]
     zeros = np.zeros(q.shape[:-1], dtype=q.dtype)
@@ -132,6 +144,30 @@ def _inverse_1d(qp: np.ndarray, sentinel: int, cond: str, dim: str) -> np.ndarra
     return np.moveaxis(q, -1, axis)
 
 
+@lru_cache(maxsize=32)
+def _diag_indices_2d(na: int, nb: int):
+    """Per-anti-diagonal gather indices for the 2-D wavefront inverse.
+
+    The index arithmetic (aranges, neighbour clamping, border masks) depends
+    only on the pass-array shape, which repeats across levels, passes and
+    volumes — so it is built once per shape and the read-only arrays reused.
+    """
+    diags = []
+    for k in range(1, na + nb - 1):
+        i = np.arange(max(0, k - nb + 1), min(na - 1, k) + 1)
+        j = k - i
+        has_top = i > 0
+        has_left = j > 0
+        i_t = np.where(has_top, i - 1, 0)
+        j_l = np.where(has_left, j - 1, 0)
+        entry = (i, j, has_top[None, :], has_left[None, :],
+                 (has_top & has_left)[None, :], i_t, j_l)
+        for a in entry:
+            a.setflags(write=False)
+        diags.append(entry)
+    return tuple(diags)
+
+
 def _inverse_2d(qp: np.ndarray, sentinel: int, cond: str) -> np.ndarray:
     if cond == "I":
         # Unconditional 2-D Lorenzo is a separable finite difference, so its
@@ -144,34 +180,44 @@ def _inverse_2d(qp: np.ndarray, sentinel: int, cond: str) -> np.ndarray:
     na, nb = shape[-2], shape[-1]
     batch = int(np.prod(shape[:-2], dtype=np.int64)) if qp.ndim > 2 else 1
     q = qp.reshape(batch, na, nb).copy()
-    for k in range(1, na + nb - 1):
-        i = np.arange(max(0, k - nb + 1), min(na - 1, k) + 1)
-        j = k - i
-        has_top = i > 0
-        has_left = j > 0
-        i_t = np.where(has_top, i - 1, 0)
-        j_l = np.where(has_left, j - 1, 0)
-        top = np.where(has_top[None, :], q[:, i_t, j], 0)
-        left = np.where(has_left[None, :], q[:, i, j_l], 0)
-        lt = np.where((has_top & has_left)[None, :], q[:, i_t, j_l], 0)
+    for i, j, has_top, has_left, has_lt, i_t, j_l in _diag_indices_2d(na, nb):
+        top = np.where(has_top, q[:, i_t, j], 0)
+        left = np.where(has_left, q[:, i, j_l], 0)
+        lt = np.where(has_lt, q[:, i_t, j_l], 0)
         c = compensation("2d", cond, sentinel, left, top, lt)
         q[:, i, j] += c
     return q.reshape(shape)
 
 
-def _inverse_3d(qp: np.ndarray, sentinel: int, cond: str) -> np.ndarray:
-    if qp.ndim < 3:
-        raise ValueError("3d QP requires a rank >= 3 pass array")
-    shape = qp.shape
-    na, nb, nc = shape[-3], shape[-2], shape[-1]
-    batch = int(np.prod(shape[:-3], dtype=np.int64)) if qp.ndim > 3 else 1
-    q = qp.reshape(batch, na, nb, nc).copy()
+@lru_cache(maxsize=8)
+def _diag_indices_3d(na: int, nb: int, nc: int):
+    """Sorted i+j+k wavefront gather indices for the 3-D inverse, built once
+    per pass-array shape (the np.indices/argsort work dominates small passes)."""
     I, J, K = np.indices((na, nb, nc)).reshape(3, -1)
     diag = I + J + K
     order = np.argsort(diag, kind="stable")
     I, J, K, diag = I[order], J[order], K[order], diag[order]
     bounds = np.searchsorted(diag, np.arange(diag[-1] + 2))
-    for d in range(1, int(diag[-1]) + 1):
+    for a in (I, J, K, bounds):
+        a.setflags(write=False)
+    return I, J, K, int(diag[-1]), bounds
+
+
+def _inverse_3d(qp: np.ndarray, sentinel: int, cond: str) -> np.ndarray:
+    if qp.ndim < 3:
+        raise ValueError("3d QP requires a rank >= 3 pass array")
+    if cond == "I":
+        # The unconditional 3-D Lorenzo difference is separable too: its
+        # inverse is one prefix sum per axis.
+        q = np.cumsum(qp, axis=-1)
+        q = np.cumsum(q, axis=-2)
+        return np.cumsum(q, axis=-3)
+    shape = qp.shape
+    na, nb, nc = shape[-3], shape[-2], shape[-1]
+    batch = int(np.prod(shape[:-3], dtype=np.int64)) if qp.ndim > 3 else 1
+    q = qp.reshape(batch, na, nb, nc).copy()
+    I, J, K, max_diag, bounds = _diag_indices_3d(na, nb, nc)
+    for d in range(1, max_diag + 1):
         sl = slice(bounds[d], bounds[d + 1])
         i, j, k = I[sl], J[sl], K[sl]
         hb, ht, hl = i > 0, j > 0, k > 0

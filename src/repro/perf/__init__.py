@@ -1,0 +1,9 @@
+"""Performance observability: per-stage pipeline profiling and counters.
+
+See :mod:`repro.perf.profiler` for the design and docs/performance.md for
+usage; ``tools/bench.py`` builds the repo's regression baseline on top of
+this module.
+"""
+from .profiler import PipelineProfiler, active_profiler, add_bytes, profile, stage
+
+__all__ = ["PipelineProfiler", "profile", "stage", "add_bytes", "active_profiler"]

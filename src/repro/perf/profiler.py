@@ -1,0 +1,138 @@
+"""Pipeline profiler: per-stage wall-clock and byte counters.
+
+Extends :class:`repro.utils.timer.Stopwatch` with byte counters and a
+module-level activation switch so the hot paths can be instrumented with
+*zero overhead when profiling is off*: every instrumentation point is
+
+    with stage("predict"):
+        ...
+
+and :func:`stage` returns a shared no-op context manager (one global read,
+one ``is None`` test) unless a profiler has been activated via
+:func:`profile`.  Activating a profiler never changes any compressed bytes —
+the hooks only observe timings and sizes.
+
+Stage names used across the stack (see docs/performance.md):
+
+``predict``    interpolation predictions (compress + decompress)
+``quantize``   linear quantization / dequantization
+``qp``         quantization index prediction transform (forward + inverse)
+``huffman``    entropy coding (Huffman or range coder)
+``lossless``   byte-stream backend (zlib/LZ77/RLE)
+"""
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..utils.timer import Stopwatch, throughput_mbs
+
+__all__ = ["PipelineProfiler", "profile", "stage", "add_bytes", "active_profiler"]
+
+
+@dataclass
+class PipelineProfiler(Stopwatch):
+    """Stopwatch plus per-stage byte counters and a throughput report."""
+
+    bytes_seen: dict[str, int] = field(default_factory=dict)
+
+    def add_bytes(self, name: str, nbytes: int) -> None:
+        self.bytes_seen[name] = self.bytes_seen.get(name, 0) + int(nbytes)
+
+    def report(self, nbytes: int | None = None) -> dict[str, Any]:
+        """Per-stage seconds / bytes / MB/s.
+
+        ``nbytes`` (the uncompressed array size) supplies each stage's
+        throughput denominator so stages are comparable; stages that recorded
+        their own byte counts also report those.
+        """
+        stages: dict[str, Any] = {}
+        for name in sorted(set(self.totals) | set(self.bytes_seen)):
+            seconds = self.totals.get(name, 0.0)
+            entry: dict[str, Any] = {"seconds": seconds}
+            if name in self.bytes_seen:
+                entry["bytes"] = self.bytes_seen[name]
+            if nbytes is not None and seconds > 0:
+                entry["mb_per_s"] = throughput_mbs(nbytes, seconds)
+            stages[name] = entry
+        return {"stages": stages, "total_s": self.total()}
+
+
+class _NullContext:
+    """Reusable no-op context manager (cheaper than contextlib.nullcontext)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL = _NullContext()
+
+#: the currently active profiler (None = profiling off, hooks are no-ops)
+_ACTIVE: PipelineProfiler | None = None
+
+
+def active_profiler() -> PipelineProfiler | None:
+    return _ACTIVE
+
+
+@contextmanager
+def profile(profiler: PipelineProfiler | None = None) -> Iterator[PipelineProfiler]:
+    """Activate ``profiler`` (or a fresh one) for the duration of the block."""
+    global _ACTIVE
+    prof = profiler if profiler is not None else PipelineProfiler()
+    prev = _ACTIVE
+    _ACTIVE = prof
+    try:
+        yield prof
+    finally:
+        _ACTIVE = prev
+
+
+class _StageTimer:
+    """Context manager accumulating one named segment into the profiler.
+
+    A tiny dedicated class (rather than ``Stopwatch.section``) keeps the
+    per-call overhead low on hot paths that enter a stage thousands of times.
+    """
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: PipelineProfiler, name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._start = time.perf_counter()
+
+    def __exit__(self, *exc: object) -> bool:
+        totals = self._profiler.totals
+        totals[self._name] = (
+            totals.get(self._name, 0.0) + time.perf_counter() - self._start
+        )
+        return False
+
+
+def stage(name: str):
+    """Instrumentation hook: time the enclosed block under ``name``.
+
+    Returns a shared no-op when profiling is inactive, so the hook costs a
+    single global read on production paths.
+    """
+    prof = _ACTIVE
+    if prof is None:
+        return _NULL
+    return _StageTimer(prof, name)
+
+
+def add_bytes(name: str, nbytes: int) -> None:
+    """Record ``nbytes`` flowing through stage ``name`` (no-op when off)."""
+    prof = _ACTIVE
+    if prof is not None:
+        prof.add_bytes(name, nbytes)

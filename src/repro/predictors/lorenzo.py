@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..perf import stage
+
 __all__ = ["LorenzoResult", "lorenzo_encode", "lorenzo_decode"]
 
 _OVERFLOW_LIMIT = 1 << 60
@@ -39,14 +41,19 @@ class LorenzoResult:
 
 
 def lorenzo_encode(
-    data: np.ndarray, error_bound: float, radius: int = 32768
-) -> tuple[LorenzoResult, np.ndarray]:
+    data: np.ndarray, error_bound: float, radius: int = 32768,
+    want_recon: bool = True,
+) -> tuple[LorenzoResult, np.ndarray | None]:
     """Encode ``data`` with dual-quantization Lorenzo.
 
     Returns the residual container plus the reconstruction (bit-identical to
-    what decompression produces), which satisfies ``|data - recon| <= eb`` in
+    what decompression produces), which satisfies ``|d - recon| <= eb`` in
     real arithmetic; floating-point rounding can inflate the bound by one ULP
     of ``eb`` (e.g. 3.7 at eb=0.1), the same behaviour as cuSZ's dual-quant.
+
+    ``want_recon=False`` skips materializing the reconstruction (returned as
+    ``None``) — used by entropy-only trials such as SZ3's predictor selection,
+    where only the residual statistics matter.
     """
     if error_bound <= 0:
         raise ValueError("error_bound must be positive")
@@ -62,12 +69,14 @@ def lorenzo_encode(
     scale = absmax / two_eb
     if scale >= _OVERFLOW_LIMIT:
         raise ValueError("error bound too small for dual-quantization range")
-    t = np.rint(data.astype(np.float64) / two_eb).astype(np.int64)
-    recon = (t * two_eb).astype(data.dtype)
+    with stage("quantize"):
+        t = np.rint(data.astype(np.float64) / two_eb).astype(np.int64)
+        recon = (t * two_eb).astype(data.dtype) if want_recon else None
 
-    q = t
-    for ax in range(q.ndim):
-        q = np.diff(q, axis=ax, prepend=0)
+    with stage("predict"):
+        q = t
+        for ax in range(q.ndim):
+            q = np.diff(q, axis=ax, prepend=0)
 
     sentinel = -radius
     escape_mask = np.abs(q) >= radius
@@ -92,7 +101,9 @@ def lorenzo_decode(result: LorenzoResult, error_bound: float, dtype=np.float64) 
         raise ValueError("escape count mismatch")
     if result.escapes.size:
         q[mask] = result.escapes
-    for ax in range(q.ndim):
-        q = np.cumsum(q, axis=ax)
+    with stage("predict"):
+        for ax in range(q.ndim):
+            q = np.cumsum(q, axis=ax)
     two_eb = result.step if result.step > 0 else 2.0 * error_bound
-    return (q * two_eb).astype(dtype)
+    with stage("quantize"):
+        return (q * two_eb).astype(dtype)

@@ -65,19 +65,27 @@ class LinearQuantizer:
         values = np.asarray(values)
         preds = np.asarray(preds, dtype=values.dtype)
         two_eb = 2.0 * self.error_bound
-        diff = values.astype(np.float64) - preds.astype(np.float64)
-        q = np.rint(diff / two_eb)
+        # the float64 pipeline below matches q = rint((d - p) / 2e) and
+        # d' = p + 2e*q bit-for-bit; casts are folded into the ufuncs and
+        # intermediates reused in place instead of materializing temporaries
+        q = np.subtract(values, preds, dtype=np.float64)
+        np.divide(q, two_eb, out=q)
+        np.rint(q, out=q)
         unpred = np.abs(q) >= self.radius
         q[unpred] = 0.0
         qi = q.astype(np.int64)
-        decoded = (preds.astype(np.float64) + two_eb * q).astype(values.dtype)
+        np.multiply(q, two_eb, out=q)
+        np.add(preds, q, out=q, dtype=np.float64)
+        decoded = q.astype(values.dtype)
         # Floating-point guard: reject any point whose reconstruction misses
         # the bound (can happen at extreme magnitudes), mirroring SZ3.
-        bad = np.abs(decoded.astype(np.float64) - values.astype(np.float64)) > self.error_bound
-        unpred |= bad
+        bad = np.subtract(decoded, values, dtype=np.float64)
+        np.abs(bad, out=bad)
+        unpred |= bad > self.error_bound
         qi[unpred] = self.sentinel
-        decoded = np.where(unpred, values, decoded)
-        return QuantResult(indices=qi, decoded=decoded, literals=values[unpred].ravel())
+        literals = values[unpred].ravel()
+        decoded[unpred] = literals
+        return QuantResult(indices=qi, decoded=decoded, literals=literals)
 
     def dequantize(
         self, indices: np.ndarray, preds: np.ndarray, literals: np.ndarray
@@ -96,7 +104,9 @@ class LinearQuantizer:
                 f"literal count mismatch: mask has {n_unpred}, stream has {literals.size}"
             )
         two_eb = 2.0 * self.error_bound
-        out = (preds.astype(np.float64) + two_eb * indices).astype(preds.dtype)
+        t = np.multiply(two_eb, indices)
+        np.add(preds, t, out=t, dtype=np.float64)
+        out = t.astype(preds.dtype)
         if n_unpred:
             out[unpred] = literals.astype(preds.dtype)
         return out

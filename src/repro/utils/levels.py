@@ -14,10 +14,17 @@ Terminology follows Section IV-A of the paper:
 
 Passes are expressed as tuples of slices into the working array, so the
 compressors operate on strided *views* — no index arrays, no copies.
+
+All schedule builders are memoized on their (hashable) arguments: pass
+schedules depend only on shape/level/axis order, and the engine rebuilds them
+for every volume, every HPEZ trial and every slab, so building each schedule
+once and returning an immutable tuple of frozen passes removes pure
+recomputation from the hot path.
 """
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -61,6 +68,7 @@ class Pass:
         return self.known
 
 
+@lru_cache(maxsize=1024)
 def num_levels(shape: tuple[int, ...]) -> int:
     """Number of interpolation levels: enough that the anchor grid along the
     longest axis has very few points (SZ3/QoZ behaviour)."""
@@ -74,6 +82,7 @@ def anchor_stride(shape: tuple[int, ...]) -> int:
     return 1 << num_levels(shape)
 
 
+@lru_cache(maxsize=1024)
 def anchor_slices(shape: tuple[int, ...]) -> tuple[slice, ...]:
     s = anchor_stride(shape)
     return tuple(slice(0, None, s) for _ in shape)
@@ -85,12 +94,22 @@ def _axis_len(n: int, sl: slice) -> int:
 
 def level_passes(
     shape: tuple[int, ...], level: int, axis_order: tuple[int, ...] | None = None
-) -> list[Pass]:
+) -> tuple[Pass, ...]:
     """Enumerate the passes of one level in the given axis order.
 
     Axes whose extent yields no targets at this stride are skipped (their
     pass is empty), but they still count as "done" for subsequent passes.
+    The result is an immutable, memoized schedule tuple.
     """
+    if axis_order is not None:
+        axis_order = tuple(axis_order)
+    return _level_passes_cached(tuple(shape), level, axis_order)
+
+
+@lru_cache(maxsize=4096)
+def _level_passes_cached(
+    shape: tuple[int, ...], level: int, axis_order: tuple[int, ...] | None
+) -> tuple[Pass, ...]:
     ndim = len(shape)
     if axis_order is None:
         axis_order = tuple(range(ndim))
@@ -119,7 +138,7 @@ def level_passes(
         passes.append(
             Pass(level=level, axis=axis, known=tuple(known), target=tuple(target), n_targets=n_targets)
         )
-    return passes
+    return tuple(passes)
 
 
 def pass_sizes(shape: tuple[int, ...], p: "Pass | MDPass") -> tuple[int, ...]:
@@ -158,11 +177,13 @@ class MDPass:
         return tuple(known)
 
 
-def level_passes_multidim(shape: tuple[int, ...], level: int) -> list[MDPass]:
+@lru_cache(maxsize=4096)
+def level_passes_multidim(shape: tuple[int, ...], level: int) -> tuple[MDPass, ...]:
     """Enumerate multi-dimensional passes of one level, by parity-class size.
 
     Classes with fewer odd axes come first (their neighbours are already
     known); together with the anchors they tile the level's grid exactly.
+    The result is an immutable, memoized schedule tuple.
     """
     from itertools import combinations
 
@@ -178,4 +199,4 @@ def level_passes_multidim(shape: tuple[int, ...], level: int) -> list[MDPass]:
             if any(_axis_len(shape[a], target[a]) == 0 for a in range(ndim)):
                 continue
             passes.append(MDPass(level=level, axes=axes, target=target))
-    return passes
+    return tuple(passes)

@@ -1,0 +1,73 @@
+"""Smoke test for the per-stage pipeline benchmark harness.
+
+Runs ``tools/bench.py --smoke`` in-process (tiny grids, one repeat) and
+validates the JSON it emits, so the harness every performance PR depends on
+cannot silently rot.
+"""
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parents[1] / "tools"
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    sys.path.insert(0, str(TOOLS))
+    try:
+        import bench
+    finally:
+        sys.path.remove(str(TOOLS))
+    out = tmp_path_factory.mktemp("bench") / "BENCH_pipeline.json"
+    assert bench.main(["--smoke", "--out", str(out)]) == 0
+    with open(out) as fh:
+        return json.load(fh)
+
+
+def test_report_envelope(report):
+    assert report["schema_version"] == 1
+    assert report["smoke"] is True
+    assert report["has_stage_profiler"] is True
+    assert report["rel_error_bound"] == 1e-3
+    assert isinstance(report["python"], str) and isinstance(report["numpy"], str)
+
+
+def test_full_matrix_present(report):
+    # 4 bases x qp on/off on the smoke grid (no parallel row in smoke mode)
+    combos = {(r["base"], r["qp"]) for r in report["results"]}
+    assert combos == {
+        (base, qp) for base in ("sz3", "qoz", "hpez", "mgard") for qp in (False, True)
+    }
+
+
+def test_row_schema(report):
+    required = {
+        "base", "qp", "dataset", "shape", "error_bound", "compressed_bytes",
+        "ratio", "compress_s", "decompress_s", "compress_mbs",
+        "decompress_mbs", "max_error", "stages",
+    }
+    for row in report["results"]:
+        assert required <= set(row)
+        assert row["compressed_bytes"] > 0
+        assert row["ratio"] > 1.0
+        assert row["compress_mbs"] > 0 and row["decompress_mbs"] > 0
+        assert row["max_error"] <= row["error_bound"] * (1 + 1e-9)
+
+
+def test_stage_profiles_recorded(report):
+    for row in report["results"]:
+        stages = row["stages"]
+        assert set(stages) == {"compress", "decompress"}
+        for direction in ("compress", "decompress"):
+            entry = stages[direction]
+            assert entry["total_s"] > 0
+            # the interpolation pipeline must at least hit these stages
+            assert {"predict", "quantize", "huffman", "lossless"} <= set(
+                entry["stages"]
+            )
+            # sz3's auto predictor may pick the Lorenzo path (no QP stage);
+            # the other bases always run the interpolation engine
+            if row["qp"] and row["base"] != "sz3":
+                assert "qp" in entry["stages"]

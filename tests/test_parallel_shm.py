@@ -1,0 +1,145 @@
+"""ParallelCompressor: shared-memory transport, persistent pool, QP routing.
+
+These exercise the rewritten parallel path: slab payloads travel through
+``multiprocessing.shared_memory`` (not the pickle pipe), the worker pool is
+reused across calls, decompression writes slabs into one preallocated output
+array, and QP is routed by the registry capability flag instead of a
+hardcoded base-name list.
+"""
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import QPConfig
+from repro.compressors import supports_qp
+from repro.compressors.registry import COMPRESSORS
+from repro.parallel import ParallelCompressor
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return repro.generate("miranda", shape=(40, 32, 32), seed=0)
+
+
+def _eb(data):
+    return 1e-3 * float(data.max() - data.min())
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("base", COMPRESSORS)
+    def test_all_bases_workers2(self, volume, base):
+        eb = _eb(volume)
+        comp = ParallelCompressor(base, eb, workers=2)
+        try:
+            out = comp.decompress(comp.compress(volume))
+        finally:
+            comp.close()
+        assert out.shape == volume.shape
+        if base not in ("zfp", "tthresh"):  # fixed-rate/HOSVD bound semantics differ
+            assert np.abs(out - volume).max() <= eb * (1 + 1e-6)
+
+    @pytest.mark.parametrize("qp_on", [False, True])
+    def test_qp_on_off(self, volume, qp_on):
+        eb = _eb(volume)
+        kw = {"qp": QPConfig()} if qp_on else {}
+        comp = ParallelCompressor("sz3", eb, workers=2, **kw)
+        try:
+            out = comp.decompress(comp.compress(volume))
+        finally:
+            comp.close()
+        assert np.abs(out - volume).max() <= eb * (1 + 1e-6)
+
+    def test_non_contiguous_input(self, volume):
+        eb = _eb(volume)
+        nc = volume.transpose(2, 0, 1)
+        assert not nc.flags["C_CONTIGUOUS"]
+        comp = ParallelCompressor("sz3", eb, workers=2)
+        try:
+            out = comp.decompress(comp.compress(nc))
+        finally:
+            comp.close()
+        assert out.shape == nc.shape
+        assert np.abs(out - nc).max() <= eb * (1 + 1e-6)
+
+    def test_short_axis_fewer_slabs_than_workers(self):
+        # longest axis < 8 * workers: slab count clamps but round-trip holds
+        data = repro.generate("miranda", shape=(12, 10, 10), seed=3)
+        eb = _eb(data)
+        comp = ParallelCompressor("sz3", eb, workers=4)
+        try:
+            out = comp.decompress(comp.compress(data))
+        finally:
+            comp.close()
+        assert np.abs(out - data).max() <= eb * (1 + 1e-6)
+
+
+class TestSharedMemoryPath:
+    def test_parallel_bytes_match_serial(self, volume):
+        # the SHM transport must not change what gets compressed: the
+        # container from 4 workers equals the serial 4-slab container
+        eb = _eb(volume)
+        par = ParallelCompressor("sz3", eb, workers=4, n_slabs=4, qp=QPConfig())
+        ser = ParallelCompressor("sz3", eb, workers=1, n_slabs=4, qp=QPConfig())
+        try:
+            assert par.compress(volume) == ser.compress(volume)
+        finally:
+            par.close()
+            ser.close()
+
+    def test_pool_persists_across_calls(self, volume):
+        eb = _eb(volume)
+        comp = ParallelCompressor("sz3", eb, workers=2)
+        try:
+            blob1 = comp.compress(volume)
+            pool = comp._pool
+            assert pool is not None
+            blob2 = comp.compress(volume)
+            assert comp._pool is pool  # same executor object, not a new one
+            assert blob1 == blob2
+            comp.decompress(blob1)
+            assert comp._pool is pool
+        finally:
+            comp.close()
+        assert comp._pool is None
+
+    def test_pickle_fallback_matches_shm(self, volume, monkeypatch):
+        eb = _eb(volume)
+        comp = ParallelCompressor("sz3", eb, workers=2, n_slabs=2)
+        try:
+            via_shm = comp.compress(volume)
+            monkeypatch.setattr("repro.parallel._shm", None)
+            via_pipe = comp.compress(volume)
+            assert via_shm == via_pipe
+            out = comp.decompress(via_pipe)
+        finally:
+            comp.close()
+        assert np.abs(out - volume).max() <= eb * (1 + 1e-6)
+
+
+class TestQPRouting:
+    def test_capability_flags(self):
+        assert supports_qp("sz3") and supports_qp("qoz")
+        assert supports_qp("hpez") and supports_qp("mgard") and supports_qp("sperr")
+        assert not supports_qp("zfp")
+        assert not supports_qp("tthresh")
+        with pytest.raises(KeyError):
+            supports_qp("nope")
+
+    @pytest.mark.parametrize("base", ["zfp", "tthresh"])
+    def test_qp_on_incapable_base_raises(self, base):
+        with pytest.raises(ValueError, match="does not support quantization"):
+            ParallelCompressor(base, 1e-3, workers=2, qp=QPConfig())
+
+    @pytest.mark.parametrize("base", ["zfp", "tthresh"])
+    def test_disabled_qp_on_incapable_base_ok(self, volume, base):
+        comp = ParallelCompressor(base, _eb(volume), workers=1,
+                                  qp=QPConfig.disabled())
+        out = comp.decompress(comp.compress(volume))
+        assert out.shape == volume.shape
+
+    def test_qp_changes_sperr_stream(self, volume):
+        # sperr gained the capability flag: QP must actually reach the base
+        eb = _eb(volume)
+        plain = ParallelCompressor("sperr", eb, workers=1, n_slabs=2)
+        qp = ParallelCompressor("sperr", eb, workers=1, n_slabs=2, qp=QPConfig())
+        assert plain.compress(volume) != qp.compress(volume)

@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Per-stage pipeline benchmark: the repo's performance regression baseline.
+
+Runs the synthetic datasets through the four interpolation-based compressors
+(SZ3/QoZ/HPEZ/MGARD) with QP on and off, measures end-to-end compression and
+decompression throughput plus — when the :mod:`repro.perf` profiler is
+available — per-stage (predict/quantize/qp/huffman/lossless) wall-clock and
+byte counters, and writes everything to ``BENCH_pipeline.json``.
+
+Every future performance PR reruns this harness and compares against the
+committed JSON, so regressions in any stage are visible immediately.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py                  # full run
+    PYTHONPATH=src python tools/bench.py --smoke          # tiny grids, seconds
+    PYTHONPATH=src python tools/bench.py --out other.json --repeats 5
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Any
+
+import numpy as np
+
+import repro
+from repro.core import QPConfig
+from repro.compressors import get_compressor
+from repro.parallel import ParallelCompressor
+from repro.utils.timer import throughput_mbs
+
+try:  # per-stage profiling (added with the perf subsystem; optional so the
+    # harness can also measure trees that predate it)
+    from repro import perf
+except ImportError:  # pragma: no cover - legacy trees only
+    perf = None
+
+SCHEMA_VERSION = 1
+
+#: benchmark matrix: the four interpolation-based compressors QP integrates with
+BASES = ("sz3", "qoz", "hpez", "mgard")
+
+#: (dataset, shape) pairs; the 3-D synthetic dataset is the headline row
+FULL_GRIDS = [("miranda", (64, 96, 96)), ("s3d", (48, 48, 48))]
+SMOKE_GRIDS = [("miranda", (16, 20, 24))]
+
+REL_EB = 1e-3
+
+
+def _time_best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _stage_profile(compressor, data: np.ndarray, blob: bytes) -> dict[str, Any]:
+    """One profiled compress + decompress; returns per-stage seconds/bytes."""
+    if perf is None:
+        return {}
+    out: dict[str, Any] = {}
+    for direction, fn in (
+        ("compress", lambda: compressor.compress(data)),
+        ("decompress", lambda: compressor.decompress(blob)),
+    ):
+        profiler = perf.PipelineProfiler()
+        with perf.profile(profiler):
+            fn()
+        out[direction] = profiler.report(nbytes=data.nbytes)
+    return out
+
+
+def bench_one(
+    base: str,
+    data: np.ndarray,
+    eb: float,
+    qp: QPConfig | None,
+    repeats: int,
+) -> dict[str, Any]:
+    kwargs: dict[str, Any] = {}
+    if qp is not None:
+        kwargs["qp"] = qp
+    comp = get_compressor(base, eb, **kwargs)
+    blob = comp.compress(data)
+    out = comp.decompress(blob)
+    err = float(np.abs(out.astype(np.float64) - data.astype(np.float64)).max())
+    if err > eb * (1 + 1e-9):
+        raise RuntimeError(f"{base}: error bound violated ({err} > {eb})")
+    c_s = _time_best(lambda: comp.compress(data), repeats)
+    d_s = _time_best(lambda: comp.decompress(blob), repeats)
+    return {
+        "base": base,
+        "qp": bool(qp is not None and qp.enabled),
+        "error_bound": eb,
+        "compressed_bytes": len(blob),
+        "ratio": data.nbytes / len(blob),
+        "compress_s": c_s,
+        "decompress_s": d_s,
+        "compress_mbs": throughput_mbs(data.nbytes, c_s),
+        "decompress_mbs": throughput_mbs(data.nbytes, d_s),
+        "max_error": err,
+        "stages": _stage_profile(comp, data, blob),
+    }
+
+
+def bench_parallel(
+    data: np.ndarray, eb: float, qp: QPConfig, workers: int, repeats: int
+) -> dict[str, Any]:
+    comp = ParallelCompressor("sz3", eb, workers=workers, qp=qp)
+    blob = comp.compress(data)  # warm the persistent pool
+    out = comp.decompress(blob)
+    err = float(np.abs(out.astype(np.float64) - data.astype(np.float64)).max())
+    c_s = _time_best(lambda: comp.compress(data), repeats)
+    d_s = _time_best(lambda: comp.decompress(blob), repeats)
+    return {
+        "base": f"sz3-parallel-{workers}",
+        "qp": qp.enabled,
+        "error_bound": eb,
+        "compressed_bytes": len(blob),
+        "ratio": data.nbytes / len(blob),
+        "compress_s": c_s,
+        "decompress_s": d_s,
+        "compress_mbs": throughput_mbs(data.nbytes, c_s),
+        "decompress_mbs": throughput_mbs(data.nbytes, d_s),
+        "max_error": err,
+        "stages": {},
+    }
+
+
+def run(
+    grids: list[tuple[str, tuple[int, ...]]],
+    repeats: int,
+    workers: int,
+) -> dict[str, Any]:
+    results: list[dict[str, Any]] = []
+    for dataset, shape in grids:
+        data = repro.generate(dataset, shape=shape, seed=0)
+        eb = REL_EB * float(data.max() - data.min())
+        for base in BASES:
+            for qp in (None, QPConfig()):
+                row = bench_one(base, data, eb, qp, repeats)
+                row.update({"dataset": dataset, "shape": list(shape)})
+                results.append(row)
+                print(
+                    f"{dataset} {base:5s} qp={'on ' if row['qp'] else 'off'}"
+                    f"  CR={row['ratio']:7.2f}"
+                    f"  comp={row['compress_mbs']:8.2f} MB/s"
+                    f"  decomp={row['decompress_mbs']:8.2f} MB/s",
+                    flush=True,
+                )
+        if workers > 1:
+            row = bench_parallel(data, eb, QPConfig(), workers, repeats)
+            row.update({"dataset": dataset, "shape": list(shape)})
+            results.append(row)
+            print(
+                f"{dataset} sz3-parallel-{workers} qp=on "
+                f"  CR={row['ratio']:7.2f}"
+                f"  comp={row['compress_mbs']:8.2f} MB/s"
+                f"  decomp={row['decompress_mbs']:8.2f} MB/s",
+                flush=True,
+            )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "rel_error_bound": REL_EB,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "has_stage_profiler": perf is not None,
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true", help="tiny grids, one repeat")
+    ap.add_argument("--out", default="BENCH_pipeline.json")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--workers", type=int, default=4,
+                    help="slab-parallel workers (0 disables the parallel row)")
+    args = ap.parse_args(argv)
+
+    grids = SMOKE_GRIDS if args.smoke else FULL_GRIDS
+    repeats = 1 if args.smoke else args.repeats
+    workers = 0 if args.smoke else args.workers
+    report = run(grids, repeats, workers)
+    report["smoke"] = args.smoke
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=1)
+    print(f"wrote {args.out} ({len(report['results'])} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
