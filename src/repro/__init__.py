@@ -40,6 +40,16 @@ from .core import (
     slice_entropy,
 )
 from .datasets import DATASETS, generate, generate_all, table3_rows
+from .errors import (
+    CorruptArchiveError,
+    CorruptBlobError,
+    IntegrityError,
+    ReproError,
+    TransferError,
+    TransferFaultError,
+    TruncatedStreamError,
+    VersionError,
+)
 from .metrics import EvalResult, evaluate, psnr
 from .core.autotune import autotune_qp
 from .modes import PointwiseRelativeCompressor, relative_bound
@@ -82,5 +92,13 @@ __all__ = [
     "ParallelCompressor",
     "TemporalCompressor",
     "autotune_qp",
+    "ReproError",
+    "CorruptBlobError",
+    "TruncatedStreamError",
+    "VersionError",
+    "IntegrityError",
+    "CorruptArchiveError",
+    "TransferError",
+    "TransferFaultError",
     "__version__",
 ]

@@ -9,6 +9,7 @@ Commands
 ``dataset``       generate a synthetic benchmark field to ``.npy``
 ``characterize``  quantization-index statistics (Section IV analysis)
 ``sweep``         rate-distortion sweep across error bounds
+``faults``        seeded fault injection / corruption-matrix sweep on a blob
 """
 from __future__ import annotations
 
@@ -71,6 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eb", type=float, required=True, help="absolute error bound")
     p.add_argument("--rel", action="store_true",
                    help="interpret --eb relative to the value range")
+    p.add_argument("--checksum", action="store_true",
+                   help="seal the blob in the v1 integrity envelope (CRC32)")
     _add_qp_args(p)
 
     p = sub.add_parser("decompress", help="decompress a blob to .npy")
@@ -110,6 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eb", type=float, required=True)
     p.add_argument("--rel", action="store_true")
     p.add_argument("--shape", default=None, help="comma-separated dims override")
+    p.add_argument("--checksum", action="store_true",
+                   help="seal each blob in the v1 integrity envelope (CRC32)")
     _add_qp_args(p)
 
     p = sub.add_parser("extract", help="extract one field from an archive")
@@ -126,6 +131,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated relative error bounds")
     p.add_argument("--qp", action="store_true",
                    help="also evaluate each compressor with QP")
+
+    p = sub.add_parser(
+        "faults", help="seeded fault injection on a blob (inject or matrix)"
+    )
+    p.add_argument("input", help="blob file to corrupt")
+    p.add_argument("--injector", default=None, choices=("flip", "truncate",
+                   "splice", "tamper"),
+                   help="apply one injector and write the result (needs -o); "
+                        "omit to run the full corruption matrix")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seeds", type=int, default=3,
+                   help="seeds per injector in matrix mode")
+    p.add_argument("--output", "-o", default=None,
+                   help="output file for single-injector mode")
+    p.add_argument("--deadline", type=float, default=10.0,
+                   help="per-decode deadline (seconds) in matrix mode")
     return parser
 
 
@@ -140,7 +161,7 @@ def main(argv: list[str] | None = None) -> int:
 def _cmd_compress(args) -> int:
     data = np.load(args.input)
     comp = _make_compressor(args, data)
-    blob = comp.compress(data)
+    blob = comp.compress(data, checksum=getattr(args, "checksum", False))
     with open(args.output, "wb") as f:
         f.write(blob)
     print(f"{args.input}: {data.nbytes} -> {len(blob)} bytes "
@@ -162,11 +183,14 @@ def _cmd_decompress(args) -> int:
 
 def _cmd_info(args) -> int:
     from .compressors.base import Blob
+    from .io import integrity
 
     with open(args.input, "rb") as f:
-        blob = Blob.from_bytes(f.read())
+        raw = f.read()
+    blob = Blob.from_bytes(raw)
     header = dict(blob.header)
     header["section_sizes"] = {k: len(v) for k, v in blob.sections.items()}
+    header["envelope"] = integrity.envelope_info(raw)
     print(json.dumps(header, indent=2, default=str))
     return 0
 
@@ -262,7 +286,7 @@ def _cmd_archive(args) -> int:
     blobs = {}
     for fname, data in fields.items():
         comp = _make_compressor_for(args, data)
-        blob = comp.compress(data)
+        blob = comp.compress(data, checksum=getattr(args, "checksum", False))
         blobs[fname] = blob
         raw += data.nbytes
         comp_total += len(blob)
@@ -292,6 +316,34 @@ def _cmd_extract(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from .compressors import decompress_any
+    from .testing import inject, run_corruption_matrix
+
+    with open(args.input, "rb") as f:
+        blob = f.read()
+    if args.injector:
+        corrupted = inject(blob, args.injector, seed=args.seed)
+        if not args.output:
+            print("--injector requires --output", file=sys.stderr)
+            return 2
+        with open(args.output, "wb") as f:
+            f.write(corrupted)
+        print(f"{args.input}: {args.injector}(seed={args.seed}) -> "
+              f"{args.output} ({len(blob)} -> {len(corrupted)} bytes)")
+        return 0
+    results = run_corruption_matrix(
+        blob, decompress_any, seeds=range(args.seeds), deadline_s=args.deadline
+    )
+    for r in results:
+        print(f"{r.injector:<10} seed={r.seed}  {r.outcome:<10} "
+              f"{r.elapsed_s * 1e3:8.2f} ms  {r.detail}")
+    bad = [r for r in results if not r.ok]
+    print(f"{len(results) - len(bad)}/{len(results)} cells ok "
+          f"(typed error or unchanged bytes)")
+    return 1 if bad else 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -302,6 +354,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "archive": _cmd_archive,
     "extract": _cmd_extract,
+    "faults": _cmd_faults,
 }
 
 

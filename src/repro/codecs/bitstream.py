@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import TruncatedStreamError
+
 __all__ = ["BitWriter", "BitReader", "pack_bits", "unpack_bits", "encode_codes_packed"]
 
 
@@ -22,7 +24,9 @@ def unpack_bits(data: bytes, nbits: int) -> np.ndarray:
     arr = np.frombuffer(data, dtype=np.uint8)
     bits = np.unpackbits(arr)
     if nbits > bits.size:
-        raise ValueError(f"requested {nbits} bits but buffer holds {bits.size}")
+        raise TruncatedStreamError(
+            f"requested {nbits} bits but buffer holds {bits.size}"
+        )
     return bits[:nbits]
 
 
@@ -162,7 +166,7 @@ class BitReader:
 
     def read_bit(self) -> int:
         if self.pos >= self._bits.size:
-            raise EOFError("bitstream exhausted")
+            raise TruncatedStreamError("bitstream exhausted")
         bit = int(self._bits[self.pos])
         self.pos += 1
         return bit
@@ -171,7 +175,7 @@ class BitReader:
         if width == 0:
             return 0
         if self.pos + width > self._bits.size:
-            raise EOFError("bitstream exhausted")
+            raise TruncatedStreamError("bitstream exhausted")
         chunk = self._bits[self.pos:self.pos + width]
         self.pos += width
         value = 0
@@ -185,5 +189,5 @@ class BitReader:
 
     def advance(self, nbits: int) -> None:
         if self.pos + nbits > self._bits.size:
-            raise EOFError("bitstream exhausted")
+            raise TruncatedStreamError("bitstream exhausted")
         self.pos += nbits

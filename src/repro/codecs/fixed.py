@@ -10,6 +10,8 @@ import struct
 
 import numpy as np
 
+from ..errors import CorruptBlobError, TruncatedStreamError
+
 __all__ = ["encode_fixed", "decode_fixed"]
 
 _MAGIC = b"FIX1"
@@ -31,10 +33,19 @@ def encode_fixed(values: np.ndarray) -> bytes:
 
 def decode_fixed(data: bytes) -> np.ndarray:
     if data[:4] != _MAGIC:
-        raise ValueError("not a fixed-width container")
+        raise CorruptBlobError("not a fixed-width container")
+    if len(data) < 13:
+        raise TruncatedStreamError("fixed-width container header truncated")
     n, width = struct.unpack_from("<QB", data, 4)
     if n == 0:
         return np.empty(0, dtype=np.int64)
+    if width == 0 or width > 64:
+        raise CorruptBlobError(f"fixed-width container has bit width {width}")
+    if n * width > 8 * (len(data) - 13):
+        raise TruncatedStreamError(
+            f"fixed-width container declares {n}x{width} bits, only "
+            f"{8 * (len(data) - 13)} present"
+        )
     bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8, offset=13))
     bits = bits[:n * width].reshape(n, width).astype(np.uint64)
     shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)

@@ -21,6 +21,8 @@ import struct
 
 import numpy as np
 
+from ..errors import CorruptBlobError, TruncatedStreamError
+
 __all__ = ["HuffmanCodec", "huffman_code_lengths", "canonical_codes"]
 
 MAX_CODE_LEN = 20
@@ -167,27 +169,74 @@ class HuffmanCodec:
     # -- decoding ---------------------------------------------------------
 
     def decode(self, data: bytes) -> np.ndarray:
+        """Decode a Huffman container.
+
+        Strict-validating: every header field is bounds-checked against the
+        available bytes, the code-length table must satisfy the Kraft
+        inequality (so the flat decode table cannot be indexed out of range),
+        cursors are checked every lockstep step, and each block must land
+        exactly on the next block's recorded bit offset.  Corrupt input
+        raises :class:`~repro.errors.CorruptBlobError` /
+        :class:`~repro.errors.TruncatedStreamError` in bounded time — never
+        a hang, never a silently mis-shaped array.
+        """
         if data[:4] != _MAGIC:
-            raise ValueError("not a Huffman container")
+            raise CorruptBlobError("not a Huffman container")
+        if len(data) < 20:
+            raise TruncatedStreamError("Huffman container header truncated")
         off = 4
         n, block_size, n_present = struct.unpack_from("<QII", data, off)
         off += 16
         if n == 0:
             return np.empty(0, dtype=np.int64)
+        if block_size == 0:
+            raise CorruptBlobError("Huffman container declares block size 0")
+        if n_present == 0:
+            raise CorruptBlobError(f"{n} symbols but an empty code table")
+        if off + 5 * n_present + 16 > len(data):
+            raise TruncatedStreamError("Huffman code table truncated")
         present = np.frombuffer(data, dtype=np.uint32, count=n_present, offset=off)
         off += 4 * n_present
         present_lens = np.frombuffer(data, dtype=np.uint8, count=n_present, offset=off)
         off += n_present
         n_blocks, total_bits = struct.unpack_from("<QQ", data, off)
         off += 16
+        if n_blocks != (n + block_size - 1) // block_size:
+            raise CorruptBlobError(
+                f"{n_blocks} block offsets inconsistent with {n} symbols "
+                f"in blocks of {block_size}"
+            )
+        if off + 8 * n_blocks > len(data):
+            raise TruncatedStreamError("Huffman block-offset table truncated")
         block_offsets = np.frombuffer(data, dtype=np.uint64, count=n_blocks, offset=off)
         off += 8 * n_blocks
+        if total_bits > 8 * (len(data) - off):
+            raise TruncatedStreamError(
+                f"Huffman payload declares {total_bits} bits, only "
+                f"{8 * (len(data) - off)} present"
+            )
+        if n > max(total_bits, 1):
+            raise CorruptBlobError(
+                f"{n} symbols cannot fit in {total_bits} payload bits"
+            )
+        if (np.diff(block_offsets.astype(np.int64)) < 0).any() or (
+            n_blocks and int(block_offsets[-1]) >= max(total_bits, 1)
+        ):
+            raise CorruptBlobError("Huffman block offsets out of order or range")
 
+        if int(present_lens.min()) == 0 or int(present_lens.max()) > MAX_CODE_LEN:
+            raise CorruptBlobError(
+                f"Huffman code lengths outside [1, {MAX_CODE_LEN}]"
+            )
         alphabet = int(present.max()) + 1
         lengths = np.zeros(alphabet, dtype=np.int64)
         lengths[present] = present_lens
         codes = canonical_codes(lengths)
         max_len = int(lengths.max())
+        # Kraft inequality: an over-subscribed length table would assign
+        # canonical codes past the table and corrupt the flat lookup
+        if int((1 << (max_len - lengths[np.nonzero(lengths)[0]])).sum()) > (1 << max_len):
+            raise CorruptBlobError("Huffman code-length table violates Kraft")
 
         # Flat decode table: for every max_len-bit window, the symbol whose
         # code prefixes it and that code's length.
@@ -222,6 +271,22 @@ class HuffmanCodec:
         for step in range(int(sizes.max())):
             active = sizes > step
             cur = cursors[active]
+            if cur.size and int(cur.max()) >= nbits:
+                raise TruncatedStreamError(
+                    "Huffman payload exhausted mid-block"
+                )
+            la = len_at[cur]
+            if not la.all():
+                raise CorruptBlobError(
+                    "bit window matches no Huffman code (invalid prefix)"
+                )
             out[starts[active] + step] = sym_at[cur]
-            cursors[active] = cur + len_at[cur]
+            cursors[active] = cur + la
+        # each block must land exactly where the next one starts — a decode
+        # that drifted out of code alignment cannot satisfy this
+        expected_ends = np.empty(n_blocks, dtype=np.int64)
+        expected_ends[:-1] = block_offsets[1:].astype(np.int64)
+        expected_ends[-1] = total_bits
+        if not np.array_equal(cursors, expected_ends):
+            raise CorruptBlobError("Huffman blocks misaligned after decode")
         return out

@@ -19,6 +19,8 @@ import zlib
 
 import numpy as np
 
+from ..errors import CorruptBlobError, TruncatedStreamError
+
 __all__ = ["compress", "decompress", "BACKENDS"]
 
 _ID_RAW = 0
@@ -50,20 +52,27 @@ def compress(data: bytes, backend: str = "zlib", level: int = 6) -> bytes:
 
 
 def decompress(blob: bytes) -> bytes:
+    if len(blob) < 9:
+        raise TruncatedStreamError("lossless container header truncated")
     backend_id, orig_size = struct.unpack_from("<BQ", blob, 0)
     payload = blob[9:]
-    if backend_id == _ID_RAW:
-        out = payload
-    elif backend_id == _ID_ZLIB:
-        out = zlib.decompress(payload)
-    elif backend_id == _ID_RLE:
-        out = _rle_decode(payload)
-    elif backend_id == _ID_LZ77:
-        out = _lz77_decode(payload)
-    else:
-        raise ValueError(f"unknown backend id {backend_id}")
+    try:
+        if backend_id == _ID_RAW:
+            out = payload
+        elif backend_id == _ID_ZLIB:
+            out = zlib.decompress(payload)
+        elif backend_id == _ID_RLE:
+            out = _rle_decode(payload)
+        elif backend_id == _ID_LZ77:
+            out = _lz77_decode(payload)
+        else:
+            raise CorruptBlobError(f"unknown backend id {backend_id}")
+    except zlib.error as exc:
+        raise CorruptBlobError(f"zlib payload corrupt: {exc}") from None
+    except (IndexError, struct.error):
+        raise TruncatedStreamError("lossless token stream truncated") from None
     if len(out) != orig_size:
-        raise ValueError("lossless payload corrupt: size mismatch")
+        raise CorruptBlobError("lossless payload corrupt: size mismatch")
     return out
 
 
@@ -121,7 +130,7 @@ def _rle_decode(data: bytes) -> bytes:
             out += data[pos + 3:pos + 3 + span]
             pos += 3 + span
         else:
-            raise ValueError("corrupt RLE stream")
+            raise CorruptBlobError("corrupt RLE stream")
     return bytes(out)
 
 
@@ -211,11 +220,11 @@ def _lz77_decode(data: bytes) -> bytes:
             dist, length = struct.unpack_from("<HH", data, pos + 1)
             start = len(out) - dist
             if start < 0:
-                raise ValueError("corrupt LZ77 stream: bad distance")
+                raise CorruptBlobError("corrupt LZ77 stream: bad distance")
             # overlapping copies must proceed byte-wise from the source
             for i in range(length):
                 out.append(out[start + i])
             pos += 5
         else:
-            raise ValueError("corrupt LZ77 stream")
+            raise CorruptBlobError("corrupt LZ77 stream")
     return bytes(out)

@@ -14,8 +14,11 @@ symbol range (tests/benchmarks scale accordingly).
 from __future__ import annotations
 
 import struct
+import zlib
 
 import numpy as np
+
+from ..errors import CorruptBlobError, IntegrityError, TruncatedStreamError
 
 __all__ = ["RangeCodec"]
 
@@ -23,6 +26,19 @@ _MASK32 = 0xFFFFFFFF
 _TOP = 1 << 24
 _BOT = 1 << 16
 _MAGIC = b"RNG1"
+#: v2 container: adds a CRC32 of the decoded symbol bytes, because an
+#: adaptive arithmetic stream has no internal redundancy — without the
+#: checksum a flipped payload bit decodes to plausible garbage silently
+_MAGIC_V2 = b"RNG2"
+
+#: decoder slack past the payload before declaring truncation (the encoder's
+#: flush emits exactly 4 tail bytes; anything further means bytes are missing)
+_TAIL_SLACK = 8
+
+#: ceiling on symbols per payload byte: the adaptive model's probability
+#: floor caps legitimate streams near ~700 symbols/byte, so anything beyond
+#: this is a corrupt count field, not data (and would loop for minutes)
+_MAX_SYMBOLS_PER_BYTE = 4096
 
 # adaptive bit model parameters
 _PROB_BITS = 12
@@ -96,7 +112,12 @@ class _Decoder:
                 self.range = (-self.low) & (_BOT - 1)
             else:
                 break
-            nxt = self.data[self.pos] if self.pos < len(self.data) else 0
+            if self.pos < len(self.data):
+                nxt = self.data[self.pos]
+            elif self.pos < len(self.data) + _TAIL_SLACK:
+                nxt = 0
+            else:
+                raise TruncatedStreamError("range-coded stream exhausted")
             self.pos += 1
             self.code = ((self.code << 8) | nxt) & _MASK32
             self.low = (self.low << 8) & _MASK32
@@ -153,13 +174,37 @@ class RangeCodec:
             for i in range(nbits - 2, -1, -1):  # MSB is implicit
                 payload_model.encode(enc, i, (v >> i) & 1)
         payload = enc.finish()
-        return _MAGIC + struct.pack("<Q", symbols.size) + payload
+        crc = zlib.crc32(symbols.tobytes()) & 0xFFFFFFFF
+        return _MAGIC_V2 + struct.pack("<QI", symbols.size, crc) + payload
 
     def decode(self, data: bytes) -> np.ndarray:
-        if data[:4] != _MAGIC:
-            raise ValueError("not a range-coder container")
-        (n,) = struct.unpack_from("<Q", data, 4)
-        dec = _Decoder(data[12:])
+        """Decode a range-coded container (v1 ``RNG1`` or v2 ``RNG2``).
+
+        v2 streams carry a CRC32 of the symbol array that is verified after
+        decoding — the only way to catch a mid-payload bit flip in an
+        adaptive arithmetic stream.  All failures are typed and bounded:
+        the symbol count is sanity-capped against the payload size so a
+        tampered header cannot drive an hours-long decode loop.
+        """
+        if data[:4] == _MAGIC_V2:
+            if len(data) < 16:
+                raise TruncatedStreamError("range-coder container truncated")
+            n, crc = struct.unpack_from("<QI", data, 4)
+            body = data[16:]
+        elif data[:4] == _MAGIC:
+            if len(data) < 12:
+                raise TruncatedStreamError("range-coder container truncated")
+            (n,) = struct.unpack_from("<Q", data, 4)
+            crc = None
+            body = data[12:]
+        else:
+            raise CorruptBlobError("not a range-coder container")
+        if n > _MAX_SYMBOLS_PER_BYTE * max(len(body), 1):
+            raise CorruptBlobError(
+                f"range-coder container declares {n} symbols for "
+                f"{len(body)} payload bytes"
+            )
+        dec = _Decoder(body)
         length_model = _BitModel(_N_MAG_CTX)
         payload_model = _BitModel(_N_MAG_CTX)
         out = np.empty(n, dtype=np.int64)
@@ -168,7 +213,7 @@ class RangeCodec:
             while length_model.decode(dec, nbits) == 1:
                 nbits += 1
                 if nbits >= _N_MAG_CTX:
-                    raise ValueError("corrupt range-coded stream")
+                    raise CorruptBlobError("corrupt range-coded stream")
             if nbits == 0:
                 v = 0
             else:
@@ -176,4 +221,6 @@ class RangeCodec:
                 for i in range(nbits - 2, -1, -1):
                     v = (v << 1) | payload_model.decode(dec, i)
             out[j] = (v >> 1) if (v & 1) == 0 else -((v + 1) >> 1)
+        if crc is not None and (zlib.crc32(out.tobytes()) & 0xFFFFFFFF) != crc:
+            raise IntegrityError("range-coded stream CRC32 mismatch")
         return out

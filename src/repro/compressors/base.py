@@ -21,12 +21,29 @@ from typing import Any
 import numpy as np
 
 from ..codecs import HuffmanCodec, compress as lossless_compress, decompress as lossless_decompress
+from ..errors import CorruptBlobError, ReproError, TruncatedStreamError
+from ..io.integrity import is_sealed, seal, unseal
 from ..perf import add_bytes, stage
 from ..utils.validation import check_error_bound, check_ndarray
 
 __all__ = ["Blob", "Compressor", "CompressionState", "encode_index_stream", "decode_index_stream"]
 
 _MAGIC = b"RPRC"
+
+#: exception types a corrupted byte stream can surface from the decode stack
+#: before the strict validators catch it; ``decompress`` converts these to
+#: :class:`~repro.errors.CorruptBlobError` so callers see one typed family
+_DECODE_FAULTS = (
+    ValueError,
+    KeyError,
+    IndexError,
+    OverflowError,
+    TypeError,
+    EOFError,
+    struct.error,
+    UnicodeDecodeError,
+    json.JSONDecodeError,
+)
 
 
 @dataclass
@@ -51,29 +68,96 @@ class Blob:
         self.header = header
         self.sections = sections
 
-    def to_bytes(self) -> bytes:
+    def to_bytes(self, checksum: bool = False) -> bytes:
+        """Serialize; ``checksum=True`` wraps the canonical v0 bytes in the
+        CRC32-carrying v1 envelope (see :mod:`repro.io.integrity`)."""
         names = list(self.sections)
         header = dict(self.header)
         header["sections"] = [[n, len(self.sections[n])] for n in names]
         hjson = json.dumps(header, separators=(",", ":")).encode()
         parts = [_MAGIC, struct.pack("<I", len(hjson)), hjson]
         parts.extend(self.sections[n] for n in names)
-        return b"".join(parts)
+        raw = b"".join(parts)
+        return seal(raw) if checksum else raw
 
     @staticmethod
     def from_bytes(data: bytes) -> "Blob":
+        """Parse a blob, accepting both the v0 and the sealed v1 framing.
+
+        Every structural defect raises a typed :mod:`repro.errors` exception;
+        sealed blobs additionally get CRC32 verification before parsing.
+        """
+        if is_sealed(data):
+            data = unseal(data)
         if data[:4] != _MAGIC:
-            raise ValueError("not a repro compressed blob")
+            raise CorruptBlobError("not a repro compressed blob")
+        if len(data) < 8:
+            raise TruncatedStreamError("blob shorter than its fixed header")
         (hlen,) = struct.unpack_from("<I", data, 4)
-        header = json.loads(data[8:8 + hlen].decode())
+        if 8 + hlen > len(data):
+            raise TruncatedStreamError(
+                f"blob header declares {hlen} bytes, only {len(data) - 8} present"
+            )
+        try:
+            header = json.loads(data[8:8 + hlen].decode())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CorruptBlobError(f"blob header is not valid JSON: {exc}") from None
+        if not isinstance(header, dict) or "sections" not in header:
+            raise CorruptBlobError("blob header missing its section table")
+        section_table = header.pop("sections")
+        if not isinstance(section_table, list):
+            raise CorruptBlobError("blob section table is not a list")
         off = 8 + hlen
         sections = {}
-        for name, size in header.pop("sections"):
+        for entry in section_table:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not isinstance(entry[1], int)
+                or entry[1] < 0
+            ):
+                raise CorruptBlobError(f"malformed section entry {entry!r}")
+            name, size = entry
+            if off + size > len(data):
+                raise TruncatedStreamError(
+                    f"section {name!r} declares {size} bytes past end of blob"
+                )
             sections[name] = data[off:off + size]
             off += size
         if off != len(data):
-            raise ValueError("trailing bytes in blob")
+            raise CorruptBlobError("trailing bytes in blob")
         return Blob(header, sections)
+
+
+# ceiling on header-declared element counts: a tampered shape field must not
+# drive a multi-terabyte allocation before the size cross-check can run
+_MAX_DECODE_ELEMENTS = 1 << 34
+
+
+def _validated_geometry(header: dict[str, Any]) -> tuple[tuple[int, ...], np.dtype]:
+    """Strictly validate a blob header's shape/dtype before trusting them."""
+    shape = header.get("shape")
+    if (
+        not isinstance(shape, list)
+        or not shape
+        or not all(isinstance(d, int) and d > 0 for d in shape)
+    ):
+        raise CorruptBlobError(f"blob header has invalid shape {shape!r}")
+    total = 1
+    for d in shape:
+        total *= d
+    if total > _MAX_DECODE_ELEMENTS:
+        raise CorruptBlobError(
+            f"blob header declares {total} elements (> {_MAX_DECODE_ELEMENTS} cap)"
+        )
+    try:
+        dtype = np.dtype(header.get("dtype"))
+    except (TypeError, ValueError) as exc:
+        raise CorruptBlobError(f"blob header has invalid dtype: {exc}") from None
+    if dtype.kind not in "fiu":
+        raise CorruptBlobError(f"blob header dtype {dtype} is not numeric")
+    return tuple(shape), dtype
 
 
 class Compressor(ABC):
@@ -99,15 +183,24 @@ class Compressor(ABC):
 
     # -- public API ---------------------------------------------------------
 
-    def compress(self, data: np.ndarray, state: CompressionState | None = None) -> bytes:
-        """Compress ``data`` to a self-describing blob (bytes)."""
+    def compress(
+        self,
+        data: np.ndarray,
+        state: CompressionState | None = None,
+        checksum: bool = False,
+    ) -> bytes:
+        """Compress ``data`` to a self-describing blob (bytes).
+
+        ``checksum=True`` seals the canonical bytes in the v1 integrity
+        envelope; the payload is byte-identical either way.
+        """
         data = check_ndarray(data)
         header, sections = self._compress(data, state)
         header.setdefault("compressor", self.name)
         header["dtype"] = data.dtype.str
         header["shape"] = list(data.shape)
         header["error_bound"] = self.error_bound
-        return Blob(header, sections).to_bytes()
+        return Blob(header, sections).to_bytes(checksum=checksum)
 
     def decompress(self, blob: bytes) -> np.ndarray:
         b = Blob.from_bytes(blob)
@@ -115,10 +208,24 @@ class Compressor(ABC):
             raise ValueError(
                 f"blob was produced by {b.header.get('compressor')!r}, not {self.name!r}"
             )
-        out = self._decompress(b)
-        return out.reshape(b.header["shape"]).astype(np.dtype(b.header["dtype"]), copy=False)
+        shape, dtype = _validated_geometry(b.header)
+        try:
+            out = self._decompress(b)
+        except ReproError:
+            raise
+        except _DECODE_FAULTS as exc:
+            raise CorruptBlobError(
+                f"{self.name} blob failed to decode: {type(exc).__name__}: {exc}"
+            ) from exc
+        if out.size != int(np.prod(shape)):
+            raise CorruptBlobError(
+                f"decoded {out.size} values, header shape {shape} needs "
+                f"{int(np.prod(shape))}"
+            )
+        return out.reshape(shape).astype(dtype, copy=False)
 
     # -- subclass hooks -------------------------------------------------------
+
 
     @abstractmethod
     def _compress(
@@ -234,8 +341,17 @@ def encode_index_stream(
 def decode_index_stream(data: bytes) -> np.ndarray:
     from ..codecs.fixed import decode_fixed
 
-    entropy_id, offset, plen = struct.unpack_from("<BqQ", data, 0)
     head = struct.calcsize("<BqQ")
+    if len(data) < head:
+        raise TruncatedStreamError(
+            f"index stream header needs {head} bytes, have {len(data)}"
+        )
+    entropy_id, offset, plen = struct.unpack_from("<BqQ", data, 0)
+    if head + plen > len(data):
+        raise TruncatedStreamError(
+            f"index stream declares {plen} payload bytes, only "
+            f"{len(data) - head} present"
+        )
     with stage("lossless"):
         payload = lossless_decompress(data[head:head + plen])
     add_bytes("lossless", plen)
@@ -247,13 +363,13 @@ def decode_index_stream(data: bytes) -> np.ndarray:
         elif entropy_id == _ENTROPY_IDS["huffman"]:
             codes = HuffmanCodec().decode(payload)
         else:
-            raise ValueError(f"unknown entropy stage id {entropy_id}")
+            raise CorruptBlobError(f"unknown entropy stage id {entropy_id}")
     add_bytes("huffman", len(payload))
     escapes = decode_fixed(lossless_decompress(data[head + plen:]))
     esc = _STREAM_ALPHABET_CAP - 1
     esc_mask = codes == esc
     if int(esc_mask.sum()) != escapes.size:
-        raise ValueError("index stream escape count mismatch")
+        raise CorruptBlobError("index stream escape count mismatch")
     if escapes.size:
         u = escapes.astype(np.int64)
         codes[esc_mask] = np.where(u % 2 == 0, u // 2, -(u + 1) // 2)

@@ -62,10 +62,24 @@ def get_compressor(name: str, error_bound: float, **kwargs: Any) -> Compressor:
 
 
 def decompress_any(blob: bytes, **kwargs: Any) -> np.ndarray:
-    """Decompress any repro blob by dispatching on its header."""
+    """Decompress any repro blob (v0 or sealed v1) by header dispatch.
+
+    A tampered header — unknown compressor name, missing or non-numeric
+    error bound — raises :class:`~repro.errors.CorruptBlobError` rather
+    than ``KeyError``/``TypeError``, so archive readers can treat every
+    bad-bytes failure uniformly.
+    """
+    from ..errors import CorruptBlobError
+
     b = Blob.from_bytes(blob)
     name = b.header.get("compressor")
-    comp = get_compressor(name, b.header["error_bound"], **kwargs)
+    reg = _registry()
+    if name not in reg:
+        raise CorruptBlobError(f"blob names unknown compressor {name!r}")
+    eb = b.header.get("error_bound")
+    if not isinstance(eb, (int, float)) or not eb > 0:
+        raise CorruptBlobError(f"blob has invalid error bound {eb!r}")
+    comp = reg[name](eb, **kwargs)
     return comp.decompress(blob)
 
 

@@ -1,0 +1,83 @@
+"""Typed exception hierarchy for corrupt, truncated, or unversioned streams.
+
+Every decode path in the stack (blob container, entropy codecs, lossless
+backends, archive reader, transfer pipeline) raises one of these instead of
+a bare ``struct.error``/``ValueError``/``EOFError`` — callers can catch
+:class:`ReproError` and know the input bytes, not the code, were at fault.
+
+The hierarchy deliberately double-inherits from the builtin types older
+callers already catch (``ValueError``, ``EOFError``, ``KeyError``), so
+tightening a decoder never breaks an existing ``except ValueError`` site.
+
+``CorruptBlobError``     payload bytes fail validation (bad magic, checksum
+                         mismatch, inconsistent internal structure).
+``TruncatedStreamError`` the stream ends before its declared content does.
+``VersionError``         a valid container written by a format revision this
+                         reader does not understand.
+``IntegrityError``       a CRC/length check failed on otherwise well-formed
+                         framing (a :class:`CorruptBlobError` refinement).
+``CorruptArchiveError``  the ``RARC`` archive index/footer is unreadable.
+``TransferError``        the resilient transfer pipeline's failures.
+"""
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CorruptBlobError",
+    "TruncatedStreamError",
+    "VersionError",
+    "IntegrityError",
+    "CorruptArchiveError",
+    "TransferError",
+    "TransferFaultError",
+    "QuarantinedSliceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised on invalid repro-format input."""
+
+
+class CorruptBlobError(ReproError, ValueError):
+    """The bytes do not form a valid stream (bad magic, bad structure,
+    checksum mismatch, impossible field values)."""
+
+
+class TruncatedStreamError(CorruptBlobError, EOFError):
+    """The stream is shorter than its own header/length fields declare."""
+
+
+class VersionError(CorruptBlobError):
+    """Well-formed container written by an unsupported format version."""
+
+
+class IntegrityError(CorruptBlobError):
+    """A CRC32 or declared-length check failed."""
+
+
+class CorruptArchiveError(ReproError, ValueError):
+    """The ``RARC`` archive footer/index cannot be read."""
+
+
+class TransferError(ReproError):
+    """Base class for resilient-transfer failures."""
+
+
+class TransferFaultError(TransferError):
+    """One transfer attempt failed (link fault, timeout, refused slice).
+
+    Raised by channels to signal a retryable fault; the pipeline converts
+    repeated faults into quarantine entries rather than propagating."""
+
+
+class QuarantinedSliceError(TransferError):
+    """A slice exhausted its retry budget and was quarantined."""
+
+    def __init__(self, name: str, attempts: int, last_error: str = "") -> None:
+        self.name = name
+        self.attempts = attempts
+        self.last_error = last_error
+        super().__init__(
+            f"slice {name!r} quarantined after {attempts} attempts"
+            + (f": {last_error}" if last_error else "")
+        )

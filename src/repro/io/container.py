@@ -1,23 +1,50 @@
-"""Multi-field compressed archive.
+"""Multi-field compressed archive with integrity-checked, crash-safe appends.
 
 One file holding many named compressed blobs (e.g. all 13 Hurricane fields,
 or 3600 RTM slices) with an index, supporting appends and selective reads —
 the on-disk format the parallel transfer pipeline writes.
 
-Layout: ``RARC`` magic, then blob payloads back to back, then a JSON index
-``{name: [offset, size]}``, then the little-endian u64 index offset and the
-closing magic.  Appending rewrites only the tail (index + footer).
+Layout (v1)::
+
+    RARC | blob payloads... | index JSON | u64 idx_off | u32 idx_crc | RAR1
+
+The v1 index is ``{"v": 1, "entries": {name: [offset, size, crc32]}}`` —
+every entry carries a CRC32 verified on read, and the index itself is
+covered by the footer CRC.  v0 archives (flat ``{name: [offset, size]}``
+index, 12-byte ``CRAR`` footer, no checksums) remain fully readable.
+
+Appending rewrites only the tail (index + footer).  Because the new payload
+overwrites the *old* index, a crash mid-append used to leave an unreadable
+file; appends are now journaled: the old tail (index + footer) is snapshotted
+to a fsynced ``<archive>.journal`` sidecar before any byte of the archive is
+touched, the new index is written and fsynced *before* the footer is
+published, and the journal is removed only after the footer hits the disk.
+:meth:`Archive.recover` (run automatically when a journal is present) either
+confirms the completed append or rolls the file back to its pre-append state.
 """
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import struct
+import zlib
+
+from ..errors import CorruptArchiveError, IntegrityError, TruncatedStreamError
 
 __all__ = ["Archive"]
 
 _MAGIC = b"RARC"
-_FOOT = b"CRAR"
+_FOOT_V0 = b"CRAR"
+_FOOT_V1 = b"RAR1"
+_JOURNAL_MAGIC = b"RJNL"
+
+#: on-disk archive format revision written by this module
+ARCHIVE_FORMAT_VERSION = 1
+
+
+def _crc32(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 class Archive:
@@ -26,6 +53,10 @@ class Archive:
     def __init__(self, path: str | pathlib.Path) -> None:
         self.path = pathlib.Path(path)
 
+    @property
+    def journal_path(self) -> pathlib.Path:
+        return self.path.with_name(self.path.name + ".journal")
+
     # -- writing ------------------------------------------------------------
 
     @classmethod
@@ -33,85 +64,270 @@ class Archive:
         arch = cls(path)
         with open(arch.path, "wb") as f:
             f.write(_MAGIC)
-        arch._write_index({})
+        arch._write_tail({}, payload_end=4)
         return arch
 
-    def append(self, name: str, blob: bytes) -> None:
-        index = self._read_index()
-        if name in index:
-            raise KeyError(f"entry {name!r} already exists")
-        # the payload region ends where the index begins; new blobs overwrite
-        # the index, which is rewritten after them
-        idx_off = self._index_offset()
-        with open(self.path, "r+b") as f:
-            f.seek(idx_off)
-            f.write(blob)
-        index[name] = [idx_off, len(blob)]
-        self._write_index(index, payload_end=idx_off + len(blob))
+    def append(self, name: str, blob: bytes, _crash_point: str | None = None) -> None:
+        """Append one named blob (journaled; see :meth:`append_many`).
 
-    def append_many(self, blobs: dict[str, bytes]) -> None:
+        ``_crash_point`` is a fault-injection hook for the torn-write tests:
+        ``"after_journal"`` / ``"after_payload"`` / ``"after_index"`` abort
+        the append at that stage, simulating a crash before the footer is
+        published.
+        """
+        self.append_many({name: blob}, _crash_point=_crash_point)
+
+    def append_many(
+        self, blobs: dict[str, bytes], _crash_point: str | None = None
+    ) -> None:
         index = self._read_index()
         for name in blobs:
             if name in index:
                 raise KeyError(f"entry {name!r} already exists")
         idx_off = self._index_offset()
+        self._write_journal(idx_off)
+        if _crash_point == "after_journal":
+            raise _SimulatedCrash("after_journal")
         with open(self.path, "r+b") as f:
             f.seek(idx_off)
             pos = idx_off
             for name, blob in blobs.items():
                 f.write(blob)
-                index[name] = [pos, len(blob)]
+                index[name] = [pos, len(blob), _crc32(blob)]
                 pos += len(blob)
-        self._write_index(index, payload_end=pos)
+            f.flush()
+            os.fsync(f.fileno())
+        if _crash_point == "after_payload":
+            raise _SimulatedCrash("after_payload")
+        self._write_tail(index, payload_end=pos, _crash_point=_crash_point)
+        self.journal_path.unlink(missing_ok=True)
 
     # -- reading --------------------------------------------------------------
 
     def names(self) -> list[str]:
         return list(self._read_index())
 
-    def read(self, name: str) -> bytes:
+    def read(self, name: str, verify: bool = True) -> bytes:
+        """Read one entry; v1 entries get CRC32 verification by default."""
         index = self._read_index()
         if name not in index:
             raise KeyError(f"no entry {name!r}; have {list(index)}")
-        off, size = index[name]
+        entry = index[name]
+        off, size = entry[0], entry[1]
+        idx_off = self._index_offset()
+        if off < 4 or size < 0 or off + size > idx_off:
+            raise CorruptArchiveError(
+                f"entry {name!r} spans [{off}, {off + size}) outside the "
+                f"payload region [4, {idx_off})"
+            )
         with open(self.path, "rb") as f:
             f.seek(off)
-            return f.read(size)
+            blob = f.read(size)
+        if len(blob) != size:
+            raise TruncatedStreamError(
+                f"entry {name!r} declares {size} bytes, read {len(blob)}"
+            )
+        if verify and len(entry) > 2 and _crc32(blob) != entry[2]:
+            raise IntegrityError(f"entry {name!r} failed its CRC32 check")
+        return blob
 
     def sizes(self) -> dict[str, int]:
         return {k: v[1] for k, v in self._read_index().items()}
 
+    def checksums(self) -> dict[str, int | None]:
+        """Per-entry CRC32 (``None`` for legacy v0 entries)."""
+        return {
+            k: (v[2] if len(v) > 2 else None) for k, v in self._read_index().items()
+        }
+
+    def verify_all(self) -> dict[str, bool]:
+        """Re-read every entry and check its CRC (legacy entries pass)."""
+        results = {}
+        for name in self.names():
+            try:
+                self.read(name, verify=True)
+                results[name] = True
+            except (IntegrityError, TruncatedStreamError, CorruptArchiveError):
+                results[name] = False
+        return results
+
     def total_bytes(self) -> int:
         return self.path.stat().st_size
 
-    # -- internals -------------------------------------------------------------
-
-    def _index_offset(self) -> int:
+    @property
+    def version(self) -> int:
+        """On-disk format revision (0 for legacy, 1 for checksummed)."""
         with open(self.path, "rb") as f:
-            if f.read(4) != _MAGIC:
-                raise ValueError(f"{self.path} is not an archive")
-            f.seek(-12, 2)
-            tail = f.read(12)
-        (idx_off,) = struct.unpack("<Q", tail[:8])
-        if tail[8:] != _FOOT:
-            raise ValueError("archive footer corrupt")
-        return idx_off
+            f.seek(-4, 2)
+            tail = f.read(4)
+        if tail == _FOOT_V1:
+            return 1
+        if tail == _FOOT_V0:
+            return 0
+        raise CorruptArchiveError(f"{self.path}: unrecognized archive footer")
 
-    def _read_index(self) -> dict[str, list[int]]:
-        idx_off = self._index_offset()
-        end = self.path.stat().st_size - 12
+    # -- crash recovery ---------------------------------------------------------
+
+    def recover(self) -> str:
+        """Resolve an interrupted append using the journal sidecar.
+
+        Returns ``"clean"`` when no journal exists or the journaled append
+        actually completed (footer published; the stale journal is removed),
+        ``"restored"`` when the archive tail was rolled back to its
+        pre-append state, and ``"discarded"`` when the journal itself was
+        torn (the archive was never touched).
+        """
+        jpath = self.journal_path
+        if not jpath.exists():
+            return "clean"
+        raw = jpath.read_bytes()
+        tail = self._parse_journal(raw)
+        if tail is None:
+            # journal write itself was interrupted -> archive untouched
+            jpath.unlink(missing_ok=True)
+            return "discarded"
+        idx_off, tail_bytes = tail
+        if self._footer_valid():
+            # the append published its footer before the crash: it completed
+            jpath.unlink(missing_ok=True)
+            return "clean"
+        with open(self.path, "r+b") as f:
+            f.seek(idx_off)
+            f.write(tail_bytes)
+            f.truncate(idx_off + len(tail_bytes))
+            f.flush()
+            os.fsync(f.fileno())
+        jpath.unlink(missing_ok=True)
+        return "restored"
+
+    def _footer_valid(self) -> bool:
+        try:
+            self._load_tail(recover=False)
+            return True
+        except (CorruptArchiveError, OSError):
+            return False
+
+    def _write_journal(self, idx_off: int) -> None:
+        """Snapshot the current tail (index + footer) before mutating it."""
         with open(self.path, "rb") as f:
             f.seek(idx_off)
-            raw = f.read(end - idx_off)
-        return json.loads(raw.decode()) if raw else {}
+            tail = f.read()
+        raw = (
+            _JOURNAL_MAGIC
+            + struct.pack("<QQI", idx_off, len(tail), _crc32(tail))
+            + tail
+        )
+        with open(self.journal_path, "wb") as f:
+            f.write(raw)
+            f.flush()
+            os.fsync(f.fileno())
 
-    def _write_index(self, index: dict[str, list[int]], payload_end: int | None = None) -> None:
-        if payload_end is None:
-            payload_end = 4  # fresh archive: payload starts after the magic
-        raw = json.dumps(index, separators=(",", ":")).encode()
+    @staticmethod
+    def _parse_journal(raw: bytes) -> tuple[int, bytes] | None:
+        if len(raw) < 24 or raw[:4] != _JOURNAL_MAGIC:
+            return None
+        idx_off, tail_len, crc = struct.unpack_from("<QQI", raw, 4)
+        tail = raw[24:]
+        if len(tail) != tail_len or _crc32(tail) != crc:
+            return None
+        return idx_off, tail
+
+    # -- internals -------------------------------------------------------------
+
+    def _load_tail(self, recover: bool = True) -> tuple[int, dict]:
+        """Return (index offset, index dict), recovering from a journal if
+        one is present and the footer did not survive."""
+        if recover and self.journal_path.exists():
+            self.recover()
+        try:
+            size = self.path.stat().st_size
+            with open(self.path, "rb") as f:
+                head = f.read(4)
+                if head != _MAGIC:
+                    raise CorruptArchiveError(f"{self.path} is not an archive")
+                if size < 16:
+                    raise CorruptArchiveError(f"{self.path}: no footer present")
+                f.seek(-16, 2)
+                tail = f.read(16)
+        except FileNotFoundError:
+            raise CorruptArchiveError(f"{self.path} does not exist") from None
+        if tail[12:] == _FOOT_V1:
+            (idx_off,) = struct.unpack("<Q", tail[:8])
+            (idx_crc,) = struct.unpack("<I", tail[8:12])
+            end = size - 16
+            raw = self._read_span(idx_off, end)
+            if _crc32(raw) != idx_crc:
+                raise CorruptArchiveError(f"{self.path}: index CRC32 mismatch")
+            index = self._parse_index(raw)
+        elif tail[12:] == _FOOT_V0:
+            (idx_off,) = struct.unpack("<Q", tail[4:12])
+            end = size - 12
+            raw = self._read_span(idx_off, end)
+            index = self._parse_index(raw)
+        else:
+            raise CorruptArchiveError(f"{self.path}: archive footer corrupt")
+        return idx_off, index
+
+    def _read_span(self, start: int, end: int) -> bytes:
+        if start < 4 or start > end:
+            raise CorruptArchiveError(
+                f"{self.path}: index offset {start} outside file"
+            )
+        with open(self.path, "rb") as f:
+            f.seek(start)
+            return f.read(end - start)
+
+    def _parse_index(self, raw: bytes) -> dict:
+        if not raw:
+            return {}
+        try:
+            obj = json.loads(raw.decode())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CorruptArchiveError(f"{self.path}: index unreadable: {exc}") from None
+        if isinstance(obj, dict) and obj.get("v") == ARCHIVE_FORMAT_VERSION:
+            entries = obj.get("entries")
+        else:
+            entries = obj  # legacy v0 flat index
+        if not isinstance(entries, dict) or not all(
+            isinstance(v, list)
+            and len(v) in (2, 3)
+            and all(isinstance(x, int) for x in v)
+            for v in entries.values()
+        ):
+            raise CorruptArchiveError(f"{self.path}: malformed index entries")
+        return entries
+
+    def _index_offset(self) -> int:
+        return self._load_tail()[0]
+
+    def _read_index(self) -> dict:
+        return self._load_tail()[1]
+
+    def _write_tail(
+        self,
+        index: dict,
+        payload_end: int,
+        _crash_point: str | None = None,
+    ) -> None:
+        raw = json.dumps(
+            {"v": ARCHIVE_FORMAT_VERSION, "entries": index},
+            separators=(",", ":"),
+        ).encode()
         with open(self.path, "r+b") as f:
             f.seek(payload_end)
             f.write(raw)
-            f.write(struct.pack("<Q", payload_end))
-            f.write(_FOOT)
+            # the index must be durable before the footer makes it reachable
+            f.flush()
+            os.fsync(f.fileno())
+            if _crash_point == "after_index":
+                f.truncate()
+                raise _SimulatedCrash("after_index")
+            f.write(struct.pack("<QI", payload_end, _crc32(raw)))
+            f.write(_FOOT_V1)
             f.truncate()
+            f.flush()
+            os.fsync(f.fileno())
+
+
+class _SimulatedCrash(RuntimeError):
+    """Raised by the ``_crash_point`` fault-injection hooks in append."""

@@ -1,0 +1,113 @@
+"""Integrity envelope for serialized blobs (the v1 ``RPR1`` framing).
+
+The v0 ``RPRC`` blob format carries no checksum or version field: a bit flip
+in flight silently decodes to garbage (or hangs a sequential entropy reader).
+v1 fixes this without moving a single payload bit — it *wraps* the canonical
+v0 bytes in a 17-byte envelope::
+
+    RPR1 | u8 version | u64 payload_len | u32 crc32(payload) | payload
+
+Because the payload is the unmodified v0 blob, golden byte-identity digests
+of the canonical encoding are unchanged: ``unseal(seal(blob)) == blob`` and
+``crc32`` is the only redundancy added.  ``Blob.from_bytes`` auto-unseals,
+so every reader accepts both framings; writers opt in via
+``compress(..., checksum=True)`` / ``Blob.to_bytes(checksum=True)``.
+
+The same CRC32 helper backs the v1 archive index entries.
+"""
+from __future__ import annotations
+
+import struct
+import zlib
+
+from ..errors import IntegrityError, TruncatedStreamError, VersionError
+
+__all__ = [
+    "BLOB_MAGIC_V0",
+    "BLOB_MAGIC_V1",
+    "BLOB_FORMAT_VERSION",
+    "ENVELOPE_BYTES",
+    "crc32",
+    "seal",
+    "unseal",
+    "is_sealed",
+    "envelope_info",
+]
+
+BLOB_MAGIC_V0 = b"RPRC"
+BLOB_MAGIC_V1 = b"RPR1"
+#: current envelope revision written by :func:`seal`
+BLOB_FORMAT_VERSION = 1
+#: envelope overhead: magic + version + payload_len + crc32
+ENVELOPE_BYTES = 4 + 1 + 8 + 4
+
+_HEAD = struct.Struct("<BQI")
+
+
+def crc32(data: bytes) -> int:
+    """CRC32 (zlib polynomial) as an unsigned 32-bit value."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def seal(payload: bytes) -> bytes:
+    """Wrap canonical blob bytes in the v1 integrity envelope."""
+    return (
+        BLOB_MAGIC_V1
+        + _HEAD.pack(BLOB_FORMAT_VERSION, len(payload), crc32(payload))
+        + payload
+    )
+
+
+def is_sealed(data: bytes) -> bool:
+    """Whether ``data`` starts with the v1 envelope magic."""
+    return data[:4] == BLOB_MAGIC_V1
+
+
+def unseal(data: bytes) -> bytes:
+    """Verify and strip the v1 envelope, returning the canonical payload.
+
+    Raises :class:`~repro.errors.VersionError` for unknown revisions,
+    :class:`~repro.errors.TruncatedStreamError` when the payload is shorter
+    than declared, and :class:`~repro.errors.IntegrityError` on CRC or
+    trailing-byte mismatch.
+    """
+    if data[:4] != BLOB_MAGIC_V1:
+        raise IntegrityError("not a sealed (RPR1) blob")
+    if len(data) < ENVELOPE_BYTES:
+        raise TruncatedStreamError(
+            f"sealed blob envelope needs {ENVELOPE_BYTES} bytes, have {len(data)}"
+        )
+    version, plen, crc = _HEAD.unpack_from(data, 4)
+    if version != BLOB_FORMAT_VERSION:
+        raise VersionError(
+            f"unsupported blob format version {version} "
+            f"(this reader knows <= {BLOB_FORMAT_VERSION})"
+        )
+    payload = data[ENVELOPE_BYTES:]
+    if len(payload) < plen:
+        raise TruncatedStreamError(
+            f"sealed blob declares {plen} payload bytes, have {len(payload)}"
+        )
+    if len(payload) > plen:
+        raise IntegrityError(
+            f"{len(payload) - plen} trailing bytes after sealed payload"
+        )
+    if crc32(payload) != crc:
+        raise IntegrityError("sealed blob payload CRC32 mismatch")
+    return payload
+
+
+def envelope_info(data: bytes) -> dict:
+    """Envelope metadata without full verification (for ``repro info``)."""
+    if not is_sealed(data):
+        return {"format_version": 0, "checksum": None}
+    if len(data) < ENVELOPE_BYTES:
+        raise TruncatedStreamError("sealed blob envelope truncated")
+    version, plen, crc = _HEAD.unpack_from(data, 4)
+    return {
+        "format_version": version,
+        "payload_len": plen,
+        "crc32": f"{crc:08x}",
+        "crc_ok": crc32(data[ENVELOPE_BYTES:ENVELOPE_BYTES + plen]) == crc
+        and len(data) == ENVELOPE_BYTES + plen,
+    }

@@ -19,6 +19,9 @@ Stage names used across the stack (see docs/performance.md):
 ``qp``         quantization index prediction transform (forward + inverse)
 ``huffman``    entropy coding (Huffman or range coder)
 ``lossless``   byte-stream backend (zlib/LZ77/RLE)
+``transfer``   resilient-transfer channel attempts (repro.transfer)
+``verify``     CRC32 integrity verification of received slices
+``retry``      backoff waits between transfer attempts
 """
 from __future__ import annotations
 

@@ -1,0 +1,25 @@
+"""Testing/fault-injection utilities shared by the test suite and the
+``repro faults`` CLI subcommand."""
+from .faults import (
+    INJECTORS,
+    FlakyLink,
+    MatrixResult,
+    flip_bits,
+    inject,
+    run_corruption_matrix,
+    splice_garbage,
+    tamper_header,
+    truncate,
+)
+
+__all__ = [
+    "INJECTORS",
+    "FlakyLink",
+    "MatrixResult",
+    "flip_bits",
+    "inject",
+    "run_corruption_matrix",
+    "splice_garbage",
+    "tamper_header",
+    "truncate",
+]

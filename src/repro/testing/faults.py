@@ -1,0 +1,209 @@
+"""Seeded fault injectors and a flaky-link simulator.
+
+Four injectors model the ways bytes actually go bad in a compress → write →
+transfer → read → decompress pipeline:
+
+``flip``      random bit flips (memory/link corruption);
+``truncate``  the stream ends early (interrupted write, partial read);
+``splice``    foreign bytes spliced into the middle (torn concurrent write,
+              misdirected DMA);
+``tamper``    the framing itself is scrambled (magic, version, length
+              fields) — the header-attack case.
+
+Each injector is a pure ``bytes -> bytes`` function driven by an explicit
+seed, so every failure a test or the ``repro faults`` CLI reports is exactly
+reproducible.  :func:`run_corruption_matrix` sweeps injectors × seeds over a
+decode callable and records, per cell, whether the decoder raised a *typed*
+:class:`repro.errors.ReproError` (the contract), raised something else, hung
+past the deadline, or silently returned a value.
+
+:class:`FlakyLink` is the seeded lossy channel the transfer-resilience tests
+drive the retry pipeline with.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import ReproError, TransferFaultError
+
+__all__ = [
+    "flip_bits",
+    "truncate",
+    "splice_garbage",
+    "tamper_header",
+    "INJECTORS",
+    "inject",
+    "MatrixResult",
+    "run_corruption_matrix",
+    "FlakyLink",
+]
+
+
+def flip_bits(data: bytes, seed: int = 0, n_bits: int = 1) -> bytes:
+    """Flip ``n_bits`` random bits (at least one byte changes)."""
+    if not data:
+        return data
+    rng = np.random.default_rng(seed)
+    buf = bytearray(data)
+    for _ in range(max(1, n_bits)):
+        pos = int(rng.integers(0, len(buf)))
+        buf[pos] ^= 1 << int(rng.integers(0, 8))
+    return bytes(buf)
+
+
+def truncate(data: bytes, seed: int = 0, frac: float | None = None) -> bytes:
+    """Drop the tail: keep a random (or ``frac``) prefix, always < full."""
+    if not data:
+        return data
+    rng = np.random.default_rng(seed)
+    if frac is None:
+        keep = int(rng.integers(0, len(data)))
+    else:
+        keep = min(int(len(data) * frac), len(data) - 1)
+    return data[:keep]
+
+
+def splice_garbage(data: bytes, seed: int = 0, n_bytes: int = 16) -> bytes:
+    """Insert random bytes at a random interior offset."""
+    rng = np.random.default_rng(seed)
+    pos = int(rng.integers(0, len(data) + 1)) if data else 0
+    garbage = rng.integers(0, 256, size=max(1, n_bytes), dtype=np.uint8).tobytes()
+    return data[:pos] + garbage + data[pos:]
+
+
+def tamper_header(data: bytes, seed: int = 0, span: int = 24) -> bytes:
+    """Scramble bytes inside the framing region (magic/version/length
+    fields live in the first ~24 bytes of every repro container)."""
+    if not data:
+        return data
+    rng = np.random.default_rng(seed)
+    buf = bytearray(data)
+    region = min(span, len(buf))
+    n_hits = int(rng.integers(1, 5))
+    for _ in range(n_hits):
+        pos = int(rng.integers(0, region))
+        buf[pos] = int(rng.integers(0, 256))
+    if buf == bytearray(data):  # rolled the same values: force a change
+        buf[0] ^= 0xFF
+    return bytes(buf)
+
+
+INJECTORS: dict[str, Callable[..., bytes]] = {
+    "flip": flip_bits,
+    "truncate": truncate,
+    "splice": splice_garbage,
+    "tamper": tamper_header,
+}
+
+
+def inject(data: bytes, kind: str, seed: int = 0, **kwargs: Any) -> bytes:
+    """Apply the named injector; raises ``KeyError`` for unknown kinds."""
+    if kind not in INJECTORS:
+        raise KeyError(f"unknown injector {kind!r}; have {tuple(INJECTORS)}")
+    return INJECTORS[kind](data, seed=seed, **kwargs)
+
+
+# -- corruption matrix --------------------------------------------------------
+
+
+@dataclass
+class MatrixResult:
+    """Outcome of one (injector, seed) cell of the corruption matrix.
+
+    ``outcome`` is one of ``"typed"`` (decoder raised a
+    :class:`~repro.errors.ReproError` — the contract), ``"untyped"`` (raised
+    something else), ``"silent"`` (returned a value), or ``"unchanged"``
+    (the injector produced identical bytes, nothing to test).
+    """
+
+    injector: str
+    seed: int
+    outcome: str
+    elapsed_s: float
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome in ("typed", "unchanged")
+
+
+def run_corruption_matrix(
+    data: bytes,
+    decode: Callable[[bytes], Any],
+    injectors: dict[str, Callable[..., bytes]] | None = None,
+    seeds: range | list[int] = range(3),
+    deadline_s: float = 10.0,
+) -> list[MatrixResult]:
+    """Sweep every injector × seed over ``decode`` and classify outcomes.
+
+    The deadline is checked *after* each decode returns — pure-Python
+    decoders cannot be preempted — so a cell that overran is still reported
+    (as ``detail="deadline exceeded"``) rather than aborting the sweep.
+    """
+    results = []
+    for name, fn in (injectors or INJECTORS).items():
+        for seed in seeds:
+            corrupted = fn(data, seed=seed)
+            if corrupted == data:
+                results.append(MatrixResult(name, seed, "unchanged", 0.0))
+                continue
+            t0 = time.perf_counter()
+            try:
+                decode(corrupted)
+            except ReproError as exc:
+                outcome, detail = "typed", type(exc).__name__
+            except Exception as exc:  # noqa: BLE001 — classification sweep
+                outcome, detail = "untyped", f"{type(exc).__name__}: {exc}"
+            else:
+                outcome, detail = "silent", "decode returned a value"
+            elapsed = time.perf_counter() - t0
+            if elapsed > deadline_s:
+                detail = (detail + "; deadline exceeded").lstrip("; ")
+            results.append(MatrixResult(name, seed, outcome, elapsed, detail))
+    return results
+
+
+# -- flaky link ---------------------------------------------------------------
+
+
+class FlakyLink:
+    """Seeded lossy channel: ``link(name, payload) -> received bytes``.
+
+    Each call either raises :class:`~repro.errors.TransferFaultError` (drop,
+    probability ``fail_prob``), returns corrupted bytes (probability
+    ``corrupt_prob``, using the seeded injectors), or returns the payload
+    intact.  Per-slice attempt counts are recorded in ``attempts`` so tests
+    can reconcile the pipeline's accounting against the faults actually
+    injected.
+    """
+
+    def __init__(
+        self,
+        fail_prob: float = 0.2,
+        corrupt_prob: float = 0.0,
+        seed: int = 0,
+        injector: str = "flip",
+    ) -> None:
+        if not 0.0 <= fail_prob <= 1.0 or not 0.0 <= corrupt_prob <= 1.0:
+            raise ValueError("probabilities must be within [0, 1]")
+        self.fail_prob = fail_prob
+        self.corrupt_prob = corrupt_prob
+        self.injector = injector
+        self._rng = np.random.default_rng(seed)
+        self.attempts: dict[str, int] = {}
+        self.faults: dict[str, int] = {}
+
+    def __call__(self, name: str, payload: bytes) -> bytes:
+        self.attempts[name] = self.attempts.get(name, 0) + 1
+        roll = float(self._rng.random())
+        if roll < self.fail_prob:
+            self.faults[name] = self.faults.get(name, 0) + 1
+            raise TransferFaultError(f"link dropped slice {name!r}")
+        if roll < self.fail_prob + self.corrupt_prob:
+            self.faults[name] = self.faults.get(name, 0) + 1
+            return inject(payload, self.injector, seed=int(self._rng.integers(2**31)))
+        return payload

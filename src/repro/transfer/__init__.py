@@ -4,9 +4,13 @@ from .pipeline import (
     PAPER_LINK_MBS,
     LinkConfig,
     PipelineTimes,
+    RetryPolicy,
     SliceMeasurement,
+    SliceOutcome,
+    TransferReport,
     measure_slices,
     simulate_pipeline,
+    transfer_slices,
     vanilla_transfer_seconds,
 )
 from .scaling import (
@@ -23,8 +27,12 @@ __all__ = [
     "LinkConfig",
     "PipelineTimes",
     "SliceMeasurement",
+    "RetryPolicy",
+    "SliceOutcome",
+    "TransferReport",
     "measure_slices",
     "simulate_pipeline",
+    "transfer_slices",
     "vanilla_transfer_seconds",
     "PAPER_CORE_COUNTS",
     "ScalingComparison",

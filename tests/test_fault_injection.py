@@ -1,0 +1,158 @@
+"""Corruption matrix: every injector × every decode path, typed and bounded.
+
+The contract under test (ISSUE tentpole): feeding corrupted bytes to any
+decode path raises a *typed* :class:`repro.errors.ReproError` within the
+deadline — never an uncontrolled ``IndexError``/``struct.error``, never a
+hang, never a wrong-shaped array.
+
+Two strictness tiers:
+
+* **sealed (v1) compressor blobs** — the CRC envelope catches *everything*:
+  all four injectors must produce a typed error, across all 7 compressors
+  with QP on and off.
+* **codec streams / unsealed blobs** — no checksum, so a bit flip can
+  legitimately decode to different-but-well-formed output (e.g. two Huffman
+  codes of equal length swapped).  Here the contract is: no untyped
+  exception, no deadline overrun, and any silent decode must still be
+  well-formed (the matrix's decode callables assert shape/type before
+  returning).
+"""
+import numpy as np
+import pytest
+
+from repro.codecs import fixed as fixed_codec
+from repro.codecs import huffman, lossless, rangecoder
+from repro.compressors import decompress_any, get_compressor, supports_qp
+from repro.core.config import QPConfig
+from repro.errors import ReproError
+from repro.testing import INJECTORS, run_corruption_matrix
+
+pytestmark = pytest.mark.faults
+
+ALL_COMPRESSORS = ("mgard", "sz3", "qoz", "hpez", "zfp", "tthresh", "sperr")
+SEEDS = range(3)
+DEADLINE_S = 10.0
+
+
+def _make_data(seed=0, shape=(14, 12, 10)):
+    rng = np.random.default_rng(seed)
+    coords = np.meshgrid(*(np.linspace(0, 3, s) for s in shape), indexing="ij")
+    return (sum(np.sin(c) for c in coords) + 0.1 * rng.standard_normal(shape)).astype(
+        np.float32
+    )
+
+
+def _compressor_configs():
+    for name in ALL_COMPRESSORS:
+        qp_modes = (False, True) if supports_qp(name) else (False,)
+        for qp_on in qp_modes:
+            yield name, qp_on
+
+
+def _build(name, qp_on, checksum):
+    data = _make_data()
+    kwargs = {}
+    if supports_qp(name):
+        kwargs["qp"] = QPConfig() if qp_on else QPConfig.disabled()
+    comp = get_compressor(name, 1e-2, **kwargs)
+    return data, comp.compress(data, checksum=checksum)
+
+
+@pytest.mark.parametrize(
+    "name,qp_on", list(_compressor_configs()), ids=lambda v: str(v)
+)
+def test_sealed_blobs_all_injectors_typed(name, qp_on):
+    """With the v1 envelope, every injector must yield a typed error."""
+    data, sealed = _build(name, qp_on, checksum=True)
+
+    def decode(blob):
+        return decompress_any(blob)
+
+    results = run_corruption_matrix(sealed, decode, seeds=SEEDS, deadline_s=DEADLINE_S)
+    bad = [r for r in results if not r.ok]
+    assert not bad, [
+        f"{r.injector}/seed={r.seed}: {r.outcome} ({r.detail})" for r in bad
+    ]
+    assert all(r.elapsed_s <= DEADLINE_S for r in results)
+
+
+@pytest.mark.parametrize(
+    "name,qp_on", list(_compressor_configs()), ids=lambda v: str(v)
+)
+def test_unsealed_blobs_never_untyped_never_misshapen(name, qp_on):
+    """Without a checksum a flip may silently decode — but any decode that
+    returns must produce the declared shape/dtype, and failures stay typed."""
+    data, blob = _build(name, qp_on, checksum=False)
+
+    def decode(b):
+        out = decompress_any(b)
+        assert out.shape == data.shape, f"wrong shape {out.shape}"
+        assert out.dtype == data.dtype
+        return out
+
+    results = run_corruption_matrix(blob, decode, seeds=SEEDS, deadline_s=DEADLINE_S)
+    untyped = [r for r in results if r.outcome == "untyped"]
+    assert not untyped, [
+        f"{r.injector}/seed={r.seed}: {r.detail}" for r in untyped
+    ]
+    assert all(r.elapsed_s <= DEADLINE_S for r in results)
+    # truncation and header tampering are always structurally detectable
+    for r in results:
+        if r.injector in ("truncate", "tamper"):
+            assert r.outcome in ("typed", "unchanged"), (
+                f"{r.injector}/seed={r.seed}: {r.outcome} ({r.detail})"
+            )
+
+
+def _codec_streams():
+    rng = np.random.default_rng(42)
+    symbols = rng.integers(0, 30, size=4000).astype(np.int64)
+    raw_bytes = rng.integers(0, 256, size=3000, dtype=np.uint8).tobytes()
+    compressible = (b"abcd" * 700) + raw_bytes[:200]
+    return {
+        "huffman": (huffman.HuffmanCodec().encode(symbols), huffman.HuffmanCodec().decode),
+        "rangecoder": (rangecoder.RangeCodec().encode(symbols), rangecoder.RangeCodec().decode),
+        "fixed": (
+            fixed_codec.encode_fixed(symbols.astype(np.uint64)),
+            fixed_codec.decode_fixed,
+        ),
+        "lossless-zlib": (lossless.compress(compressible, "zlib"), lossless.decompress),
+        "lossless-rle": (lossless.compress(b"\x07" * 5000, "rle"), lossless.decompress),
+        "lossless-lz77": (lossless.compress(compressible, "lz77"), lossless.decompress),
+    }
+
+
+@pytest.mark.parametrize("codec", sorted(_codec_streams()))
+def test_codec_streams_never_untyped(codec):
+    stream, decode = _codec_streams()[codec]
+    results = run_corruption_matrix(stream, decode, seeds=SEEDS, deadline_s=DEADLINE_S)
+    untyped = [r for r in results if r.outcome == "untyped"]
+    assert not untyped, [
+        f"{r.injector}/seed={r.seed}: {r.detail}" for r in untyped
+    ]
+    assert all(r.elapsed_s <= DEADLINE_S for r in results)
+
+
+def test_matrix_classifies_typed_and_silent():
+    """Self-check of the harness: a strict decoder reports typed cells, a
+    no-op decoder reports silent ones."""
+
+    def strict(_):
+        raise ReproError("always typed")
+
+    payload = bytes(range(64)) * 4
+    assert all(
+        r.outcome in ("typed", "unchanged")
+        for r in run_corruption_matrix(payload, strict, seeds=range(2))
+    )
+    silent = run_corruption_matrix(payload, lambda b: b, seeds=range(2))
+    assert any(r.outcome == "silent" for r in silent)
+
+
+def test_every_injector_changes_bytes():
+    payload = bytes(range(250)) * 3
+    for kind in INJECTORS:
+        changed = sum(
+            INJECTORS[kind](payload, seed=s) != payload for s in range(10)
+        )
+        assert changed == 10, f"{kind} left bytes unchanged"

@@ -69,6 +69,26 @@ def test_profiling_does_not_change_bytes(inputs):
     assert {"predict", "quantize", "qp", "huffman", "lossless"} <= set(prof.totals)
 
 
+def test_sealed_blob_payload_matches_golden_digest(inputs):
+    # the v1 integrity envelope wraps the canonical v0 bytes unmodified:
+    # checksummed blobs still hash to the golden digests once unsealed
+    from repro.io import integrity
+
+    data = inputs["miranda-24x20x22"]
+    eb = 1e-3 * float(data.max() - data.min())
+    comp = get_compressor("sz3", eb, qp=QPConfig())
+    sealed = comp.compress(data, checksum=True)
+    assert sealed[:4] == integrity.BLOB_MAGIC_V1
+    payload = integrity.unseal(sealed)
+    assert (
+        hashlib.sha256(payload).hexdigest()
+        == GOLDEN["miranda-24x20x22/sz3/qp=on"]
+    )
+    # and the sealed blob decodes like the plain one
+    out = comp.decompress(sealed)
+    assert np.abs(out - data).max() <= eb * (1 + 1e-6)
+
+
 def test_warm_caches_do_not_change_bytes(inputs):
     # second run hits the schedule/wavefront-index memo tables; bytes and
     # decoded values must be unaffected by cache state

@@ -1,0 +1,109 @@
+"""Property-based roundtrip tests over dtype × shape × eb × compressor × QP.
+
+Two properties lock in the compression contract across the whole registry:
+
+1. **error bound** — ``decompress(compress(x))`` stays within the absolute
+   error bound for every generated input;
+2. **determinism + integrity** — compressing the same array twice yields
+   identical bytes, and the sealed (checksum=True) blob decodes to exactly
+   the same values as the plain one.
+
+When Hypothesis is importable the inputs are drawn adaptively; otherwise a
+seeded-random sweep covers the same axes so the suite never silently loses
+coverage on a minimal toolchain.
+"""
+import numpy as np
+import pytest
+
+from repro.compressors import (
+    INTERP_COMPRESSORS,
+    decompress_any,
+    get_compressor,
+    supports_qp,
+)
+from repro.core.config import QPConfig
+from repro.io import integrity
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - minimal toolchain fallback
+    HAVE_HYPOTHESIS = False
+
+ALL_COMPRESSORS = ("mgard", "sz3", "qoz", "hpez", "zfp", "tthresh", "sperr")
+SHAPES = [(97,), (13, 11), (24,), (7, 6, 5), (4, 9, 8)]
+ERROR_BOUNDS = [1e-1, 1e-2, 1e-3]
+DTYPES = [np.float32, np.float64]
+
+
+def _make_data(shape, dtype, seed):
+    rng = np.random.default_rng(seed)
+    # smooth field + noise: exercises both the predictor and the escapes
+    coords = np.meshgrid(*(np.linspace(0, 3, s) for s in shape), indexing="ij")
+    smooth = sum(np.sin(c) for c in coords)
+    noise = 0.1 * rng.standard_normal(shape)
+    return (smooth + noise).astype(dtype)
+
+
+def _comp_kwargs(name, qp_on):
+    if qp_on and supports_qp(name):
+        return {"qp": QPConfig()}
+    if name in INTERP_COMPRESSORS or name == "sperr":
+        return {"qp": QPConfig.disabled()}
+    return {}
+
+
+def _check_roundtrip(name, shape, dtype, eb, qp_on, seed):
+    data = _make_data(shape, dtype, seed)
+    comp = get_compressor(name, eb, **_comp_kwargs(name, qp_on))
+    blob = comp.compress(data)
+    out = comp.decompress(blob)
+    assert out.shape == data.shape
+    err = np.abs(out.astype(np.float64) - data.astype(np.float64)).max()
+    assert err <= eb * (1 + 1e-6), f"{name} eb={eb}: max err {err}"
+    # determinism: same input, same bytes
+    assert comp.compress(data) == blob
+    # sealed blob: envelope wraps the identical payload and decodes the same
+    sealed = comp.compress(data, checksum=True)
+    assert integrity.unseal(sealed) == blob
+    assert np.array_equal(decompress_any(sealed), out)
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(
+        name=st.sampled_from(ALL_COMPRESSORS),
+        shape=st.sampled_from(SHAPES),
+        dtype=st.sampled_from(DTYPES),
+        eb=st.sampled_from(ERROR_BOUNDS),
+        qp_on=st.booleans(),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(name, shape, dtype, eb, qp_on, seed):
+        _check_roundtrip(name, shape, dtype, eb, qp_on, seed)
+
+else:  # pragma: no cover - exercised only without hypothesis
+
+    @pytest.mark.parametrize("case", range(30))
+    def test_roundtrip_property(case):
+        rng = np.random.default_rng(case)
+        name = ALL_COMPRESSORS[int(rng.integers(len(ALL_COMPRESSORS)))]
+        shape = SHAPES[int(rng.integers(len(SHAPES)))]
+        dtype = DTYPES[int(rng.integers(len(DTYPES)))]
+        eb = ERROR_BOUNDS[int(rng.integers(len(ERROR_BOUNDS)))]
+        _check_roundtrip(
+            name, shape, dtype, eb, bool(rng.integers(2)), int(rng.integers(2**16))
+        )
+
+
+@pytest.mark.parametrize("name", INTERP_COMPRESSORS)
+def test_qp_roundtrip_all_interp(name):
+    """QP on/off both honor the bound on the same input (fixed seed)."""
+    data = _make_data((11, 10, 9), np.float32, seed=7)
+    for qp in (QPConfig(), QPConfig.disabled()):
+        comp = get_compressor(name, 1e-2, qp=qp)
+        out = comp.decompress(comp.compress(data))
+        assert np.abs(out - data).max() <= 1e-2 * (1 + 1e-6)
