@@ -10,20 +10,38 @@ Design constraints (see DESIGN.md section 7):
   *blocks* whose starting bit offsets are stored in the header.  All blocks
   are then decoded in lockstep: a vector of per-block cursors advances one
   symbol per iteration, so the Python-level loop runs ``block_size`` times on
-  vectors instead of ``n_symbols`` times on scalars.
+  vectors instead of ``n_symbols`` times on scalars.  Each step fetches its
+  ``max_len``-bit windows *on demand* with a vectorized byte gather
+  (``cursor >> 3`` indexes an overlapping big-endian uint32 view of the
+  payload, ``cursor & 7`` aligns), so decode work scales with symbols
+  decoded — not payload bits × code length as the earlier
+  unpackbits/window-precompute design did.
 * Code lengths are limited to ``MAX_CODE_LEN`` bits (via iterative frequency
-  dampening) so a flat ``2**maxlen`` decode table stays small.
+  dampening) so a flat ``2**maxlen`` decode table stays small.  Decode
+  tables are memoized keyed by a digest of the sparse code-length table, so
+  repeated tables (parallel slabs, multi-level passes, repeated decodes of
+  one container) skip the rebuild entirely.
 """
 from __future__ import annotations
 
+import hashlib
 import heapq
 import struct
+from collections import OrderedDict
 
 import numpy as np
 
 from ..errors import CorruptBlobError, TruncatedStreamError
 
-__all__ = ["HuffmanCodec", "huffman_code_lengths", "canonical_codes"]
+__all__ = [
+    "HuffmanCodec",
+    "huffman_code_lengths",
+    "canonical_codes",
+    "decode_table_cache_info",
+    "clear_decode_table_cache",
+]
+
+_WIN_DTYPE = np.dtype(">u4")  # overlapping big-endian window view of payload
 
 MAX_CODE_LEN = 20
 DEFAULT_BLOCK_SIZE = 4096
@@ -111,6 +129,135 @@ def canonical_codes(lengths: np.ndarray) -> np.ndarray:
     return codes
 
 
+# -- memoized decode tables ---------------------------------------------------
+
+#: LRU of validated flat decode tables keyed by a digest of the sparse
+#: (present, present_lens) code table.  Entries are read-only arrays, safe to
+#: share across decodes, threads (GIL) and fork()ed worker processes.
+_DECODE_TABLE_CACHE: "OrderedDict[bytes, tuple[np.ndarray, np.ndarray, int]]" = (
+    OrderedDict()
+)
+_DECODE_TABLE_CACHE_MAX = 64
+_DECODE_TABLE_STATS = {"hits": 0, "misses": 0}
+
+
+def decode_table_cache_info() -> dict:
+    """Hits/misses/size of the decode-table memo (for tests and perf triage)."""
+    return {**_DECODE_TABLE_STATS, "size": len(_DECODE_TABLE_CACHE)}
+
+
+def clear_decode_table_cache() -> None:
+    """Drop all memoized decode tables and reset the hit/miss counters."""
+    _DECODE_TABLE_CACHE.clear()
+    _DECODE_TABLE_STATS["hits"] = 0
+    _DECODE_TABLE_STATS["misses"] = 0
+
+
+def _decode_tables(
+    present: np.ndarray, present_lens: np.ndarray
+) -> tuple[bytes, np.ndarray, np.ndarray, int]:
+    """Flat (key, sym_table, len_table, max_len) for one sparse code table.
+
+    Memoized: the key is a digest of the raw header bytes describing the
+    table, so byte-identical code tables (parallel slabs of one volume,
+    repeated decodes of one container) reuse the validated tables and skip
+    both the Kraft check and the table fill.  The tables a cache hit returns
+    are exactly the arrays a rebuild would produce — the build is a pure
+    function of the key.
+    """
+    key = hashlib.blake2b(
+        present.tobytes() + present_lens.tobytes(), digest_size=16
+    ).digest()
+    cached = _DECODE_TABLE_CACHE.get(key)
+    if cached is not None:
+        _DECODE_TABLE_CACHE.move_to_end(key)
+        _DECODE_TABLE_STATS["hits"] += 1
+        return (key, *cached)
+    _DECODE_TABLE_STATS["misses"] += 1
+
+    alphabet = int(present.max()) + 1
+    lengths = np.zeros(alphabet, dtype=np.int64)
+    lengths[present] = present_lens
+    psyms = np.nonzero(lengths)[0]
+    plens = lengths[psyms]
+    max_len = int(plens.max())
+    # Kraft inequality: an over-subscribed length table would assign
+    # canonical codes past the table and corrupt the flat lookup
+    if int((1 << (max_len - plens)).sum()) > (1 << max_len):
+        raise CorruptBlobError("Huffman code-length table violates Kraft")
+
+    # Canonical code values increase sequentially in (length, symbol) order,
+    # so the flat-table spans they cover are contiguous from slot 0: the
+    # whole fill is two np.repeat calls, no per-symbol loop and no explicit
+    # code values needed.
+    order = np.argsort(plens, kind="stable")  # psyms ascending -> (len, sym)
+    spans = np.int64(1) << (max_len - plens[order])
+    covered = int(spans.sum())  # <= 1 << max_len by Kraft
+    sym_table = np.zeros(1 << max_len, dtype=np.int64)
+    # uint8 (code lengths are <= MAX_CODE_LEN): the per-step cursor advance
+    # gathers randomly from this table, so an 8x smaller footprint keeps it
+    # cache-resident even for wide tables and concatenated multi-container
+    # tables (numpy upcasts the += to int64)
+    len_table = np.zeros(1 << max_len, dtype=np.uint8)
+    sym_table[:covered] = np.repeat(psyms[order], spans)
+    len_table[:covered] = np.repeat(plens[order], spans)
+    sym_table.setflags(write=False)
+    len_table.setflags(write=False)
+
+    _DECODE_TABLE_CACHE[key] = (sym_table, len_table, max_len)
+    while len(_DECODE_TABLE_CACHE) > _DECODE_TABLE_CACHE_MAX:
+        _DECODE_TABLE_CACHE.popitem(last=False)
+    return key, sym_table, len_table, max_len
+
+
+#: LRU of width-expanded length tables for multi-container lockstep decodes,
+#: keyed by the tuple of member table digests.  Byte-capped rather than
+#: entry-capped: a deep (MAX_CODE_LEN) table is 1 MiB per container, so a
+#: handful of four-slab entries is the natural working set.
+_COMBINED_TABLE_CACHE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_COMBINED_TABLE_CACHE_MAX_BYTES = 192 << 20
+
+
+def _combined_tables(
+    parts: list[tuple[bytes, np.ndarray, np.ndarray, int]]
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """Per-container length tables expanded to one width for joint decode.
+
+    Returns ``(len_exp, M, norms)``: ``M = max(max_len)`` is the global
+    window width; ``len_exp`` is every container's length table expanded to
+    width ``M`` (its native table repeated ``2**(M - max_len_k)`` times, so
+    the junk low bits of a wide window are absorbed by construction) and
+    laid out contiguously, so ``len_exp[win + (k << M)]`` is container
+    ``k``'s code length for the full ``M``-bit window ``win``;
+    ``norms[k] = M - max_len_k`` converts stored windows back to native ones
+    for the final symbol gather.  Expanding up front keeps the per-step
+    cursor advance at one add plus one gather — no per-step normalization
+    shift, which at lockstep lane counts is pure ufunc-call overhead.
+    """
+    key = tuple(p[0] for p in parts)
+    cached = _COMBINED_TABLE_CACHE.get(key)
+    if cached is not None:
+        _COMBINED_TABLE_CACHE.move_to_end(key)
+        return cached
+    max_lens = [p[3] for p in parts]
+    M = max(max_lens)
+    len_exp = np.empty(len(parts) << M, dtype=np.uint8)
+    for k, p in enumerate(parts):
+        norm = M - max_lens[k]
+        len_exp[k << M:(k + 1) << M] = (
+            np.repeat(p[2], 1 << norm) if norm else p[2]
+        )
+    len_exp.setflags(write=False)
+    norms = np.asarray([M - ml for ml in max_lens], dtype=np.int64)
+    entry = (len_exp, M, norms)
+    _COMBINED_TABLE_CACHE[key] = entry
+    total = sum(e[0].nbytes for e in _COMBINED_TABLE_CACHE.values())
+    while total > _COMBINED_TABLE_CACHE_MAX_BYTES and len(_COMBINED_TABLE_CACHE) > 1:
+        _, dropped = _COMBINED_TABLE_CACHE.popitem(last=False)
+        total -= dropped[0].nbytes
+    return entry
+
+
 class HuffmanCodec:
     """Self-contained Huffman container: ``encode`` -> bytes -> ``decode``.
 
@@ -174,119 +321,234 @@ class HuffmanCodec:
         Strict-validating: every header field is bounds-checked against the
         available bytes, the code-length table must satisfy the Kraft
         inequality (so the flat decode table cannot be indexed out of range),
-        cursors are checked every lockstep step, and each block must land
-        exactly on the next block's recorded bit offset.  Corrupt input
-        raises :class:`~repro.errors.CorruptBlobError` /
+        the lockstep loop runs a fixed number of steps over a zero-padded
+        payload (cursors cannot index out of bounds or loop forever), and
+        each block must land exactly on the next block's recorded bit
+        offset.  Corrupt input raises
+        :class:`~repro.errors.CorruptBlobError` /
         :class:`~repro.errors.TruncatedStreamError` in bounded time — never
         a hang, never a silently mis-shaped array.
         """
-        if data[:4] != _MAGIC:
-            raise CorruptBlobError("not a Huffman container")
-        if len(data) < 20:
-            raise TruncatedStreamError("Huffman container header truncated")
-        off = 4
-        n, block_size, n_present = struct.unpack_from("<QII", data, off)
-        off += 16
-        if n == 0:
+        parsed = _parse_container(data)
+        if parsed is None:
             return np.empty(0, dtype=np.int64)
-        if block_size == 0:
-            raise CorruptBlobError("Huffman container declares block size 0")
-        if n_present == 0:
-            raise CorruptBlobError(f"{n} symbols but an empty code table")
-        if off + 5 * n_present + 16 > len(data):
-            raise TruncatedStreamError("Huffman code table truncated")
-        present = np.frombuffer(data, dtype=np.uint32, count=n_present, offset=off)
-        off += 4 * n_present
-        present_lens = np.frombuffer(data, dtype=np.uint8, count=n_present, offset=off)
-        off += n_present
-        n_blocks, total_bits = struct.unpack_from("<QQ", data, off)
-        off += 16
-        if n_blocks != (n + block_size - 1) // block_size:
-            raise CorruptBlobError(
-                f"{n_blocks} block offsets inconsistent with {n} symbols "
-                f"in blocks of {block_size}"
-            )
-        if off + 8 * n_blocks > len(data):
-            raise TruncatedStreamError("Huffman block-offset table truncated")
-        block_offsets = np.frombuffer(data, dtype=np.uint64, count=n_blocks, offset=off)
-        off += 8 * n_blocks
-        if total_bits > 8 * (len(data) - off):
-            raise TruncatedStreamError(
-                f"Huffman payload declares {total_bits} bits, only "
-                f"{8 * (len(data) - off)} present"
-            )
-        if n > max(total_bits, 1):
-            raise CorruptBlobError(
-                f"{n} symbols cannot fit in {total_bits} payload bits"
-            )
-        if (np.diff(block_offsets.astype(np.int64)) < 0).any() or (
-            n_blocks and int(block_offsets[-1]) >= max(total_bits, 1)
-        ):
-            raise CorruptBlobError("Huffman block offsets out of order or range")
+        return _decode_group([parsed])[0]
 
-        if int(present_lens.min()) == 0 or int(present_lens.max()) > MAX_CODE_LEN:
-            raise CorruptBlobError(
-                f"Huffman code lengths outside [1, {MAX_CODE_LEN}]"
-            )
-        alphabet = int(present.max()) + 1
-        lengths = np.zeros(alphabet, dtype=np.int64)
-        lengths[present] = present_lens
-        codes = canonical_codes(lengths)
-        max_len = int(lengths.max())
-        # Kraft inequality: an over-subscribed length table would assign
-        # canonical codes past the table and corrupt the flat lookup
-        if int((1 << (max_len - lengths[np.nonzero(lengths)[0]])).sum()) > (1 << max_len):
-            raise CorruptBlobError("Huffman code-length table violates Kraft")
+    def decode_many(self, datas: "list[bytes]") -> "list[np.ndarray]":
+        """Decode several containers in one joint lockstep loop.
 
-        # Flat decode table: for every max_len-bit window, the symbol whose
-        # code prefixes it and that code's length.
-        sym_table = np.zeros(1 << max_len, dtype=np.int64)
-        len_table = np.zeros(1 << max_len, dtype=np.int64)
-        psyms = np.nonzero(lengths)[0]
-        for sym in psyms:  # loop over distinct symbols — small
-            ln = int(lengths[sym])
-            base = int(codes[sym]) << (max_len - ln)
-            span = 1 << (max_len - ln)
-            sym_table[base:base + span] = sym
-            len_table[base:base + span] = ln
+        Every container's blocks become lanes of a single cursor vector, so
+        the Python-level loop cost is paid once for the whole batch instead
+        of once per container — the win that makes decoding N slab streams
+        of one volume as cheap as decoding the volume's own stream.  Output
+        and error behaviour match ``decode`` applied to each container in
+        order (the first corrupt member raises).
+        """
+        parsed = [_parse_container(d) for d in datas]
+        live = [p for p in parsed if p is not None]
+        decoded = iter(_decode_group(live)) if live else iter(())
+        return [
+            np.empty(0, dtype=np.int64) if p is None else next(decoded)
+            for p in parsed
+        ]
 
-        bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8, offset=off))
-        bits = bits[:total_bits]
-        # Pad so windows near the end stay in-bounds.
-        bits = np.concatenate([bits, np.zeros(max_len, dtype=np.uint8)])
 
-        # Window value at every bit position, built with one pass per bit.
-        nbits = total_bits
-        windows = np.zeros(nbits, dtype=np.uint32)
-        for j in range(max_len):
-            windows |= bits[j:j + nbits].astype(np.uint32) << np.uint32(max_len - 1 - j)
-        sym_at = sym_table[windows]
-        len_at = len_table[windows]
+def _parse_container(data: bytes) -> "tuple | None":
+    """Validate one container's header; None for the empty container.
 
-        # Lockstep block decode: one cursor per block, advanced together.
-        out = np.empty(n, dtype=np.int64)
-        cursors = block_offsets.astype(np.int64).copy()
-        starts = np.arange(n_blocks, dtype=np.int64) * block_size
-        sizes = np.minimum(block_size, n - starts)
-        for step in range(int(sizes.max())):
-            active = sizes > step
-            cur = cursors[active]
-            if cur.size and int(cur.max()) >= nbits:
-                raise TruncatedStreamError(
-                    "Huffman payload exhausted mid-block"
-                )
-            la = len_at[cur]
-            if not la.all():
-                raise CorruptBlobError(
-                    "bit window matches no Huffman code (invalid prefix)"
-                )
-            out[starts[active] + step] = sym_at[cur]
-            cursors[active] = cur + la
-        # each block must land exactly where the next one starts — a decode
-        # that drifted out of code alignment cannot satisfy this
-        expected_ends = np.empty(n_blocks, dtype=np.int64)
-        expected_ends[:-1] = block_offsets[1:].astype(np.int64)
+    Returns ``(n, block_size, block_offsets, total_bits, payload, tables)``
+    with every strict check from the original decoder applied: magic,
+    truncation bounds, block-count consistency, offset monotonicity, code
+    lengths in range, and (inside the memoized table build) Kraft.
+    """
+    # magic is judged first only when enough bytes exist to judge it; a
+    # truncated prefix of a valid container must raise the truncation
+    # error, not "not a Huffman container"
+    if len(data) >= 4 and data[:4] != _MAGIC:
+        raise CorruptBlobError("not a Huffman container")
+    if len(data) < 20:
+        raise TruncatedStreamError("Huffman container header truncated")
+    off = 4
+    n, block_size, n_present = struct.unpack_from("<QII", data, off)
+    off += 16
+    if n == 0:
+        return None
+    if block_size == 0:
+        raise CorruptBlobError("Huffman container declares block size 0")
+    if n_present == 0:
+        raise CorruptBlobError(f"{n} symbols but an empty code table")
+    if off + 5 * n_present + 16 > len(data):
+        raise TruncatedStreamError("Huffman code table truncated")
+    present = np.frombuffer(data, dtype=np.uint32, count=n_present, offset=off)
+    off += 4 * n_present
+    present_lens = np.frombuffer(data, dtype=np.uint8, count=n_present, offset=off)
+    off += n_present
+    n_blocks, total_bits = struct.unpack_from("<QQ", data, off)
+    off += 16
+    if n_blocks != (n + block_size - 1) // block_size:
+        raise CorruptBlobError(
+            f"{n_blocks} block offsets inconsistent with {n} symbols "
+            f"in blocks of {block_size}"
+        )
+    if off + 8 * n_blocks > len(data):
+        raise TruncatedStreamError("Huffman block-offset table truncated")
+    block_offsets = np.frombuffer(data, dtype=np.uint64, count=n_blocks, offset=off)
+    off += 8 * n_blocks
+    if total_bits > 8 * (len(data) - off):
+        raise TruncatedStreamError(
+            f"Huffman payload declares {total_bits} bits, only "
+            f"{8 * (len(data) - off)} present"
+        )
+    if n > max(total_bits, 1):
+        raise CorruptBlobError(
+            f"{n} symbols cannot fit in {total_bits} payload bits"
+        )
+    if (np.diff(block_offsets.astype(np.int64)) < 0).any() or (
+        n_blocks and int(block_offsets[-1]) >= max(total_bits, 1)
+    ):
+        raise CorruptBlobError("Huffman block offsets out of order or range")
+    if int(present_lens.min()) == 0 or int(present_lens.max()) > MAX_CODE_LEN:
+        raise CorruptBlobError(
+            f"Huffman code lengths outside [1, {MAX_CODE_LEN}]"
+        )
+    # Flat decode table: for every max_len-bit window, the symbol whose code
+    # prefixes it and that code's length.  Memoized across decodes sharing
+    # one code table; the Kraft check lives with the build.
+    tables = _decode_tables(present, present_lens)
+    payload = np.frombuffer(data, dtype=np.uint8, offset=off)
+    return n, block_size, block_offsets.astype(np.int64), total_bits, payload, tables
+
+
+def _decode_group(parsed: list) -> "list[np.ndarray]":
+    """Joint lockstep decode of one or more parsed containers.
+
+    Every block of every container is one *lane*: a cursor advanced one
+    symbol per Python-level step.  Lanes are sorted by their step count
+    (descending), so the active set is always a prefix and each step runs a
+    fixed sequence of whole-vector ufuncs on preallocated scratch — no
+    per-step masking, no allocation.  Windows are gathered from a
+    precomputed native-endian ``int64`` view of the concatenated payloads
+    (one ``astype`` pass instead of one per step), and matched windows are
+    stored row-major so the per-step store is contiguous.  The step count is
+    fixed up front, so decode time stays bounded for corrupt input; each
+    container's blocks are still checked to land exactly on the next block's
+    recorded bit offset.
+    """
+    single = len(parsed) == 1
+    if single:
+        key, sym_flat, len_flat, M = parsed[0][5]
+        norms = None
+    else:
+        len_flat, M, norms = _combined_tables([p[5] for p in parsed])
+
+    # Concatenate payloads into one zero-padded buffer.  Padding bounds every
+    # window gather: a cursor starts inside its container's payload (checked
+    # during parse) and advances at most max_len bits per active step, so the
+    # worst overrun past the final payload byte is steps * M bits.
+    pay_sizes = [p[4].size for p in parsed]
+    base_bytes = np.zeros(len(parsed) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(pay_sizes, dtype=np.int64), out=base_bytes[1:])
+    max_steps = max(min(p[1], p[0]) for p in parsed)
+    pad = (max_steps * M + 7) // 8 + 8
+    buf = np.zeros(int(base_bytes[-1]) + pad, dtype=np.uint8)
+    for p, lo, size in zip(parsed, base_bytes, pay_sizes):
+        buf[int(lo):int(lo) + size] = p[4]
+    # Overlapping big-endian uint32 windows, converted to native int64 once:
+    # allwin[b] holds the 4 payload bytes starting at byte b, so the M-bit
+    # window at bit cursor c is one gather (c >> 3) plus one shift (c & 7
+    # alignment).  32 bits always suffice: M (<= 20) + 7 alignment bits <= 27.
+    allwin = np.ndarray(
+        (buf.size - 3,), dtype=_WIN_DTYPE, buffer=buf.data, strides=(1,)
+    ).astype(np.int64)
+
+    # Lane tables: cursors (absolute bit positions in the concatenated
+    # buffer), per-lane step counts, and — for multi-container groups — the
+    # per-lane window normalization shift and table base offset.
+    lane_cont: list[int] = []
+    cur_parts: list[np.ndarray] = []
+    stop_parts: list[np.ndarray] = []
+    for k, p in enumerate(parsed):
+        n, block_size, block_offsets, _, _, _ = p
+        nb = block_offsets.size
+        cur_parts.append(block_offsets + base_bytes[k] * 8)
+        stops = np.full(nb, block_size, dtype=np.int64)
+        stops[-1] = n - (nb - 1) * block_size
+        stop_parts.append(stops)
+        lane_cont.extend([k] * nb)
+    cur = np.concatenate(cur_parts)
+    stops = np.concatenate(stop_parts)
+    cont_ids = np.asarray(lane_cont, dtype=np.int64)
+    L = cur.size
+
+    # Sort lanes so longer-running ones come first: the active set during any
+    # step range is then a prefix slice.  (For a single container this is the
+    # identity permutation — all blocks are full except the last.)
+    perm = np.argsort(-stops, kind="stable")
+    inv = np.empty(L, dtype=np.int64)
+    inv[perm] = np.arange(L)
+    cur = np.ascontiguousarray(cur[perm])
+    stops_p = stops[perm]
+    if not single:
+        # per-lane base offset into the width-expanded length table; the
+        # expansion absorbs the per-container normalization shift, so the
+        # advance is one add + one gather regardless of mixed table depths
+        lane_off = np.ascontiguousarray(cont_ids[perm] << np.int64(M))
+
+    wins = np.empty((max_steps, L), dtype=np.int64)
+    mask = np.int64((1 << M) - 1)
+    shift_base = np.int64(32 - M)
+
+    prev = 0
+    for b in [int(v) for v in np.unique(stops_p)]:
+        act = int(np.count_nonzero(stops_p >= b))
+        cur_v = cur[:act]
+        off_v = None if single else lane_off[:act]
+        row = slice(0, act)
+        if single:
+            for step in range(prev, b):
+                w = allwin[cur_v >> 3]
+                win = (w >> (shift_base - (cur_v & 7))) & mask
+                wins[step, row] = win
+                cur_v += len_flat[win]
+        else:
+            for step in range(prev, b):
+                w = allwin[cur_v >> 3]
+                win = (w >> (shift_base - (cur_v & 7))) & mask
+                wins[step, row] = win
+                cur_v += len_flat[win + off_v]
+        prev = b
+
+    # Validate and extract per container.  Each container's blocks must land
+    # exactly where the next one starts — a decode that drifted out of code
+    # alignment (flipped bits, truncated payload, a window matching no code
+    # and stalling its cursor) cannot satisfy this.
+    end_cur = cur[inv]
+    results: list[np.ndarray] = []
+    lane_lo = 0
+    for k, p in enumerate(parsed):
+        n, block_size, block_offsets, total_bits, _, _ = p
+        nb = block_offsets.size
+        rel = end_cur[lane_lo:lane_lo + nb] - base_bytes[k] * 8
+        expected_ends = np.empty(nb, dtype=np.int64)
+        expected_ends[:-1] = block_offsets[1:]
         expected_ends[-1] = total_bits
-        if not np.array_equal(cursors, expected_ends):
+        if not np.array_equal(rel, expected_ends):
+            if int(rel.max()) > total_bits:
+                raise TruncatedStreamError("Huffman payload exhausted mid-block")
             raise CorruptBlobError("Huffman blocks misaligned after decode")
-        return out
+        cols = inv[lane_lo:lane_lo + nb]
+        lane_lo += nb
+        c0 = int(cols[0])
+        if np.array_equal(cols, np.arange(c0, c0 + nb)):
+            blk = wins[:, c0:c0 + nb]  # contiguous lanes: keep the view
+        else:
+            blk = wins[:, cols]
+        flat = np.ascontiguousarray(blk.T[:, :block_size]).reshape(-1)[:n]
+        if single:
+            results.append(sym_flat[flat])
+        else:
+            # stored windows are full width: shift off the junk low bits to
+            # index this container's own (native-width) symbol table
+            nk = int(norms[k])
+            results.append(p[5][1][flat >> nk if nk else flat])
+    return results

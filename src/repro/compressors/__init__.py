@@ -9,7 +9,9 @@ from .registry import (
     COMPRESSORS,
     INTERP_COMPRESSORS,
     available_compressors,
+    constructor_accepts,
     decompress_any,
+    decompress_many,
     get_compressor,
     supports_qp,
     traits_table,
@@ -27,8 +29,10 @@ __all__ = [
     "COMPRESSORS",
     "INTERP_COMPRESSORS",
     "available_compressors",
+    "constructor_accepts",
     "get_compressor",
     "decompress_any",
+    "decompress_many",
     "supports_qp",
     "traits_table",
 ]

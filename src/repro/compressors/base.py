@@ -176,6 +176,12 @@ class Compressor(ABC):
     #: prediction integrates with the quantization-index structure, so only
     #: prediction+quantization compressors can support it)
     supports_qp: bool = False
+    #: Huffman block size for the index-stream entropy stage; ``None`` keeps
+    #: the codec default.  Block-synchronous decode costs ``block_size``
+    #: Python-level steps however many lanes run in lockstep, so short slab
+    #: streams decode far faster with smaller blocks (at ~8 bytes of stored
+    #: offset per extra block) — the slab-parallel wrapper tunes this down
+    huffman_block_size: int | None = None
 
     def __init__(self, error_bound: float, lossless_backend: str = "zlib") -> None:
         self.error_bound = check_error_bound(error_bound)
@@ -224,6 +230,42 @@ class Compressor(ABC):
             )
         return out.reshape(shape).astype(dtype, copy=False)
 
+    def decompress_many(self, blobs: "list[bytes]") -> "list[np.ndarray]":
+        """Decompress several blobs with shared decode stages batched.
+
+        Output is identical to ``[self.decompress(b) for b in blobs]``, but
+        subclasses may override ``_decompress_many`` to amortize per-blob
+        Python dispatch (joint Huffman lockstep decode, stacked QP inverse)
+        — the hot path for slab-parallel containers.
+        """
+        parsed = []
+        for blob in blobs:
+            b = Blob.from_bytes(blob)
+            if b.header.get("compressor") != self.name:
+                raise ValueError(
+                    f"blob was produced by {b.header.get('compressor')!r}, "
+                    f"not {self.name!r}"
+                )
+            shape, dtype = _validated_geometry(b.header)
+            parsed.append((b, shape, dtype))
+        try:
+            outs = self._decompress_many([b for b, _, _ in parsed])
+        except ReproError:
+            raise
+        except _DECODE_FAULTS as exc:
+            raise CorruptBlobError(
+                f"{self.name} blob failed to decode: {type(exc).__name__}: {exc}"
+            ) from exc
+        results = []
+        for out, (_, shape, dtype) in zip(outs, parsed):
+            if out.size != int(np.prod(shape)):
+                raise CorruptBlobError(
+                    f"decoded {out.size} values, header shape {shape} needs "
+                    f"{int(np.prod(shape))}"
+                )
+            results.append(out.reshape(shape).astype(dtype, copy=False))
+        return results
+
     # -- subclass hooks -------------------------------------------------------
 
 
@@ -236,6 +278,10 @@ class Compressor(ABC):
     @abstractmethod
     def _decompress(self, blob: Blob) -> np.ndarray:
         """Reconstruct the array from a parsed blob."""
+
+    def _decompress_many(self, blobs: "list[Blob]") -> "list[np.ndarray]":
+        """Batched counterpart of ``_decompress``; default is the plain loop."""
+        return [self._decompress(b) for b in blobs]
 
 
 # -- shared encode stages -----------------------------------------------------
@@ -268,7 +314,10 @@ def _int_median(values: np.ndarray, lo: int, hi: int) -> float:
 
 
 def encode_index_stream(
-    indices: np.ndarray, backend: str = "zlib", entropy: str = "huffman"
+    indices: np.ndarray,
+    backend: str = "zlib",
+    entropy: str = "huffman",
+    block_size: int | None = None,
 ) -> bytes:
     """Entropy stage shared by the SZ-family ports: offset-shift the signed
     index stream to non-negative codes, entropy-code, then apply the
@@ -279,6 +328,9 @@ def encode_index_stream(
     replaced by an escape symbol and stored fixed-width on the side — the
     same alphabet cap real SZ applies via its quantizer capacity — so the
     Huffman frequency table stays bounded regardless of the value range.
+
+    ``block_size`` overrides the Huffman codec's block length; it is stored
+    in the container header, so decoders adapt automatically.
     """
     from ..codecs.fixed import encode_fixed
 
@@ -326,7 +378,8 @@ def encode_index_stream(
     if esc_mask is not None and esc_mask.any():
         codes = np.where(esc_mask, esc, codes)
     with stage("huffman"):
-        coded = HuffmanCodec().encode(codes)
+        codec = HuffmanCodec(block_size) if block_size else HuffmanCodec()
+        coded = codec.encode(codes)
     with stage("lossless"):
         payload = lossless_compress(coded, backend)
     add_bytes("huffman", len(coded))
@@ -339,38 +392,71 @@ def encode_index_stream(
 
 
 def decode_index_stream(data: bytes) -> np.ndarray:
+    return decode_index_streams([data])[0]
+
+
+def decode_index_streams(datas: "list[bytes]") -> "list[np.ndarray]":
+    """Decode several index streams, batching the Huffman stage.
+
+    All Huffman-coded members are decoded in one joint lockstep loop
+    (:meth:`HuffmanCodec.decode_many`), so the Python-level decode cost is
+    paid once for the whole batch — the hot path for slab-parallel
+    containers, where N short streams would otherwise cost far more than
+    one long one.  Validation and output match ``decode_index_stream``
+    applied per stream.
+    """
     from ..codecs.fixed import decode_fixed
 
     head = struct.calcsize("<BqQ")
-    if len(data) < head:
-        raise TruncatedStreamError(
-            f"index stream header needs {head} bytes, have {len(data)}"
-        )
-    entropy_id, offset, plen = struct.unpack_from("<BqQ", data, 0)
-    if head + plen > len(data):
-        raise TruncatedStreamError(
-            f"index stream declares {plen} payload bytes, only "
-            f"{len(data) - head} present"
-        )
+    parsed = []
+    for data in datas:
+        if len(data) < head:
+            raise TruncatedStreamError(
+                f"index stream header needs {head} bytes, have {len(data)}"
+            )
+        entropy_id, offset, plen = struct.unpack_from("<BqQ", data, 0)
+        if head + plen > len(data):
+            raise TruncatedStreamError(
+                f"index stream declares {plen} payload bytes, only "
+                f"{len(data) - head} present"
+            )
+        parsed.append((entropy_id, offset, plen, data))
     with stage("lossless"):
-        payload = lossless_decompress(data[head:head + plen])
-    add_bytes("lossless", plen)
+        payloads = [
+            lossless_decompress(data[head:head + plen])
+            for (_, _, plen, data) in parsed
+        ]
+    for (_, _, plen, _) in parsed:
+        add_bytes("lossless", plen)
+    codes_list: "list[np.ndarray | None]" = [None] * len(parsed)
     with stage("huffman"):
-        if entropy_id == _ENTROPY_IDS["range"]:
-            from ..codecs.rangecoder import RangeCodec
+        huff = [
+            i for i, (eid, _, _, _) in enumerate(parsed)
+            if eid == _ENTROPY_IDS["huffman"]
+        ]
+        if huff:
+            for i, codes in zip(
+                huff, HuffmanCodec().decode_many([payloads[i] for i in huff])
+            ):
+                codes_list[i] = codes
+        for i, (eid, _, _, _) in enumerate(parsed):
+            if eid == _ENTROPY_IDS["range"]:
+                from ..codecs.rangecoder import RangeCodec
 
-            codes = RangeCodec().decode(payload)
-        elif entropy_id == _ENTROPY_IDS["huffman"]:
-            codes = HuffmanCodec().decode(payload)
-        else:
-            raise CorruptBlobError(f"unknown entropy stage id {entropy_id}")
-    add_bytes("huffman", len(payload))
-    escapes = decode_fixed(lossless_decompress(data[head + plen:]))
+                codes_list[i] = RangeCodec().decode(payloads[i])
+            elif eid != _ENTROPY_IDS["huffman"]:
+                raise CorruptBlobError(f"unknown entropy stage id {eid}")
+    for payload in payloads:
+        add_bytes("huffman", len(payload))
+    out = []
     esc = _STREAM_ALPHABET_CAP - 1
-    esc_mask = codes == esc
-    if int(esc_mask.sum()) != escapes.size:
-        raise CorruptBlobError("index stream escape count mismatch")
-    if escapes.size:
-        u = escapes.astype(np.int64)
-        codes[esc_mask] = np.where(u % 2 == 0, u // 2, -(u + 1) // 2)
-    return codes + offset
+    for (eid, offset, plen, data), codes in zip(parsed, codes_list):
+        escapes = decode_fixed(lossless_decompress(data[head + plen:]))
+        esc_mask = codes == esc
+        if int(esc_mask.sum()) != escapes.size:
+            raise CorruptBlobError("index stream escape count mismatch")
+        if escapes.size:
+            u = escapes.astype(np.int64)
+            codes[esc_mask] = np.where(u % 2 == 0, u // 2, -(u + 1) // 2)
+        out.append(codes + offset)
+    return out

@@ -11,6 +11,7 @@ __all__ = [
     "COMPRESSORS",
     "get_compressor",
     "decompress_any",
+    "decompress_many",
     "available_compressors",
     "supports_qp",
     "traits_table",
@@ -53,6 +54,20 @@ def supports_qp(name: str) -> bool:
     return reg[name].supports_qp
 
 
+def constructor_accepts(name: str, param: str) -> bool:
+    """Whether the named compressor's constructor accepts ``param``.
+
+    Lets wrappers (e.g. the parallel slab compressor) offer tuning kwargs
+    only to bases that understand them, without hardcoded name lists.
+    """
+    import inspect
+
+    reg = _registry()
+    if name not in reg:
+        raise KeyError(f"unknown compressor {name!r}; available: {tuple(reg)}")
+    return param in inspect.signature(reg[name].__init__).parameters
+
+
 def get_compressor(name: str, error_bound: float, **kwargs: Any) -> Compressor:
     """Construct a compressor by registry name."""
     reg = _registry()
@@ -81,6 +96,37 @@ def decompress_any(blob: bytes, **kwargs: Any) -> np.ndarray:
         raise CorruptBlobError(f"blob has invalid error bound {eb!r}")
     comp = reg[name](eb, **kwargs)
     return comp.decompress(blob)
+
+
+def decompress_many(blobs: "list[bytes]", **kwargs: Any) -> "list[np.ndarray]":
+    """Batched :func:`decompress_any` — same validation and output, but
+    runs of consecutive blobs sharing one (compressor, error bound) go
+    through ``Compressor.decompress_many`` so shared decode stages
+    (Huffman tables, QP wavefronts) are amortized across the batch."""
+    from ..errors import CorruptBlobError
+
+    reg = _registry()
+    keys = []
+    for blob in blobs:
+        b = Blob.from_bytes(blob)
+        name = b.header.get("compressor")
+        if name not in reg:
+            raise CorruptBlobError(f"blob names unknown compressor {name!r}")
+        eb = b.header.get("error_bound")
+        if not isinstance(eb, (int, float)) or not eb > 0:
+            raise CorruptBlobError(f"blob has invalid error bound {eb!r}")
+        keys.append((name, eb))
+    out: "list[np.ndarray]" = []
+    i = 0
+    while i < len(blobs):
+        j = i
+        while j < len(blobs) and keys[j] == keys[i]:
+            j += 1
+        name, eb = keys[i]
+        comp = reg[name](eb, **kwargs)
+        out.extend(comp.decompress_many(blobs[i:j]))
+        i = j
+    return out
 
 
 def traits_table() -> list[dict[str, Any]]:

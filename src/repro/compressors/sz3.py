@@ -24,6 +24,7 @@ from .base import (
     CompressionState,
     Compressor,
     decode_index_stream,
+    decode_index_streams,
     encode_index_stream,
 )
 from .interp_engine import (
@@ -31,6 +32,7 @@ from .interp_engine import (
     _pass_prediction as _engine_pass_prediction,
     compress_volume,
     decompress_volume,
+    decompress_volumes,
 )
 
 __all__ = ["SZ3"]
@@ -82,6 +84,7 @@ class SZ3(Compressor):
         interp: str = "auto",
         radius: int = 32768,
         lossless_backend: str = "zlib",
+        huffman_block_size: int | None = None,
     ) -> None:
         super().__init__(error_bound, lossless_backend)
         if predictor not in ("auto", "interp", "lorenzo", "regression"):
@@ -90,6 +93,9 @@ class SZ3(Compressor):
         self.predictor = predictor
         self.interp = interp
         self.radius = radius
+        if huffman_block_size is not None and huffman_block_size <= 0:
+            raise ValueError("huffman_block_size must be positive")
+        self.huffman_block_size = huffman_block_size
 
     # -- engine configuration (overridden by QoZ/HPEZ subclasses) ----------
 
@@ -164,7 +170,10 @@ class SZ3(Compressor):
         cfg = self._engine_config(data)
         meta, stream, literals, anchors = compress_volume(data, cfg, state)
         sections = {
-            "indices": encode_index_stream(stream, self.lossless_backend),
+            "indices": encode_index_stream(
+                stream, self.lossless_backend,
+                block_size=self.huffman_block_size,
+            ),
             "literals": lossless_compress(literals.tobytes(), self.lossless_backend),
             "anchors": anchors.tobytes(),
         }
@@ -183,7 +192,10 @@ class SZ3(Compressor):
             state.index_volume = result.indices.copy()
             state.extras["predictor"] = "lorenzo"
         sections = {
-            "indices": encode_index_stream(result.indices, self.lossless_backend),
+            "indices": encode_index_stream(
+                result.indices, self.lossless_backend,
+                block_size=self.huffman_block_size,
+            ),
             "escapes": lossless_compress(
                 encode_fixed(_zigzag(result.escapes)), self.lossless_backend
             ),
@@ -221,7 +233,8 @@ class SZ3(Compressor):
                 state.index_volume[bslice] = res.indices
         sections = {
             "indices": encode_index_stream(
-                np.concatenate(index_parts), self.lossless_backend
+                np.concatenate(index_parts), self.lossless_backend,
+                block_size=self.huffman_block_size,
             ),
             "literals": lossless_compress(
                 np.concatenate(literal_parts).tobytes() if literal_parts else b"",
@@ -233,7 +246,7 @@ class SZ3(Compressor):
         }
         return {"predictor": "regression", "radius": self.radius}, sections
 
-    def _decompress_regression(self, blob: Blob) -> np.ndarray:
+    def _decompress_regression(self, blob: Blob, stream: np.ndarray) -> np.ndarray:
         from ..predictors.regression import REGRESSION_BLOCK, plane_prediction
         from ..quantize.linear import LinearQuantizer
         from ..utils.blocks import iter_blocks
@@ -244,7 +257,6 @@ class SZ3(Compressor):
         quantizer = LinearQuantizer(
             header["error_bound"], int(header.get("radius", self.radius))
         )
-        stream = decode_index_stream(blob.sections["indices"])
         literals = np.frombuffer(
             lossless_decompress(blob.sections["literals"]), dtype=dtype
         )
@@ -268,13 +280,21 @@ class SZ3(Compressor):
     # -- decompression ----------------------------------------------------------
 
     def _decompress(self, blob: Blob) -> np.ndarray:
+        return self._finish_decompress(
+            blob, decode_index_stream(blob.sections["indices"])
+        )
+
+    def _finish_decompress(self, blob: Blob, stream: np.ndarray) -> np.ndarray:
+        """Per-predictor decode of one blob whose index stream is already
+        entropy-decoded (shared by the serial path and the batched path,
+        which decodes all streams in one joint Huffman pass)."""
         header = blob.header
         shape = tuple(header["shape"])
         dtype = np.dtype(header["dtype"])
         if header["predictor"] == "regression":
-            return self._decompress_regression(blob)
+            return self._decompress_regression(blob, stream)
         if header["predictor"] == "lorenzo":
-            indices = decode_index_stream(blob.sections["indices"]).reshape(shape)
+            indices = stream.reshape(shape)
             escapes = _unzigzag(
                 decode_fixed(lossless_decompress(blob.sections["escapes"]))
             )
@@ -285,7 +305,6 @@ class SZ3(Compressor):
                 step=float(header.get("step", 0.0)),
             )
             return lorenzo_decode(result, header["error_bound"], dtype)
-        stream = decode_index_stream(blob.sections["indices"])
         literals = np.frombuffer(
             lossless_decompress(blob.sections["literals"]), dtype=dtype
         )
@@ -299,6 +318,115 @@ class SZ3(Compressor):
         return decompress_volume(
             meta, stream, literals, anchors, shape, dtype, header["error_bound"]
         )
+
+    def _decompress_many(self, blobs: "list[Blob]") -> "list[np.ndarray]":
+        """Batch decode: every blob's index stream — whatever its predictor —
+        goes through one joint Huffman lockstep pass (the per-container cost
+        of the block-synchronous decoder is a fixed ``block_size`` steps, so
+        N separate decodes cost ~N× one joint decode).  Interpolation-path
+        blobs additionally share a stacked QP inverse / predict / dequantize
+        via :func:`decompress_volumes`; regression and Lorenzo blobs finish
+        per-blob on their pre-decoded streams."""
+        if len(blobs) <= 1:
+            return [self._decompress(b) for b in blobs]
+        streams = decode_index_streams([b.sections["indices"] for b in blobs])
+        interp = [
+            i for i, b in enumerate(blobs)
+            if b.header.get("predictor") == "interp"
+        ]
+        outs: "list[np.ndarray | None]" = [None] * len(blobs)
+        if len(interp) > 1:
+            from ..utils.levels import anchor_slices
+
+            items = []
+            for i in interp:
+                header = blobs[i].header
+                shape = tuple(header["shape"])
+                dtype = np.dtype(header["dtype"])
+                literals = np.frombuffer(
+                    lossless_decompress(blobs[i].sections["literals"]), dtype=dtype
+                )
+                anchor_shape = tuple(
+                    len(range(*sl.indices(n)))
+                    for sl, n in zip(anchor_slices(shape), shape)
+                )
+                anchors = np.frombuffer(
+                    blobs[i].sections["anchors"], dtype=dtype
+                ).reshape(anchor_shape)
+                items.append((
+                    header["engine"], streams[i], literals, anchors, shape,
+                    dtype, header["error_bound"],
+                ))
+            for i, arr in zip(interp, decompress_volumes(items)):
+                outs[i] = arr
+        lorenzo = [
+            i for i, b in enumerate(blobs)
+            if outs[i] is None and b.header.get("predictor") == "lorenzo"
+        ]
+        if len(lorenzo) > 1:
+            batched = self._decompress_lorenzo_many(
+                [blobs[i] for i in lorenzo], [streams[i] for i in lorenzo]
+            )
+            if batched is not None:
+                for i, arr in zip(lorenzo, batched):
+                    outs[i] = arr
+        for i, b in enumerate(blobs):
+            if outs[i] is None:
+                outs[i] = self._finish_decompress(b, streams[i])
+        return outs
+
+    def _decompress_lorenzo_many(
+        self, blobs: "list[Blob]", streams: "list[np.ndarray]"
+    ) -> "list[np.ndarray] | None":
+        """Stacked Lorenzo inverse for equal-geometry blobs.
+
+        The prefix-sum inverse treats leading axes as batch, so N slabs
+        integrate in one set of cumsums instead of N; escapes reinstate with
+        a single slab-major scatter (C order matches the per-slab streams
+        concatenated), and the per-slab quantization steps broadcast over
+        the stack, so values are bit-identical to per-blob
+        :func:`lorenzo_decode`.  Returns views of one contiguous stacked
+        array — slab reassembly upstream can then skip its copy.  ``None``
+        when geometries differ (caller falls back to the per-blob path).
+        """
+        from ..perf import stage
+
+        h0 = blobs[0].header
+        shape = tuple(h0["shape"])
+        dtype = np.dtype(h0["dtype"])
+        sentinel = int(h0["sentinel"])
+        for b in blobs[1:]:
+            h = b.header
+            if (
+                tuple(h["shape"]) != shape
+                or np.dtype(h["dtype"]) != dtype
+                or int(h["sentinel"]) != sentinel
+            ):
+                return None
+        q = np.empty((len(blobs),) + shape, dtype=np.int64)
+        esc_parts = []
+        for row, (b, stream) in enumerate(zip(blobs, streams)):
+            q[row] = stream.reshape(shape)
+            esc_parts.append(
+                _unzigzag(decode_fixed(lossless_decompress(b.sections["escapes"])))
+            )
+        mask = q == sentinel
+        counts = mask.sum(axis=tuple(range(1, q.ndim)))
+        for row, esc in enumerate(esc_parts):
+            if int(counts[row]) != esc.size:
+                raise ValueError("escape count mismatch")
+        if any(esc.size for esc in esc_parts):
+            q[mask] = np.concatenate(esc_parts)
+        with stage("predict"):
+            for ax in range(1, q.ndim):
+                q = np.cumsum(q, axis=ax)
+        steps = np.asarray([
+            float(b.header.get("step", 0.0)) or 2.0 * float(b.header["error_bound"])
+            for b in blobs
+        ])
+        with stage("quantize"):
+            out = (q * steps.reshape((-1,) + (1,) * len(shape))).astype(dtype)
+        return [out[row] for row in range(len(blobs))]
 
 
 def _center_sample(data: np.ndarray, side: int) -> np.ndarray:

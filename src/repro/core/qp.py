@@ -27,7 +27,7 @@ import numpy as np
 from .conditions import compensation
 from .config import QPConfig
 
-__all__ = ["qp_forward", "qp_inverse", "effective_dimension"]
+__all__ = ["qp_forward", "qp_inverse", "qp_inverse_multi", "effective_dimension"]
 
 
 def effective_dimension(dimension: str, ndim: int) -> str | None:
@@ -119,6 +119,44 @@ def qp_inverse(qp: np.ndarray, sentinel: int, config: QPConfig, level: int) -> n
     return _inverse_3d(qp, sentinel, config.condition)
 
 
+def qp_inverse_multi(
+    parts: "list[np.ndarray]", sentinel: int, config: QPConfig, level: int
+) -> np.ndarray:
+    """Invert :func:`qp_forward` for N equal-shape pass arrays at once.
+
+    Returns the per-part results stacked along a new leading axis — always
+    bit-identical to ``np.stack([qp_inverse(p, ...) for p in parts])``, but
+    the Lorenzo wavefront walk runs *once* over all parts: each part is
+    scattered straight into the shared zero-padded work plane (a copy the
+    kernel performs anyway), so batching adds no extra passes over the data.
+    Dimensions whose kernel involves the parts' leading axis (``1d-back``,
+    and ``3d`` on rank > 3 arrays) cannot share a walk and fall back to the
+    per-part loop.
+    """
+    shape = parts[0].shape
+    if any(p.shape != shape for p in parts[1:]):
+        raise ValueError("qp_inverse_multi requires equal-shape parts")
+    if len(parts) == 1:
+        return qp_inverse(parts[0], sentinel, config, level)[None]
+    if not config.applies_to_level(level):
+        return np.stack(parts)
+    ndim = len(shape)
+    dim = effective_dimension(config.dimension, ndim)
+    if dim is None:
+        return np.stack(parts)
+    if dim == "2d":
+        return _inverse_2d_multi(parts, sentinel, config.condition)
+    if dim == "3d" and ndim == 3:
+        return _inverse_3d_multi(parts, sentinel, config.condition)
+    if dim in ("1d-left", "1d-top"):
+        # scan axis is a trailing axis (these dims only survive
+        # ``effective_dimension`` at ranks where it is), so the stack is a
+        # pure batch; call the kernel directly with the resolved dim — the
+        # public entry would re-resolve against the stacked rank
+        return _inverse_1d(np.stack(parts), sentinel, config.condition, dim)
+    return np.stack([qp_inverse(p, sentinel, config, level) for p in parts])
+
+
 # -- inverse kernels ---------------------------------------------------------
 
 
@@ -146,26 +184,37 @@ def _inverse_1d(qp: np.ndarray, sentinel: int, cond: str, dim: str) -> np.ndarra
 
 @lru_cache(maxsize=32)
 def _diag_indices_2d(na: int, nb: int):
-    """Per-anti-diagonal gather indices for the 2-D wavefront inverse.
+    """Flat per-anti-diagonal gather/scatter tables for the 2-D inverse.
 
-    The index arithmetic (aranges, neighbour clamping, border masks) depends
-    only on the pass-array shape, which repeats across levels, passes and
-    volumes — so it is built once per shape and the read-only arrays reused.
+    Indices address a zero-padded ``(na+1, nb+1)`` plane (one ghost row and
+    column of zeros in front), so border neighbours read the padding instead
+    of needing per-diagonal ``has_top``/``has_left`` clamp masks — the
+    padding zeros are exactly the "missing neighbour reads as 0" convention
+    of the forward transform.  Each diagonal carries one scatter table
+    (``ctr``) and one *concatenated* gather table (``nbr`` = left|top|lt),
+    so the whole wavefront step is a single fancy-index gather.  Built once
+    per pass-array shape (shapes repeat across levels, passes and volumes)
+    and reused read-only.
     """
+    width = nb + 1
     diags = []
     for k in range(1, na + nb - 1):
-        i = np.arange(max(0, k - nb + 1), min(na - 1, k) + 1)
-        j = k - i
-        has_top = i > 0
-        has_left = j > 0
-        i_t = np.where(has_top, i - 1, 0)
-        j_l = np.where(has_left, j - 1, 0)
-        entry = (i, j, has_top[None, :], has_left[None, :],
-                 (has_top & has_left)[None, :], i_t, j_l)
-        for a in entry:
-            a.setflags(write=False)
-        diags.append(entry)
-    return tuple(diags)
+        i = np.arange(max(0, k - nb + 1), min(na - 1, k) + 1) + 1
+        j = (k + 2) - i  # padded coordinates: i + j == k + 2
+        ctr = i * width + j
+        nbr = np.concatenate([
+            i * width + (j - 1),        # left
+            (i - 1) * width + j,        # top
+            (i - 1) * width + (j - 1),  # lt
+        ])
+        ctr.setflags(write=False)
+        nbr.setflags(write=False)
+        diags.append((ctr, nbr, i.size))
+    interior = (
+        (np.arange(na)[:, None] + 1) * width + np.arange(nb)[None, :] + 1
+    ).ravel()
+    interior.setflags(write=False)
+    return tuple(diags), interior
 
 
 def _inverse_2d(qp: np.ndarray, sentinel: int, cond: str) -> np.ndarray:
@@ -179,28 +228,100 @@ def _inverse_2d(qp: np.ndarray, sentinel: int, cond: str) -> np.ndarray:
     shape = qp.shape
     na, nb = shape[-2], shape[-1]
     batch = int(np.prod(shape[:-2], dtype=np.int64)) if qp.ndim > 2 else 1
-    q = qp.reshape(batch, na, nb).copy()
-    for i, j, has_top, has_left, has_lt, i_t, j_l in _diag_indices_2d(na, nb):
-        top = np.where(has_top, q[:, i_t, j], 0)
-        left = np.where(has_left, q[:, i, j_l], 0)
-        lt = np.where(has_lt, q[:, i_t, j_l], 0)
-        c = compensation("2d", cond, sentinel, left, top, lt)
-        q[:, i, j] += c
-    return q.reshape(shape)
+    diags, interior = _diag_indices_2d(na, nb)
+    q = np.zeros((batch, (na + 1) * (nb + 1)), dtype=qp.dtype)
+    q[:, interior] = qp.reshape(batch, na * nb)
+    _walk_2d(q, diags, sentinel, cond)
+    return q[:, interior].reshape(shape)
+
+
+def _walk_2d(q, diags, sentinel: int, cond: str) -> None:
+    """Run the 2-D anti-diagonal wavefront over a padded plane batch."""
+    for ctr, nbr, m in diags:
+        g = q[:, nbr]  # one gather: [left | top | lt], each m wide
+        left, top, lt = g[:, :m], g[:, m:2 * m], g[:, 2 * m:]
+        pred = left + top
+        pred -= lt
+        ok = g != sentinel
+        valid = ok[:, :m] & ok[:, m:2 * m]
+        valid &= ok[:, 2 * m:]
+        if cond == "III":
+            pos = g[:, :2 * m] > 0
+            neg = g[:, :2 * m] < 0
+            valid &= (pos[:, :m] & pos[:, m:]) | (neg[:, :m] & neg[:, m:])
+        elif cond == "IV":
+            pos = g > 0
+            neg = g < 0
+            valid &= (pos[:, :m] & pos[:, m:2 * m] & pos[:, 2 * m:]) | (
+                neg[:, :m] & neg[:, m:2 * m] & neg[:, 2 * m:]
+            )
+        pred *= valid
+        q[:, ctr] += pred
+
+
+def _inverse_2d_multi(
+    parts: "list[np.ndarray]", sentinel: int, cond: str
+) -> np.ndarray:
+    """N equal-shape parts through one 2-D wavefront; stacked result.
+
+    Each part scatters into its own row block of the shared padded plane
+    batch, so the diagonal walk (the Python-level cost) is paid once for
+    all parts instead of once per part.
+    """
+    shape = parts[0].shape
+    if cond == "I":
+        q = np.cumsum(np.stack(parts), axis=-1)
+        return np.cumsum(q, axis=-2)
+    na, nb = shape[-2], shape[-1]
+    b = int(np.prod(shape[:-2], dtype=np.int64)) if len(shape) > 2 else 1
+    diags, interior = _diag_indices_2d(na, nb)
+    q = np.zeros((len(parts) * b, (na + 1) * (nb + 1)), dtype=parts[0].dtype)
+    for i, part in enumerate(parts):
+        q[i * b:(i + 1) * b, interior] = part.reshape(b, na * nb)
+    _walk_2d(q, diags, sentinel, cond)
+    return q[:, interior].reshape((len(parts),) + shape)
 
 
 @lru_cache(maxsize=8)
 def _diag_indices_3d(na: int, nb: int, nc: int):
-    """Sorted i+j+k wavefront gather indices for the 3-D inverse, built once
-    per pass-array shape (the np.indices/argsort work dominates small passes)."""
+    """Flat i+j+k wavefront gather/scatter tables for the 3-D inverse.
+
+    Same padded-volume scheme as :func:`_diag_indices_2d`: indices address a
+    zero-padded ``(na+1, nb+1, nc+1)`` volume, each diagonal stores its
+    scatter table and one concatenated 7-neighbour gather table
+    (left|top|back|lt|lb|tb|ltb), built once per pass-array shape.
+    """
+    w1 = (nb + 1) * (nc + 1)
+    w2 = nc + 1
     I, J, K = np.indices((na, nb, nc)).reshape(3, -1)
     diag = I + J + K
     order = np.argsort(diag, kind="stable")
-    I, J, K, diag = I[order], J[order], K[order], diag[order]
+    I, J, K, diag = I[order] + 1, J[order] + 1, K[order] + 1, diag[order]
     bounds = np.searchsorted(diag, np.arange(diag[-1] + 2))
-    for a in (I, J, K, bounds):
-        a.setflags(write=False)
-    return I, J, K, int(diag[-1]), bounds
+    diags = []
+    for d in range(1, int(diag[-1]) + 1):
+        sl = slice(bounds[d], bounds[d + 1])
+        i, j, k = I[sl], J[sl], K[sl]
+        ctr = i * w1 + j * w2 + k
+        nbr = np.concatenate([
+            i * w1 + j * w2 + (k - 1),              # left
+            i * w1 + (j - 1) * w2 + k,              # top
+            (i - 1) * w1 + j * w2 + k,              # back
+            i * w1 + (j - 1) * w2 + (k - 1),        # lt
+            (i - 1) * w1 + j * w2 + (k - 1),        # lb
+            (i - 1) * w1 + (j - 1) * w2 + k,        # tb
+            (i - 1) * w1 + (j - 1) * w2 + (k - 1),  # ltb
+        ])
+        ctr.setflags(write=False)
+        nbr.setflags(write=False)
+        diags.append((ctr, nbr, i.size))
+    interior = (
+        (np.arange(na)[:, None, None] + 1) * w1
+        + (np.arange(nb)[None, :, None] + 1) * w2
+        + np.arange(nc)[None, None, :] + 1
+    ).ravel()
+    interior.setflags(write=False)
+    return tuple(diags), interior
 
 
 def _inverse_3d(qp: np.ndarray, sentinel: int, cond: str) -> np.ndarray:
@@ -215,24 +336,61 @@ def _inverse_3d(qp: np.ndarray, sentinel: int, cond: str) -> np.ndarray:
     shape = qp.shape
     na, nb, nc = shape[-3], shape[-2], shape[-1]
     batch = int(np.prod(shape[:-3], dtype=np.int64)) if qp.ndim > 3 else 1
-    q = qp.reshape(batch, na, nb, nc).copy()
-    I, J, K, max_diag, bounds = _diag_indices_3d(na, nb, nc)
-    for d in range(1, max_diag + 1):
-        sl = slice(bounds[d], bounds[d + 1])
-        i, j, k = I[sl], J[sl], K[sl]
-        hb, ht, hl = i > 0, j > 0, k > 0
-        ib, jt, kl = np.where(hb, i - 1, 0), np.where(ht, j - 1, 0), np.where(hl, k - 1, 0)
+    diags, interior = _diag_indices_3d(na, nb, nc)
+    q = np.zeros((batch, (na + 1) * (nb + 1) * (nc + 1)), dtype=qp.dtype)
+    q[:, interior] = qp.reshape(batch, na * nb * nc)
+    _walk_3d(q, diags, sentinel, cond)
+    return q[:, interior].reshape(shape)
 
-        def g(ii, jj, kk, m):
-            return np.where(m[None, :], q[:, ii, jj, kk], 0)
 
-        back = g(ib, j, k, hb)
-        top = g(i, jt, k, ht)
-        left = g(i, j, kl, hl)
-        tb = g(ib, jt, k, hb & ht)
-        lb = g(ib, j, kl, hb & hl)
-        lt = g(i, jt, kl, ht & hl)
-        ltb = g(ib, jt, kl, hb & ht & hl)
-        c = compensation("3d", cond, sentinel, left, top, lt, back=back, lb=lb, tb=tb, ltb=ltb)
-        q[:, i, j, k] += c
-    return q.reshape(shape)
+def _walk_3d(q, diags, sentinel: int, cond: str) -> None:
+    """Run the i+j+k wavefront over a padded volume batch."""
+    for ctr, nbr, m in diags:
+        g = q[:, nbr]  # one gather: [left|top|back|lt|lb|tb|ltb], each m wide
+        left, top, back = g[:, :m], g[:, m:2 * m], g[:, 2 * m:3 * m]
+        lt, lb = g[:, 3 * m:4 * m], g[:, 4 * m:5 * m]
+        tb, ltb = g[:, 5 * m:6 * m], g[:, 6 * m:]
+        pred = left + top
+        pred += back
+        pred -= lt
+        pred -= lb
+        pred -= tb
+        pred += ltb
+        ok = g != sentinel
+        valid = ok[:, :m] & ok[:, m:2 * m]
+        valid &= ok[:, 2 * m:3 * m]
+        valid &= ok[:, 3 * m:4 * m]
+        valid &= ok[:, 4 * m:5 * m]
+        valid &= ok[:, 5 * m:6 * m]
+        valid &= ok[:, 6 * m:]
+        if cond == "III":
+            pos = g[:, :2 * m] > 0
+            neg = g[:, :2 * m] < 0
+            valid &= (pos[:, :m] & pos[:, m:]) | (neg[:, :m] & neg[:, m:])
+        elif cond == "IV":
+            # Case IV in 3-D tests the first-order neighbours (left, top, back)
+            pos = g[:, :3 * m] > 0
+            neg = g[:, :3 * m] < 0
+            valid &= (pos[:, :m] & pos[:, m:2 * m] & pos[:, 2 * m:]) | (
+                neg[:, :m] & neg[:, m:2 * m] & neg[:, 2 * m:]
+            )
+        pred *= valid
+        q[:, ctr] += pred
+
+
+def _inverse_3d_multi(
+    parts: "list[np.ndarray]", sentinel: int, cond: str
+) -> np.ndarray:
+    """N equal-shape rank-3 parts through one i+j+k wavefront; stacked."""
+    shape = parts[0].shape
+    if cond == "I":
+        q = np.cumsum(np.stack(parts), axis=-1)
+        q = np.cumsum(q, axis=-2)
+        return np.cumsum(q, axis=-3)
+    na, nb, nc = shape[-3], shape[-2], shape[-1]
+    diags, interior = _diag_indices_3d(na, nb, nc)
+    q = np.zeros((len(parts), (na + 1) * (nb + 1) * (nc + 1)), dtype=parts[0].dtype)
+    for i, part in enumerate(parts):
+        q[i, interior] = part.reshape(-1)
+    _walk_3d(q, diags, sentinel, cond)
+    return q[:, interior].reshape((len(parts),) + shape)

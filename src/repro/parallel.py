@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import struct
 import weakref
 from concurrent.futures import ProcessPoolExecutor
@@ -114,6 +115,50 @@ def _decompress_one_shm(args) -> None:
         seg.close()
 
 
+def _effective_cores() -> int:
+    """CPUs actually usable by this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _merge_consecutive_views(
+    parts: "list[np.ndarray]", axis: int
+) -> "np.ndarray | None":
+    """Reassemble slabs without copying when they already tile one buffer.
+
+    The batched decode path stacks equal-geometry slabs into a single
+    contiguous array and hands back axis-0 views of it; for an axis-0 slab
+    split those views, in order, ARE the concatenated volume.  Detect that
+    case by address arithmetic (each part must start exactly where the
+    previous one ended inside the shared C-contiguous base) and return the
+    base reshaped — skipping a full-volume allocate-and-copy.  Returns None
+    whenever anything does not line up.
+    """
+    if axis != 0 or len(parts) < 2:
+        return None
+    base = parts[0].base
+    if base is None or not base.flags.c_contiguous:
+        return None
+    ptr = base.__array_interface__["data"][0]
+    expect = ptr
+    for p in parts:
+        if (
+            p.base is not base
+            or p.dtype != base.dtype
+            or not p.flags.c_contiguous
+            or p.shape[1:] != parts[0].shape[1:]
+            or p.__array_interface__["data"][0] != expect
+        ):
+            return None
+        expect += p.nbytes
+    if expect - ptr != base.nbytes:
+        return None
+    rows = sum(p.shape[0] for p in parts)
+    return base.reshape((rows,) + parts[0].shape[1:])
+
+
 def _peek_blob_header(blob: bytes) -> dict:
     """Read a slab blob's JSON header (shape/dtype) without decompressing."""
     if blob[:4] != b"RPRC":
@@ -124,6 +169,13 @@ def _peek_blob_header(blob: bytes) -> dict:
 
 def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
+
+
+#: Huffman block size for slab containers (vs the 4096 codec default).
+#: Decode cost per container batch is ~``block_size`` lockstep steps, so
+#: smaller blocks are the main lever for slab decode latency; 1024 cuts the
+#: joint decode 2–3.5× on the bench slabs for <2% compressed-size growth.
+SLAB_HUFFMAN_BLOCK = 1024
 
 
 class ParallelCompressor:
@@ -140,7 +192,7 @@ class ParallelCompressor:
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        from .compressors import supports_qp
+        from .compressors import constructor_accepts, supports_qp
 
         self.base = base
         self.error_bound = float(error_bound)
@@ -156,6 +208,16 @@ class ParallelCompressor:
         # only capable bases receive the config — others would reject (or
         # silently swallow) an unexpected keyword
         self._qp_dict = self.qp.to_dict() if supports_qp(base) else None
+        # slab streams are short: block-synchronous Huffman decode costs
+        # ``block_size`` Python-level steps regardless of lane count, so a
+        # smaller block decodes slabs several times faster for ~8 bytes of
+        # stored offset per extra block (<2% of a typical slab payload).
+        # Only offered to bases whose constructor understands the knob;
+        # explicit caller values (including None) win.
+        if "huffman_block_size" not in kwargs and constructor_accepts(
+            base, "huffman_block_size"
+        ):
+            kwargs["huffman_block_size"] = SLAB_HUFFMAN_BLOCK
         self.kwargs = kwargs
         self._pool: ProcessPoolExecutor | None = None
         self._pool_finalizer = None
@@ -188,8 +250,14 @@ class ParallelCompressor:
     # -- slab geometry ------------------------------------------------------
 
     def _slabs(self, shape: tuple[int, ...]) -> tuple[int, list[slice]]:
-        axis = int(np.argmax(shape))
         n = self.n_slabs or self.workers
+        # prefer the leading axis: C-order slabs are then contiguous views on
+        # the compress side and consecutive in memory on the decompress side,
+        # where reassembly can be a zero-copy reshape of the decoded stack;
+        # fall back to the longest axis when axis 0 cannot host the slab count
+        axis = int(np.argmax(shape))
+        if shape[0] // 8 >= min(n, shape[axis] // 8 or 1):
+            axis = 0
         n = max(1, min(n, shape[axis] // 8 or 1))
         edges = np.linspace(0, shape[axis], n + 1, dtype=int)
         return axis, [slice(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:])
@@ -255,6 +323,14 @@ class ParallelCompressor:
             off += size
         if off != len(blob):
             raise ValueError("parallel container corrupt")
+        if n > 1 and (self.workers == 1 or _effective_cores() < 2):
+            # No real CPU concurrency to exploit (or serial requested):
+            # N time-sliced worker processes each pay a full Python decode
+            # loop per slab, which is strictly slower than one in-process
+            # batched decode (joint Huffman lockstep + stacked QP inverse
+            # across all slabs).  Running in-process also keeps perf-stage
+            # accounting visible to the caller's profiler.
+            return self._decompress_batched(parts_raw, axis)
         parallel = self.workers > 1 and n > 1
         if parallel and _shm is not None:
             out = self._decompress_shm(parts_raw, axis)
@@ -265,6 +341,34 @@ class ParallelCompressor:
         else:
             parts = [_decompress_one(b) for b in parts_raw]
         return np.concatenate(parts, axis=axis)
+
+    def _decompress_batched(self, parts_raw: list[bytes], axis: int) -> np.ndarray:
+        """Decode every slab in one in-process batch and assemble in place.
+
+        ``decompress_many`` groups the slab blobs by (compressor, error
+        bound) — always one group here — so all index streams go through a
+        single joint Huffman decode sharing one set of memoized tables, and
+        equal-geometry slabs share one stacked QP wavefront inverse.  Slab
+        arrays are written straight into the preallocated output; nothing
+        round-trips through pickle or shared memory.
+        """
+        from .compressors.registry import decompress_many
+
+        parts = decompress_many(parts_raw)
+        merged = _merge_consecutive_views(parts, axis)
+        if merged is not None:
+            return merged
+        out_shape = list(parts[0].shape)
+        out_shape[axis] = sum(p.shape[axis] for p in parts)
+        out = np.empty(tuple(out_shape), dtype=parts[0].dtype)
+        idx = [slice(None)] * len(out_shape)
+        lo = 0
+        for p in parts:
+            hi = lo + p.shape[axis]
+            idx[axis] = slice(lo, hi)
+            out[tuple(idx)] = p
+            lo = hi
+        return out
 
     def _decompress_shm(
         self, parts_raw: list[bytes], axis: int

@@ -14,20 +14,30 @@ TOOLS = Path(__file__).resolve().parents[1] / "tools"
 
 
 @pytest.fixture(scope="module")
-def report(tmp_path_factory):
+def bench_mod():
     sys.path.insert(0, str(TOOLS))
     try:
         import bench
     finally:
         sys.path.remove(str(TOOLS))
+    return bench
+
+
+@pytest.fixture(scope="module")
+def report_path(bench_mod, tmp_path_factory):
     out = tmp_path_factory.mktemp("bench") / "BENCH_pipeline.json"
-    assert bench.main(["--smoke", "--out", str(out)]) == 0
-    with open(out) as fh:
+    assert bench_mod.main(["--smoke", "--out", str(out)]) == 0
+    return out
+
+
+@pytest.fixture(scope="module")
+def report(report_path):
+    with open(report_path) as fh:
         return json.load(fh)
 
 
 def test_report_envelope(report):
-    assert report["schema_version"] == 1
+    assert report["schema_version"] == 2
     assert report["smoke"] is True
     assert report["has_stage_profiler"] is True
     assert report["rel_error_bound"] == 1e-3
@@ -71,3 +81,34 @@ def test_stage_profiles_recorded(report):
             # the other bases always run the interpolation engine
             if row["qp"] and row["base"] != "sz3":
                 assert "qp" in entry["stages"]
+
+
+def test_compare_identical_reports_passes(bench_mod, report_path):
+    # a report compared against itself has zero deltas -> exit 0
+    assert bench_mod.main(
+        ["--compare", str(report_path), str(report_path)]
+    ) == 0
+
+
+def test_compare_flags_injected_regression(bench_mod, report_path, report, tmp_path):
+    # slow one row's end-to-end decompress and one of its decode stages by
+    # 50% -- the gate must exit nonzero at the default 10% threshold
+    slow = json.loads(json.dumps(report))
+    row = slow["results"][0]
+    row["decompress_s"] = max(row["decompress_s"], 1e-3) * 1.5
+    stages = row["stages"]["decompress"]["stages"]
+    for st in stages.values():
+        st["seconds"] = max(st["seconds"], 1e-3) * 1.5
+    slow_path = tmp_path / "slow.json"
+    slow_path.write_text(json.dumps(slow))
+    assert bench_mod.main(["--compare", str(report_path), str(slow_path)]) == 1
+    # and an equally large *speedup* is not a regression
+    assert bench_mod.main(["--compare", str(slow_path), str(report_path)]) == 0
+
+
+def test_compare_reports_counts_stage_metrics(bench_mod, report):
+    flat = bench_mod._flatten_timings(report)
+    # end-to-end plus per-stage keys for every row, both directions
+    assert any(k.endswith(":decompress_s") for k in flat)
+    assert any(".huffman" in k and ":decompress." in k for k in flat)
+    assert all(v >= 0 for v in flat.values())

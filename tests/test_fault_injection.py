@@ -24,7 +24,7 @@ from repro.codecs import fixed as fixed_codec
 from repro.codecs import huffman, lossless, rangecoder
 from repro.compressors import decompress_any, get_compressor, supports_qp
 from repro.core.config import QPConfig
-from repro.errors import ReproError
+from repro.errors import CorruptBlobError, ReproError, TruncatedStreamError
 from repro.testing import INJECTORS, run_corruption_matrix
 
 pytestmark = pytest.mark.faults
@@ -131,6 +131,21 @@ def test_codec_streams_never_untyped(codec):
         f"{r.injector}/seed={r.seed}: {r.detail}" for r in untyped
     ]
     assert all(r.elapsed_s <= DEADLINE_S for r in results)
+
+
+def test_truncated_before_magic_is_truncation_not_corruption():
+    """A prefix too short to even judge the 4-byte magic must raise the typed
+    truncation error — the magic check only fires once enough bytes exist."""
+    blob = huffman.HuffmanCodec().encode(np.arange(50, dtype=np.int64))
+    for cut in (0, 1, 3):
+        with pytest.raises(TruncatedStreamError):
+            huffman.HuffmanCodec().decode(blob[:cut])
+    # once the magic is fully present but wrong, it is corruption
+    with pytest.raises(CorruptBlobError):
+        huffman.HuffmanCodec().decode(b"XXXX" + blob[4:])
+    # and a truncated-but-magic-bearing prefix is still truncation
+    with pytest.raises(TruncatedStreamError):
+        huffman.HuffmanCodec().decode(blob[:12])
 
 
 def test_matrix_classifies_typed_and_silent():

@@ -9,8 +9,11 @@ from repro.codecs.huffman import (
     MAX_CODE_LEN,
     HuffmanCodec,
     canonical_codes,
+    clear_decode_table_cache,
+    decode_table_cache_info,
     huffman_code_lengths,
 )
+from repro.errors import TruncatedStreamError
 
 
 def kraft_sum(lengths):
@@ -134,6 +137,98 @@ class TestCodecRoundtrip:
             HuffmanCodec(block_size=0)
 
 
+class TestDecodeEdgeCases:
+    def test_single_symbol_stream_max_len_one(self):
+        # one-symbol alphabet -> every code is the single 1-bit code, the
+        # smallest possible decode table (max_len == 1, two entries)
+        c = HuffmanCodec(block_size=32)
+        for n in (1, 31, 32, 33, 100):
+            sym = np.full(n, 3, dtype=np.int64)
+            assert np.array_equal(c.decode(c.encode(sym)), sym), n
+
+    def test_final_block_shorter_than_block_size(self):
+        # 2 full blocks + a 20-symbol tail: the tail lane must stop early
+        # while the full lanes keep stepping
+        c = HuffmanCodec(block_size=50)
+        rng = np.random.default_rng(5)
+        sym = rng.integers(0, 6, 120).astype(np.int64)
+        assert np.array_equal(c.decode(c.encode(sym)), sym)
+
+    def test_last_window_straddles_payload_end(self):
+        # craft a stream whose total bit length is not byte-aligned, so the
+        # final window gather reads past the payload into the zero pad
+        import struct
+
+        c = HuffmanCodec()
+        rng = np.random.default_rng(6)
+        for attempt in range(16):
+            sym = np.concatenate([
+                np.zeros(1000, np.int64),
+                rng.integers(0, 40, 200 + attempt),
+            ])
+            blob = c.encode(sym)
+            n, block_size, n_present = struct.unpack_from("<QII", blob, 4)
+            off = 20 + 5 * n_present
+            _, total_bits = struct.unpack_from("<QQ", blob, off)
+            if total_bits % 8:
+                break
+        assert total_bits % 8, "could not build a non-byte-aligned payload"
+        assert np.array_equal(c.decode(blob), sym)
+
+    def test_decode_table_cache_shared_across_containers(self):
+        # two containers with identical code-length tables (same frequency
+        # profile) must share exactly one table build, byte-identical output
+        c = HuffmanCodec()
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 16, 3000).astype(np.int64)
+        b = a[::-1].copy()  # same frequencies -> same canonical table
+        blob_a, blob_b = c.encode(a), c.encode(b)
+        clear_decode_table_cache()
+        out_a = c.decode(blob_a)
+        info = decode_table_cache_info()
+        assert (info["misses"], info["hits"]) == (1, 0)
+        out_b = c.decode(blob_b)
+        info = decode_table_cache_info()
+        assert (info["misses"], info["hits"]) == (1, 1)  # exactly one build
+        assert np.array_equal(out_a, a)
+        assert np.array_equal(out_b, b)
+        assert out_a.tobytes() == a.tobytes()
+        assert out_b.tobytes() == b.tobytes()
+
+
+class TestDecodeMany:
+    def test_matches_decode_per_container(self):
+        c = HuffmanCodec(block_size=128)
+        rng = np.random.default_rng(8)
+        streams = [
+            rng.integers(0, hi, n).astype(np.int64)
+            for hi, n in ((5, 1000), (300, 257), (2, 1), (7, 500), (1, 90))
+        ]
+        blobs = [c.encode(s) for s in streams]
+        outs = c.decode_many(blobs)
+        assert len(outs) == len(streams)
+        for s, blob, out in zip(streams, blobs, outs):
+            assert np.array_equal(out, s)
+            assert np.array_equal(c.decode(blob), out)
+
+    def test_empty_members_keep_positions(self):
+        c = HuffmanCodec()
+        empty = c.encode(np.empty(0, dtype=np.int64))
+        full = c.encode(np.arange(10))
+        outs = c.decode_many([empty, full, empty])
+        assert outs[0].size == 0 and outs[2].size == 0
+        assert np.array_equal(outs[1], np.arange(10))
+
+    def test_empty_batch(self):
+        assert HuffmanCodec().decode_many([]) == []
+
+    def test_corrupt_member_raises(self):
+        c = HuffmanCodec()
+        good = c.encode(np.arange(100))
+        with pytest.raises(TruncatedStreamError):
+            c.decode_many([good, good[:10]])
+
+
 @given(
     hnp.arrays(
         dtype=np.int64,
@@ -145,3 +240,22 @@ class TestCodecRoundtrip:
 def test_roundtrip_property(sym):
     c = HuffmanCodec(block_size=97)
     assert np.array_equal(c.decode(c.encode(sym)), sym)
+
+
+@given(
+    st.lists(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=st.integers(0, 300),
+            elements=st.integers(0, 60),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_decode_many_property(streams):
+    c = HuffmanCodec(block_size=61)
+    blobs = [c.encode(s) for s in streams]
+    for s, out in zip(streams, c.decode_many(blobs)):
+        assert np.array_equal(out, s)

@@ -105,6 +105,30 @@ class TestParallelCompressor:
         with pytest.raises(ValueError):
             ParallelCompressor("sz3", 1e-3, workers=0)
 
+    def test_slab_huffman_block_default_and_override(self, smooth_field):
+        from repro.parallel import SLAB_HUFFMAN_BLOCK
+
+        # slab containers default to the small decode-friendly block …
+        comp = ParallelCompressor("sz3", 1e-3, workers=1, n_slabs=2)
+        assert comp.kwargs["huffman_block_size"] == SLAB_HUFFMAN_BLOCK
+        # … an explicit value (including None = codec default) wins …
+        plain = ParallelCompressor(
+            "sz3", 1e-3, workers=1, n_slabs=2, huffman_block_size=None
+        )
+        assert plain.kwargs["huffman_block_size"] is None
+        # … the choice changes the bytes but not the reconstruction
+        a, b = comp.compress(smooth_field), plain.compress(smooth_field)
+        assert a != b
+        out_a, out_b = comp.decompress(a), plain.decompress(b)
+        for out in (out_a, out_b):
+            assert np.abs(out.astype(np.float64) - smooth_field).max() <= 1e-3 * (
+                1 + 1e-9
+            )
+
+    def test_sz3_huffman_block_size_validated(self):
+        with pytest.raises(ValueError):
+            SZ3(1e-3, huffman_block_size=0)
+
     def test_corrupt_container(self, smooth_field):
         comp = ParallelCompressor("sz3", 1e-3, workers=1, n_slabs=2)
         blob = comp.compress(smooth_field)
