@@ -23,7 +23,7 @@ def main() -> None:
     qoi = SquareQoI()
     comp = QoIPreservingCompressor("qoz", qoi, tau=1e3, block_side=24, qp=QPConfig())
     blob = comp.compress(data)
-    out = comp.decompress(blob, data.shape)
+    out = comp.decompress(blob)
     err = np.abs(data.astype(np.float64) ** 2 - out.astype(np.float64) ** 2).max()
     print(f"SquareQoI : CR={data.nbytes / len(blob):6.2f}  max|T^2 err|={err:.1f} (tau=1000)")
 
@@ -31,7 +31,7 @@ def main() -> None:
     qoi = LogQoI()
     comp = QoIPreservingCompressor("qoz", qoi, tau=1e-4, block_side=24, qp=QPConfig())
     blob = comp.compress(data)
-    out = comp.decompress(blob, data.shape)
+    out = comp.decompress(blob)
     err = np.abs(np.log(data.astype(np.float64)) - np.log(out.astype(np.float64))).max()
     print(f"LogQoI    : CR={data.nbytes / len(blob):6.2f}  max|ln T err|={err:.2e} (tau=1e-4)")
 
@@ -39,7 +39,7 @@ def main() -> None:
     qoi = IsolineQoI(level=1000.0)
     comp = QoIPreservingCompressor("qoz", qoi, tau=5.0, block_side=24, qp=QPConfig())
     blob = comp.compress(data)
-    out = comp.decompress(blob, data.shape)
+    out = comp.decompress(blob)
     ok = qoi.check(data, out, 5.0)
     frac = ((data > 1000) != (out > 1000)).mean()
     print(f"IsolineQoI: CR={data.nbytes / len(blob):6.2f}  front preserved={ok} "

@@ -10,6 +10,8 @@ Commands
 ``characterize``  quantization-index statistics (Section IV analysis)
 ``sweep``         rate-distortion sweep across error bounds
 ``faults``        seeded fault injection / corruption-matrix sweep on a blob
+``stats``         per-stage span/metric report for one observed
+                  compress → transfer → decompress run (repro.obs)
 """
 from __future__ import annotations
 
@@ -147,6 +149,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output file for single-injector mode")
     p.add_argument("--deadline", type=float, default=10.0,
                    help="per-decode deadline (seconds) in matrix mode")
+
+    p = sub.add_parser(
+        "stats",
+        help="observability report for a compress -> transfer -> decompress run",
+    )
+    p.add_argument("--dataset", "-d", default="miranda", choices=tuple(DATASETS))
+    p.add_argument("--field", "-f", default=None)
+    p.add_argument("--shape", default="32,48,48", help="comma-separated dims")
+    p.add_argument("--compressor", "-c", default="sz3", choices=COMPRESSORS)
+    p.add_argument("--eb", type=float, default=1e-3, help="error bound")
+    p.add_argument("--rel", action="store_true", default=True,
+                   help="interpret --eb relative to the value range (default)")
+    p.add_argument("--abs", dest="rel", action="store_false",
+                   help="interpret --eb as an absolute bound")
+    p.add_argument("--slices", type=int, default=4,
+                   help="transfer slices (split along axis 0)")
+    p.add_argument("--fail-prob", type=float, default=0.0,
+                   help="per-attempt drop probability of the demo channel")
+    p.add_argument("--corrupt-prob", type=float, default=0.0,
+                   help="per-attempt corruption probability of the demo channel")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jsonl", default=None,
+                   help="also export the observation as JSON-lines to this path")
+    _add_qp_args(p)
+    p.add_argument("--no-qp", dest="qp", action="store_false",
+                   help="disable quantization index prediction")
+    p.set_defaults(qp=True)
     return parser
 
 
@@ -344,6 +373,61 @@ def _cmd_faults(args) -> int:
     return 1 if bad else 0
 
 
+def _cmd_stats(args) -> int:
+    from . import obs
+    from .compressors import decompress_any
+    from .datasets import generate
+    from .obs.export import JsonlExporter, render_report
+    from .transfer.pipeline import transfer_slices
+
+    shape = tuple(int(x) for x in args.shape.split(",")) if args.shape else None
+    data = generate(args.dataset, args.field, shape=shape, seed=args.seed)
+    comp = _make_compressor(args, data)
+
+    n = max(1, min(args.slices, data.shape[0]))
+    edges = np.linspace(0, data.shape[0], n + 1).astype(int)
+    if args.fail_prob > 0 or args.corrupt_prob > 0:
+        from .testing.faults import FlakyLink
+
+        channel = FlakyLink(fail_prob=args.fail_prob,
+                            corrupt_prob=args.corrupt_prob, seed=args.seed)
+    else:
+        def channel(name: str, payload: bytes) -> bytes:
+            return payload
+
+    ob = obs.Observation()
+    with obs.observe(ob):
+        blobs = {
+            f"slice{i:03d}": comp.compress(
+                np.ascontiguousarray(data[a:b]), checksum=True
+            )
+            for i, (a, b) in enumerate(zip(edges[:-1], edges[1:]))
+            if b > a
+        }
+        received: dict[str, bytes] = {}
+        report = transfer_slices(blobs, channel, received=received,
+                                 sleep=lambda s: None)
+        for name in sorted(received):
+            decompress_any(received[name])
+
+    qp_tag = "+qp" if getattr(args, "qp", False) else ""
+    print(render_report(
+        ob, title=f"{args.compressor}{qp_tag} {args.dataset} "
+                  f"compress -> transfer -> decompress"
+    ))
+    s = report.summary()
+    print(f"transfer: {s['delivered']}/{s['slices']} slices delivered "
+          f"({s['degraded']} degraded, {s['quarantined']} quarantined, "
+          f"{s['attempts']} attempts, {s['verified_bytes']} bytes verified)")
+    if args.jsonl:
+        records = JsonlExporter(args.jsonl).export(
+            ob, command="stats", dataset=args.dataset,
+            compressor=args.compressor,
+        )
+        print(f"wrote {records} JSONL records to {args.jsonl}")
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -355,6 +439,7 @@ _COMMANDS = {
     "archive": _cmd_archive,
     "extract": _cmd_extract,
     "faults": _cmd_faults,
+    "stats": _cmd_stats,
 }
 
 

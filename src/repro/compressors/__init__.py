@@ -1,7 +1,7 @@
 """Error-bounded lossy compressors: the four interpolation-based bases the
 paper integrates QP with (MGARD, SZ3, QoZ, HPEZ) and the three
 transform-based comparators (ZFP, TTHRESH, SPERR)."""
-from .base import Blob, CompressionState, Compressor
+from .base import Blob, Codec, CompressionState, Compressor
 from .hpez import HPEZ
 from .mgard import MGARD
 from .qoz import QoZ
@@ -20,6 +20,7 @@ from .sz3 import SZ3
 
 __all__ = [
     "Blob",
+    "Codec",
     "Compressor",
     "CompressionState",
     "SZ3",

@@ -16,17 +16,24 @@ import json
 import struct
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
 from ..codecs import HuffmanCodec, compress as lossless_compress, decompress as lossless_decompress
 from ..errors import CorruptBlobError, ReproError, TruncatedStreamError
 from ..io.integrity import is_sealed, seal, unseal
-from ..perf import add_bytes, stage
+from ..obs import add_bytes, span as stage
 from ..utils.validation import check_error_bound, check_ndarray
 
-__all__ = ["Blob", "Compressor", "CompressionState", "encode_index_stream", "decode_index_stream"]
+__all__ = [
+    "Blob",
+    "Codec",
+    "Compressor",
+    "CompressionState",
+    "encode_index_stream",
+    "decode_index_stream",
+]
 
 _MAGIC = b"RPRC"
 
@@ -44,6 +51,37 @@ _DECODE_FAULTS = (
     UnicodeDecodeError,
     json.JSONDecodeError,
 )
+
+
+@runtime_checkable
+class Codec(Protocol):
+    """The unified compressor surface of the repo.
+
+    Every compressing object — registry compressors, the slab-parallel /
+    temporal / PW_REL / QoI wrappers — satisfies this protocol:
+
+    * ``compress(data, *, checksum=False) -> bytes`` returns a
+      self-describing container; ``checksum=True`` seals it in the v1
+      CRC32 integrity envelope (:mod:`repro.io.integrity`) and
+      ``checksum=False`` (the default) emits the canonical bytes
+      unchanged, so existing golden digests are unaffected.
+    * ``decompress(blob) -> np.ndarray`` accepts both the canonical and
+      the sealed framing of its own containers and round-trips the
+      geometry without out-of-band arguments.
+    * ``name`` identifies the codec (registry key or wrapper kind).
+
+    ``isinstance(obj, Codec)`` checks attribute presence (the runtime
+    protocol semantics); ``tools/check_api.py`` additionally lints the
+    signatures of everything registered.
+    """
+
+    name: str
+
+    def compress(self, data: np.ndarray, *, checksum: bool = False) -> bytes:
+        ...
+
+    def decompress(self, blob: bytes) -> np.ndarray:
+        ...
 
 
 @dataclass
@@ -192,37 +230,66 @@ class Compressor(ABC):
     def compress(
         self,
         data: np.ndarray,
+        *,
         state: CompressionState | None = None,
         checksum: bool = False,
     ) -> bytes:
         """Compress ``data`` to a self-describing blob (bytes).
 
         ``checksum=True`` seals the canonical bytes in the v1 integrity
-        envelope; the payload is byte-identical either way.
+        envelope; the payload is byte-identical either way.  ``state``
+        optionally collects characterization output
+        (:class:`CompressionState`).  Both are keyword-only — the
+        :class:`Codec` protocol's surface.
         """
         data = check_ndarray(data)
-        header, sections = self._compress(data, state)
-        header.setdefault("compressor", self.name)
-        header["dtype"] = data.dtype.str
-        header["shape"] = list(data.shape)
-        header["error_bound"] = self.error_bound
-        return Blob(header, sections).to_bytes(checksum=checksum)
+        sp = stage("compress", compressor=self.name)
+        with sp:
+            header, sections = self._compress(data, state)
+            header.setdefault("compressor", self.name)
+            header["dtype"] = data.dtype.str
+            header["shape"] = list(data.shape)
+            header["error_bound"] = self.error_bound
+            out = Blob(header, sections).to_bytes(checksum=checksum)
+            sp.label(bytes_in=data.nbytes, bytes_out=len(out))
+        return out
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        b, shape, dtype = self._parse_own_blob(blob)
+        sp = stage("decompress", compressor=self.name)
+        with sp:
+            try:
+                out = self._decompress(b)
+            except ReproError:
+                raise
+            except _DECODE_FAULTS as exc:
+                raise CorruptBlobError(
+                    f"{self.name} blob failed to decode: {type(exc).__name__}: {exc}"
+                ) from exc
+            out = self._check_decoded_geometry(out, shape, dtype)
+            sp.label(bytes_in=len(blob), bytes_out=out.nbytes)
+        return out
+
+    def _parse_own_blob(self, blob: bytes) -> "tuple[Blob, tuple[int, ...], np.dtype]":
+        """Shared decode entry: unwrap the (possibly sealed) envelope, check
+        the producing compressor, and strictly validate the geometry.
+
+        Every public decode path — ``decompress``, ``decompress_many``, and
+        per-compressor extras like MGARD's ``decompress_resolution`` — must
+        come through here so sealed v1 blobs, tampered headers, and
+        wrong-compressor dispatch behave identically everywhere.
+        """
         b = Blob.from_bytes(blob)
         if b.header.get("compressor") != self.name:
             raise ValueError(
                 f"blob was produced by {b.header.get('compressor')!r}, not {self.name!r}"
             )
         shape, dtype = _validated_geometry(b.header)
-        try:
-            out = self._decompress(b)
-        except ReproError:
-            raise
-        except _DECODE_FAULTS as exc:
-            raise CorruptBlobError(
-                f"{self.name} blob failed to decode: {type(exc).__name__}: {exc}"
-            ) from exc
+        return b, shape, dtype
+
+    def _check_decoded_geometry(
+        self, out: np.ndarray, shape: tuple[int, ...], dtype: np.dtype
+    ) -> np.ndarray:
         if out.size != int(np.prod(shape)):
             raise CorruptBlobError(
                 f"decoded {out.size} values, header shape {shape} needs "
@@ -238,32 +305,20 @@ class Compressor(ABC):
         Python dispatch (joint Huffman lockstep decode, stacked QP inverse)
         — the hot path for slab-parallel containers.
         """
-        parsed = []
-        for blob in blobs:
-            b = Blob.from_bytes(blob)
-            if b.header.get("compressor") != self.name:
-                raise ValueError(
-                    f"blob was produced by {b.header.get('compressor')!r}, "
-                    f"not {self.name!r}"
-                )
-            shape, dtype = _validated_geometry(b.header)
-            parsed.append((b, shape, dtype))
-        try:
-            outs = self._decompress_many([b for b, _, _ in parsed])
-        except ReproError:
-            raise
-        except _DECODE_FAULTS as exc:
-            raise CorruptBlobError(
-                f"{self.name} blob failed to decode: {type(exc).__name__}: {exc}"
-            ) from exc
-        results = []
-        for out, (_, shape, dtype) in zip(outs, parsed):
-            if out.size != int(np.prod(shape)):
+        parsed = [self._parse_own_blob(blob) for blob in blobs]
+        with stage("decompress", compressor=self.name, batch=len(blobs)):
+            try:
+                outs = self._decompress_many([b for b, _, _ in parsed])
+            except ReproError:
+                raise
+            except _DECODE_FAULTS as exc:
                 raise CorruptBlobError(
-                    f"decoded {out.size} values, header shape {shape} needs "
-                    f"{int(np.prod(shape))}"
-                )
-            results.append(out.reshape(shape).astype(dtype, copy=False))
+                    f"{self.name} blob failed to decode: {type(exc).__name__}: {exc}"
+                ) from exc
+            results = [
+                self._check_decoded_geometry(out, shape, dtype)
+                for out, (_, shape, dtype) in zip(outs, parsed)
+            ]
         return results
 
     # -- subclass hooks -------------------------------------------------------

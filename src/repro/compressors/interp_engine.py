@@ -20,7 +20,7 @@ import numpy as np
 
 from ..core.config import QPConfig
 from ..core.qp import qp_forward, qp_inverse, qp_inverse_multi
-from ..perf import stage
+from ..obs import span as stage
 from ..predictors.interpolation import predict_midpoints
 from ..quantize.linear import LinearQuantizer
 from ..utils.levels import (

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..codecs import compress as lossless_compress, decompress as lossless_decompress
 from ..core.config import QPConfig
+from ..errors import CorruptBlobError, ReproError
 from ..utils.levels import anchor_slices, num_levels
 from .base import (
     Blob,
@@ -91,12 +92,23 @@ class MGARD(Compressor):
     def decompress_resolution(self, blob: bytes, level: int) -> np.ndarray:
         """Reconstruct only down to interpolation level ``level`` (resolution
         reduction): returns the stride-``2**level`` subgrid of the data.
-        ``level=0`` is full resolution."""
-        b = Blob.from_bytes(blob)
-        if b.header.get("compressor") != self.name:
-            raise ValueError("not an MGARD blob")
-        out = self._reconstruct(b, stop_level=level)
-        return out
+        ``level=0`` is full resolution.
+
+        Routes through the same envelope/CRC unwrap, header validation, and
+        typed-fault conversion as :meth:`decompress`, so sealed (v1 RPR1)
+        blobs and corrupted bytes behave identically on both entry points.
+        """
+        from .base import _DECODE_FAULTS
+
+        b, _shape, _dtype = self._parse_own_blob(blob)
+        try:
+            return self._reconstruct(b, stop_level=level)
+        except ReproError:
+            raise
+        except _DECODE_FAULTS as exc:
+            raise CorruptBlobError(
+                f"{self.name} blob failed to decode: {type(exc).__name__}: {exc}"
+            ) from exc
 
     def _reconstruct(self, blob: Blob, stop_level: int) -> np.ndarray:
         header = blob.header

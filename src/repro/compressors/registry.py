@@ -41,6 +41,15 @@ def available_compressors() -> tuple[str, ...]:
     return tuple(_registry())
 
 
+def _lookup(name: str) -> type[Compressor]:
+    """Resolve a registry name to its class — the single place the
+    unknown-name error is raised, shared by every registry entry point."""
+    reg = _registry()
+    if name not in reg:
+        raise KeyError(f"unknown compressor {name!r}; available: {tuple(reg)}")
+    return reg[name]
+
+
 def supports_qp(name: str) -> bool:
     """Whether the named compressor honors a ``qp=`` config.
 
@@ -48,10 +57,7 @@ def supports_qp(name: str) -> bool:
     slab compressor) can route QP by what the class declares instead of
     keeping their own hardcoded name lists in sync.
     """
-    reg = _registry()
-    if name not in reg:
-        raise KeyError(f"unknown compressor {name!r}; available: {tuple(reg)}")
-    return reg[name].supports_qp
+    return _lookup(name).supports_qp
 
 
 def constructor_accepts(name: str, param: str) -> bool:
@@ -62,22 +68,40 @@ def constructor_accepts(name: str, param: str) -> bool:
     """
     import inspect
 
-    reg = _registry()
-    if name not in reg:
-        raise KeyError(f"unknown compressor {name!r}; available: {tuple(reg)}")
-    return param in inspect.signature(reg[name].__init__).parameters
+    return param in inspect.signature(_lookup(name).__init__).parameters
 
 
 def get_compressor(name: str, error_bound: float, **kwargs: Any) -> Compressor:
     """Construct a compressor by registry name."""
-    reg = _registry()
-    if name not in reg:
-        raise KeyError(f"unknown compressor {name!r}; available: {tuple(reg)}")
-    return reg[name](error_bound, **kwargs)
+    return _lookup(name)(error_bound, **kwargs)
 
 
-def decompress_any(blob: bytes, **kwargs: Any) -> np.ndarray:
-    """Decompress any repro blob (v0 or sealed v1) by header dispatch.
+def _decoder(
+    name: str,
+    error_bound: float,
+    lossless_backend: str | None,
+    huffman_block_size: int | None,
+    predictor: str | None,
+) -> Compressor:
+    """Build the decode-side compressor instance for header dispatch.
+
+    Each knob is forwarded only when it is not ``None`` *and* the target
+    constructor accepts it (:func:`constructor_accepts`), so one call
+    works across a mixed batch of compressor families.
+    """
+    kwargs: dict[str, Any] = {}
+    for key, val in (
+        ("lossless_backend", lossless_backend),
+        ("huffman_block_size", huffman_block_size),
+        ("predictor", predictor),
+    ):
+        if val is not None and constructor_accepts(name, key):
+            kwargs[key] = val
+    return _lookup(name)(error_bound, **kwargs)
+
+
+def _dispatch_key(blob: bytes) -> tuple[str, float]:
+    """Validated ``(compressor, error_bound)`` from a blob header.
 
     A tampered header — unknown compressor name, missing or non-numeric
     error bound — raises :class:`~repro.errors.CorruptBlobError` rather
@@ -88,34 +112,52 @@ def decompress_any(blob: bytes, **kwargs: Any) -> np.ndarray:
 
     b = Blob.from_bytes(blob)
     name = b.header.get("compressor")
-    reg = _registry()
-    if name not in reg:
+    if name not in _registry():
         raise CorruptBlobError(f"blob names unknown compressor {name!r}")
     eb = b.header.get("error_bound")
     if not isinstance(eb, (int, float)) or not eb > 0:
         raise CorruptBlobError(f"blob has invalid error bound {eb!r}")
-    comp = reg[name](eb, **kwargs)
+    return name, float(eb)
+
+
+def decompress_any(
+    blob: bytes,
+    *,
+    lossless_backend: str | None = None,
+    huffman_block_size: int | None = None,
+    predictor: str | None = None,
+) -> np.ndarray:
+    """Decompress any repro blob (v0 or sealed v1) by header dispatch.
+
+    The blob is self-describing; the keyword knobs only tune the decoder
+    instance that is constructed for dispatch (``None`` keeps each
+    compressor's default) and are forwarded per compressor via
+    :func:`constructor_accepts` filtering:
+
+    ``lossless_backend``     byte-stream backend name (``zlib``/``lz77``/...)
+    ``huffman_block_size``   entropy-stage block length override
+    ``predictor``            predictor choice for SZ3-family decoders
+
+    Header validation matches :func:`_dispatch_key`: tampered headers
+    raise :class:`~repro.errors.CorruptBlobError`.
+    """
+    name, eb = _dispatch_key(blob)
+    comp = _decoder(name, eb, lossless_backend, huffman_block_size, predictor)
     return comp.decompress(blob)
 
 
-def decompress_many(blobs: "list[bytes]", **kwargs: Any) -> "list[np.ndarray]":
-    """Batched :func:`decompress_any` — same validation and output, but
-    runs of consecutive blobs sharing one (compressor, error bound) go
+def decompress_many(
+    blobs: "list[bytes]",
+    *,
+    lossless_backend: str | None = None,
+    huffman_block_size: int | None = None,
+    predictor: str | None = None,
+) -> "list[np.ndarray]":
+    """Batched :func:`decompress_any` — same validation, knobs, and output,
+    but runs of consecutive blobs sharing one (compressor, error bound) go
     through ``Compressor.decompress_many`` so shared decode stages
     (Huffman tables, QP wavefronts) are amortized across the batch."""
-    from ..errors import CorruptBlobError
-
-    reg = _registry()
-    keys = []
-    for blob in blobs:
-        b = Blob.from_bytes(blob)
-        name = b.header.get("compressor")
-        if name not in reg:
-            raise CorruptBlobError(f"blob names unknown compressor {name!r}")
-        eb = b.header.get("error_bound")
-        if not isinstance(eb, (int, float)) or not eb > 0:
-            raise CorruptBlobError(f"blob has invalid error bound {eb!r}")
-        keys.append((name, eb))
+    keys = [_dispatch_key(blob) for blob in blobs]
     out: "list[np.ndarray]" = []
     i = 0
     while i < len(blobs):
@@ -123,7 +165,7 @@ def decompress_many(blobs: "list[bytes]", **kwargs: Any) -> "list[np.ndarray]":
         while j < len(blobs) and keys[j] == keys[i]:
             j += 1
         name, eb = keys[i]
-        comp = reg[name](eb, **kwargs)
+        comp = _decoder(name, eb, lossless_backend, huffman_block_size, predictor)
         out.extend(comp.decompress_many(blobs[i:j]))
         i = j
     return out

@@ -389,7 +389,7 @@ class SZ3(Compressor):
         array — slab reassembly upstream can then skip its copy.  ``None``
         when geometries differ (caller falls back to the per-blob path).
         """
-        from ..perf import stage
+        from ..obs import span as stage
 
         h0 = blobs[0].header
         shape = tuple(h0["shape"])

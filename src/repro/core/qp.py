@@ -24,6 +24,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..obs import span
 from .conditions import compensation
 from .config import QPConfig
 
@@ -82,27 +83,29 @@ def qp_forward(q: np.ndarray, sentinel: int, config: QPConfig, level: int) -> np
         return q
     back_ax, top_ax, left_ax = _plane_axes(q.ndim, dim)
 
-    # only allocate the all-zero stand-in when some neighbour axis is missing
-    zeros = (
-        np.zeros_like(q) if (left_ax is None or top_ax is None) else None
-    )
-    left = _shift(q, left_ax) if left_ax is not None else zeros
-    top = _shift(q, top_ax) if top_ax is not None else zeros
-    lt = (
-        _shift(_shift(q, left_ax), top_ax)
-        if (left_ax is not None and top_ax is not None)
-        else zeros
-    )
-    kwargs = {}
-    if dim in ("1d-back", "3d"):
-        back = _shift(q, back_ax)
-        kwargs["back"] = back
-        if dim == "3d":
-            kwargs["lb"] = _shift(left, back_ax)
-            kwargs["tb"] = _shift(top, back_ax)
-            kwargs["ltb"] = _shift(lt, back_ax)
-    c = compensation(dim, config.condition, sentinel, left, top, lt, **kwargs)
-    return q - c
+    with span("qp.forward", dim=dim, level=level):
+        # only allocate the all-zero stand-in when some neighbour axis is
+        # missing
+        zeros = (
+            np.zeros_like(q) if (left_ax is None or top_ax is None) else None
+        )
+        left = _shift(q, left_ax) if left_ax is not None else zeros
+        top = _shift(q, top_ax) if top_ax is not None else zeros
+        lt = (
+            _shift(_shift(q, left_ax), top_ax)
+            if (left_ax is not None and top_ax is not None)
+            else zeros
+        )
+        kwargs = {}
+        if dim in ("1d-back", "3d"):
+            back = _shift(q, back_ax)
+            kwargs["back"] = back
+            if dim == "3d":
+                kwargs["lb"] = _shift(left, back_ax)
+                kwargs["tb"] = _shift(top, back_ax)
+                kwargs["ltb"] = _shift(lt, back_ax)
+        c = compensation(dim, config.condition, sentinel, left, top, lt, **kwargs)
+        return q - c
 
 
 def qp_inverse(qp: np.ndarray, sentinel: int, config: QPConfig, level: int) -> np.ndarray:
@@ -112,11 +115,12 @@ def qp_inverse(qp: np.ndarray, sentinel: int, config: QPConfig, level: int) -> n
     dim = effective_dimension(config.dimension, qp.ndim)
     if dim is None:
         return qp
-    if dim in ("1d-back", "1d-top", "1d-left"):
-        return _inverse_1d(qp, sentinel, config.condition, dim)
-    if dim == "2d":
-        return _inverse_2d(qp, sentinel, config.condition)
-    return _inverse_3d(qp, sentinel, config.condition)
+    with span("qp.inverse", dim=dim, level=level):
+        if dim in ("1d-back", "1d-top", "1d-left"):
+            return _inverse_1d(qp, sentinel, config.condition, dim)
+        if dim == "2d":
+            return _inverse_2d(qp, sentinel, config.condition)
+        return _inverse_3d(qp, sentinel, config.condition)
 
 
 def qp_inverse_multi(
@@ -145,15 +149,18 @@ def qp_inverse_multi(
     if dim is None:
         return np.stack(parts)
     if dim == "2d":
-        return _inverse_2d_multi(parts, sentinel, config.condition)
+        with span("qp.inverse", dim=dim, level=level, batch=len(parts)):
+            return _inverse_2d_multi(parts, sentinel, config.condition)
     if dim == "3d" and ndim == 3:
-        return _inverse_3d_multi(parts, sentinel, config.condition)
+        with span("qp.inverse", dim=dim, level=level, batch=len(parts)):
+            return _inverse_3d_multi(parts, sentinel, config.condition)
     if dim in ("1d-left", "1d-top"):
         # scan axis is a trailing axis (these dims only survive
         # ``effective_dimension`` at ranks where it is), so the stack is a
         # pure batch; call the kernel directly with the resolved dim — the
         # public entry would re-resolve against the stacked rank
-        return _inverse_1d(np.stack(parts), sentinel, config.condition, dim)
+        with span("qp.inverse", dim=dim, level=level, batch=len(parts)):
+            return _inverse_1d(np.stack(parts), sentinel, config.condition, dim)
     return np.stack([qp_inverse(p, sentinel, config, level) for p in parts])
 
 

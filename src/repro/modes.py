@@ -34,7 +34,14 @@ class PointwiseRelativeCompressor:
     ``log(1 + rel)``; since ``|log d' - log d| <= log(1+rel)`` implies
     ``d'/d`` within ``[1/(1+rel), 1+rel]``, the point-wise relative bound
     follows.
+
+    Satisfies the :class:`repro.compressors.Codec` protocol: the blob is a
+    regular repro container (annotated with the PW_REL fields), so
+    ``checksum=True`` uses the standard v1 sealing and ``decompress``
+    needs no out-of-band arguments.
     """
+
+    name = "pw_rel"
 
     def __init__(
         self,
@@ -57,7 +64,7 @@ class PointwiseRelativeCompressor:
             kwargs.setdefault("qp", self.qp or QPConfig.disabled())
         return get_compressor(self.base, eb, **kwargs)
 
-    def compress(self, data: np.ndarray) -> bytes:
+    def compress(self, data: np.ndarray, *, checksum: bool = False) -> bytes:
         data = np.asarray(data)
         if (data <= 0).any():
             raise ValueError(
@@ -70,7 +77,7 @@ class PointwiseRelativeCompressor:
         b = Blob.from_bytes(blob)
         b.header["pw_rel"] = self.rel
         b.header["pw_rel_dtype"] = data.dtype.str
-        return b.to_bytes()
+        return b.to_bytes(checksum=checksum)
 
     @staticmethod
     def decompress(blob: bytes) -> np.ndarray:

@@ -1,0 +1,185 @@
+"""Exporters for observations: in-memory, JSON-lines, human-readable text.
+
+Three sinks, matched to three consumers:
+
+* :class:`InMemoryExporter` — tests and programmatic use; keeps structured
+  snapshots in a list.
+* :class:`JsonlExporter` — one JSON object per line (``meta`` header, then
+  ``span`` / ``event`` / ``metric`` records), append-friendly and parseable
+  with nothing but ``json.loads`` per line.  :func:`read_jsonl` is the
+  matching reader.
+* :func:`render_report` — the ``repro stats`` view: the span tree aggregated
+  by call path (count, total time, share), events, and the metrics table.
+"""
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Iterable, TextIO
+
+from . import Observation
+
+__all__ = ["InMemoryExporter", "JsonlExporter", "read_jsonl", "render_report"]
+
+JSONL_VERSION = 1
+
+
+class InMemoryExporter:
+    """Collects observation snapshots in memory (the test sink)."""
+
+    def __init__(self) -> None:
+        self.snapshots: list[dict[str, Any]] = []
+
+    def export(self, observation: Observation) -> dict[str, Any]:
+        snap = observation.snapshot()
+        self.snapshots.append(snap)
+        return snap
+
+
+class JsonlExporter:
+    """Writes one observation as JSON-lines to a path or text stream."""
+
+    def __init__(self, target: "str | TextIO") -> None:
+        self._target = target
+
+    def export(self, observation: Observation, **meta: Any) -> int:
+        """Write the observation; returns the number of lines emitted."""
+        if isinstance(self._target, (str, bytes)):
+            with open(self._target, "a", encoding="utf-8") as fh:
+                return self._write(observation, fh, meta)
+        return self._write(observation, self._target, meta)
+
+    @staticmethod
+    def _write(observation: Observation, fh: TextIO, meta: dict[str, Any]) -> int:
+        lines = 0
+
+        def emit(record: dict[str, Any]) -> None:
+            nonlocal lines
+            fh.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+            fh.write("\n")
+            lines += 1
+
+        head = {"type": "meta", "version": JSONL_VERSION}
+        head.update(meta)
+        emit(head)
+        for s in observation.tracer.spans:
+            rec = {"type": "span"}
+            rec.update(s.to_dict())
+            emit(rec)
+        for e in observation.tracer.events:
+            rec = {"type": "event"}
+            rec.update(e.to_dict())
+            emit(rec)
+        for key, entry in observation.metrics.snapshot().items():
+            rec = {"type": "metric", "key": key}
+            rec.update(entry)
+            emit(rec)
+        return lines
+
+
+def read_jsonl(source: "str | TextIO | Iterable[str]") -> dict[str, Any]:
+    """Parse a JSON-lines export back into ``{meta, spans, events, metrics}``.
+
+    The inverse of :class:`JsonlExporter` up to record grouping — the
+    exporter round-trip test asserts span/event/metric content survives.
+    """
+    if isinstance(source, (str, bytes)):
+        with open(source, encoding="utf-8") as fh:
+            return read_jsonl(fh)
+    out: dict[str, Any] = {"meta": None, "spans": [], "events": [], "metrics": {}}
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        kind = rec.pop("type", None)
+        if kind == "meta":
+            out["meta"] = rec
+        elif kind == "span":
+            out["spans"].append(rec)
+        elif kind == "event":
+            out["events"].append(rec)
+        elif kind == "metric":
+            key = rec.pop("key")
+            out["metrics"][key] = rec
+        else:
+            raise ValueError(f"unknown record type {kind!r}")
+    return out
+
+
+# -- human-readable report ----------------------------------------------------
+
+
+def _aggregate_paths(observation: Observation):
+    """Group spans by their name path root→leaf, preserving first-seen order.
+
+    Hundreds of per-pass spans collapse into one line per call path with a
+    count and total duration — the shape a human wants from a trace.
+    """
+    spans = observation.tracer.spans
+    paths: dict[tuple[str, ...], dict[str, Any]] = {}
+    path_of: dict[int, tuple[str, ...]] = {}
+    for s in spans:
+        parent_path = path_of.get(s.parent, ())
+        path = parent_path + (s.name,)
+        path_of[s.index] = path
+        agg = paths.get(path)
+        if agg is None:
+            paths[path] = agg = {"count": 0, "seconds": 0.0, "workers": set()}
+        agg["count"] += 1
+        agg["seconds"] += s.seconds
+        if s.worker is not None:
+            agg["workers"].add(s.worker)
+    return paths
+
+
+def render_report(observation: Observation, title: str = "observation") -> str:
+    """Render the span tree, events, and metrics as aligned text."""
+    out = io.StringIO()
+    paths = _aggregate_paths(observation)
+    root_total = observation.tracer.root_seconds()
+    out.write(f"== {title} ==\n")
+    out.write(f"spans: {len(observation.tracer.spans)}")
+    out.write(f"  events: {len(observation.tracer.events)}")
+    out.write(f"  wall (root spans): {root_total:.6f}s\n")
+    if paths:
+        out.write("\n-- span tree (grouped by call path) --\n")
+        name_w = max(2 * (len(p) - 1) + len(p[-1]) for p in paths)
+        name_w = max(name_w, len("span"))
+        out.write(f"{'span':<{name_w}}  {'count':>6}  {'seconds':>10}  {'share':>6}\n")
+        for path, agg in paths.items():
+            label = "  " * (len(path) - 1) + path[-1]
+            if agg["workers"]:
+                label += f" [{len(agg['workers'])}w]"
+            share = agg["seconds"] / root_total if root_total > 0 else 0.0
+            out.write(
+                f"{label:<{name_w}}  {agg['count']:>6}  "
+                f"{agg['seconds']:>10.6f}  {share:>5.1%}\n"
+            )
+    events = observation.tracer.events
+    if events:
+        out.write("\n-- events --\n")
+        counts: dict[str, int] = {}
+        for e in events:
+            counts[e.name] = counts.get(e.name, 0) + 1
+        for name in sorted(counts):
+            out.write(f"{name}: {counts[name]}\n")
+    metrics = observation.metrics.snapshot()
+    plain = {k: v for k, v in metrics.items() if v["kind"] in ("counter", "gauge")}
+    hists = {k: v for k, v in metrics.items() if v["kind"] == "histogram"}
+    if plain:
+        out.write("\n-- counters & gauges --\n")
+        key_w = max(len(k) for k in plain)
+        for key, entry in plain.items():
+            out.write(f"{key:<{key_w}}  {entry['value']}\n")
+    if hists:
+        out.write("\n-- histograms (non-empty buckets) --\n")
+        for key, entry in hists.items():
+            mean = entry["sum"] / entry["count"] if entry["count"] else 0.0
+            out.write(f"{key}: count={entry['count']} mean={mean:.6g}\n")
+            for le, c in zip(entry["le"], entry["counts"]):
+                if c:
+                    out.write(f"    <= {le:g}: {c}\n")
+            if entry["overflow"]:
+                out.write(f"    > {entry['le'][-1]:g}: {entry['overflow']}\n")
+    return out.getvalue()

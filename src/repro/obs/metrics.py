@@ -1,0 +1,230 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the *stateful* half of the observability layer — spans say
+when things happened, metrics say how much and how often.  Three instrument
+kinds, modeled on the Prometheus data model but dependency-free:
+
+``Counter``    monotonically increasing total (bytes moved, retries fired)
+``Gauge``      last-written value (pool size, current ratio)
+``Histogram``  value distribution over *fixed* bucket boundaries
+
+Histogram boundaries are fixed at construction and never adapt to the data,
+so two runs over the same workload produce byte-identical snapshots — the
+property the exporter round-trip and regression tests rely on.
+
+Instruments are keyed by ``(name, sorted labels)``; :meth:`MetricsRegistry.
+snapshot` renders keys in the conventional ``name{k=v,...}`` form, sorted,
+so snapshots are deterministic dictionaries safe to diff in tests.
+"""
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SECONDS_BUCKETS",
+    "BYTES_BUCKETS",
+]
+
+#: default duration boundaries (seconds): 1µs .. 30s, geometric, fixed
+SECONDS_BUCKETS = (
+    1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+    1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0,
+)
+
+#: default size boundaries (bytes): 64B .. 4GB, powers of 16, fixed
+BYTES_BUCKETS = (64.0, 1024.0, 16384.0, 262144.0, 4194304.0, 67108864.0, 1073741824.0, 4294967296.0)
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_key(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonic total; negative increments are rejected."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        v = self.value
+        return {"value": int(v) if float(v).is_integer() else v}
+
+    def merge(self, other: dict[str, Any]) -> None:
+        self.value += other.get("value", 0)
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        v = self.value
+        return {"value": int(v) if float(v).is_integer() else v}
+
+    def merge(self, other: dict[str, Any]) -> None:
+        # merge order is deterministic (job order), so last-write-wins is too
+        self.value = other.get("value", self.value)
+
+
+class Histogram:
+    """Distribution over fixed, deterministic bucket boundaries.
+
+    ``counts[i]`` counts observations ``<= le[i]``; one implicit overflow
+    bucket catches the rest.  Boundaries never change after construction.
+    """
+
+    __slots__ = ("le", "counts", "overflow", "total", "count")
+    kind = "histogram"
+
+    def __init__(self, buckets: tuple[float, ...] = SECONDS_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError("bucket boundaries must be strictly increasing")
+        self.le = tuple(float(b) for b in buckets)
+        self.counts = [0] * len(self.le)
+        self.overflow = 0
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        i = bisect_left(self.le, value)
+        if i < len(self.counts):
+            self.counts[i] += 1
+        else:
+            self.overflow += 1
+        self.total += value
+        self.count += 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "le": list(self.le),
+            "counts": list(self.counts),
+            "overflow": self.overflow,
+            "sum": self.total,
+            "count": self.count,
+        }
+
+    def merge(self, other: dict[str, Any]) -> None:
+        if list(other.get("le", ())) != list(self.le):
+            raise ValueError("cannot merge histograms with different buckets")
+        for i, c in enumerate(other.get("counts", ())):
+            self.counts[i] += c
+        self.overflow += other.get("overflow", 0)
+        self.total += other.get("sum", 0.0)
+        self.count += other.get("count", 0)
+
+
+class MetricsRegistry:
+    """Lazily-created instruments keyed by name + labels."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, tuple[tuple[str, str], ...]], Any] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, Any], *args):
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(*args)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {inst.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = SECONDS_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        h = self._get(Histogram, name, labels, buckets)
+        if h.le != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return h
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- snapshots & merging ------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Deterministic ``rendered-key -> {kind, ...state}`` mapping."""
+        out: dict[str, dict[str, Any]] = {}
+        for (name, labels) in sorted(self._instruments):
+            inst = self._instruments[(name, labels)]
+            entry = {"kind": inst.kind}
+            entry.update(inst.to_dict())
+            out[_render_key(name, labels)] = entry
+        return out
+
+    def to_payload(self) -> list[dict[str, Any]]:
+        """Serializable form carrying the raw key parts (for exact merges)."""
+        out = []
+        for (name, labels) in sorted(self._instruments):
+            inst = self._instruments[(name, labels)]
+            out.append({
+                "name": name,
+                "labels": [list(kv) for kv in labels],
+                "kind": inst.kind,
+                "state": inst.to_dict(),
+            })
+        return out
+
+    def merge_payload(self, payload: list[dict[str, Any]]) -> None:
+        """Fold a worker's metrics into this registry: counters/histograms
+        add, gauges take the incoming value (deterministic merge order)."""
+        kinds = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+        for item in payload:
+            labels = dict(tuple(kv) for kv in item.get("labels", ()))
+            kind = item.get("kind")
+            state = item.get("state", {})
+            if kind == "histogram":
+                inst = self.histogram(
+                    item["name"], tuple(state.get("le", SECONDS_BUCKETS)), **labels
+                )
+            elif kind in kinds:
+                inst = self._get(kinds[kind], item["name"], labels)
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+            inst.merge(state)

@@ -32,7 +32,9 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from . import obs
 from .core.config import QPConfig
+from .io.integrity import is_sealed, seal, unseal
 
 __all__ = ["ParallelCompressor"]
 
@@ -115,6 +117,31 @@ def _decompress_one_shm(args) -> None:
         seg.close()
 
 
+#: worker-job dispatch table for the observed wrapper below; keys are stable
+#: job kinds, values must be module-level functions (picklable by reference)
+_JOB_FNS = {
+    "compress": _compress_one,
+    "compress_shm": _compress_one_shm,
+    "decompress": _decompress_one,
+    "decompress_shm": _decompress_one_shm,
+}
+
+
+def _observed_job(args) -> tuple:
+    """Run one slab job under a worker-local observation.
+
+    Worker processes cannot write into the parent's trace buffers, so the
+    job records spans/metrics into a fresh :class:`repro.obs.Observation`
+    and ships its serialized buffers back alongside the result; the parent
+    merges them in job-submission order (see ``ParallelCompressor._run_jobs``).
+    """
+    kind, inner = args
+    ob = obs.Observation()
+    with obs.observe(ob):
+        result = _JOB_FNS[kind](inner)
+    return result, ob.to_payload()
+
+
 def _effective_cores() -> int:
     """CPUs actually usable by this process (affinity-aware)."""
     try:
@@ -179,7 +206,17 @@ SLAB_HUFFMAN_BLOCK = 1024
 
 
 class ParallelCompressor:
-    """Slab-parallel wrapper around any registered compressor."""
+    """Slab-parallel wrapper around any registered compressor.
+
+    Satisfies the :class:`repro.compressors.Codec` protocol: ``compress``
+    takes a keyword-only ``checksum`` that seals the whole slab container
+    in the v1 integrity envelope, and ``decompress`` accepts both the
+    canonical and the sealed framing.
+    """
+
+    @property
+    def name(self) -> str:
+        return f"parallel[{self.base}]"
 
     def __init__(
         self,
@@ -247,6 +284,30 @@ class ParallelCompressor:
             self._pool_finalizer = None
         self._pool = None
 
+    # -- observed job execution --------------------------------------------
+
+    def _run_jobs(self, kind: str, fn, jobs: list, parallel: bool) -> list:
+        """Run slab jobs, threading observability buffers out of the pool.
+
+        Serial jobs record straight into the active observation (same
+        process).  Parallel jobs, when an observation is active, are wrapped
+        in :func:`_observed_job` so each worker records into a local buffer
+        shipped back with its result; the buffers are merged here in
+        job-submission order, so the combined trace is deterministic no
+        matter how the pool scheduled the work.
+        """
+        if not parallel:
+            return [fn(j) for j in jobs]
+        ob = obs.current()
+        if ob is None:
+            return list(self._get_pool().map(fn, jobs))
+        tagged = [(kind, j) for j in jobs]
+        out = []
+        for i, (res, payload) in enumerate(self._get_pool().map(_observed_job, tagged)):
+            ob.merge_payload(payload, worker=f"w{i}")
+            out.append(res)
+        return out
+
     # -- slab geometry ------------------------------------------------------
 
     def _slabs(self, shape: tuple[int, ...]) -> tuple[int, list[slice]]:
@@ -265,29 +326,30 @@ class ParallelCompressor:
 
     # -- compression --------------------------------------------------------
 
-    def compress(self, data: np.ndarray) -> bytes:
+    def compress(self, data: np.ndarray, *, checksum: bool = False) -> bytes:
         data = np.asarray(data)
         axis, slabs = self._slabs(data.shape)
         parallel = self.workers > 1 and len(slabs) > 1
-        blobs: list[bytes] | None = None
-        if parallel and _shm is not None:
-            blobs = self._compress_shm(data, axis, slabs)
-        if blobs is None:
-            jobs = []
-            for sl in slabs:
-                idx = [slice(None)] * data.ndim
-                idx[axis] = sl
-                jobs.append((
-                    np.ascontiguousarray(data[tuple(idx)]),
-                    self.base, self.error_bound, self._qp_dict, self.kwargs,
-                ))
-            if parallel:
-                blobs = list(self._get_pool().map(_compress_one, jobs))
-            else:
-                blobs = [_compress_one(j) for j in jobs]
-        head = _MAGIC + struct.pack("<BI", axis, len(blobs))
-        body = b"".join(struct.pack("<Q", len(b)) + b for b in blobs)
-        return head + body
+        with obs.span(
+            "parallel.compress", base=self.base, slabs=len(slabs), axis=axis
+        ):
+            blobs: list[bytes] | None = None
+            if parallel and _shm is not None:
+                blobs = self._compress_shm(data, axis, slabs)
+            if blobs is None:
+                jobs = []
+                for sl in slabs:
+                    idx = [slice(None)] * data.ndim
+                    idx[axis] = sl
+                    jobs.append((
+                        np.ascontiguousarray(data[tuple(idx)]),
+                        self.base, self.error_bound, self._qp_dict, self.kwargs,
+                    ))
+                blobs = self._run_jobs("compress", _compress_one, jobs, parallel)
+            head = _MAGIC + struct.pack("<BI", axis, len(blobs))
+            body = b"".join(struct.pack("<Q", len(b)) + b for b in blobs)
+        out = head + body
+        return seal(out) if checksum else out
 
     def _compress_shm(
         self, data: np.ndarray, axis: int, slabs: list[slice]
@@ -303,7 +365,7 @@ class ParallelCompressor:
                 seg.name, data.dtype.str, data.shape, axis, sl.start, sl.stop,
                 self.base, self.error_bound, self._qp_dict, self.kwargs,
             ) for sl in slabs]
-            return list(self._get_pool().map(_compress_one_shm, jobs))
+            return self._run_jobs("compress_shm", _compress_one_shm, jobs, True)
         finally:
             seg.close()
             seg.unlink()
@@ -311,6 +373,8 @@ class ParallelCompressor:
     # -- decompression ------------------------------------------------------
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        if is_sealed(blob):
+            blob = unseal(blob)
         if blob[:4] != _MAGIC:
             raise ValueError("not a parallel container")
         axis, n = struct.unpack_from("<BI", blob, 4)
@@ -323,24 +387,22 @@ class ParallelCompressor:
             off += size
         if off != len(blob):
             raise ValueError("parallel container corrupt")
-        if n > 1 and (self.workers == 1 or _effective_cores() < 2):
-            # No real CPU concurrency to exploit (or serial requested):
-            # N time-sliced worker processes each pay a full Python decode
-            # loop per slab, which is strictly slower than one in-process
-            # batched decode (joint Huffman lockstep + stacked QP inverse
-            # across all slabs).  Running in-process also keeps perf-stage
-            # accounting visible to the caller's profiler.
-            return self._decompress_batched(parts_raw, axis)
-        parallel = self.workers > 1 and n > 1
-        if parallel and _shm is not None:
-            out = self._decompress_shm(parts_raw, axis)
-            if out is not None:
-                return out
-        if parallel:
-            parts = list(self._get_pool().map(_decompress_one, parts_raw))
-        else:
-            parts = [_decompress_one(b) for b in parts_raw]
-        return np.concatenate(parts, axis=axis)
+        with obs.span("parallel.decompress", base=self.base, slabs=n, axis=axis):
+            if n > 1 and (self.workers == 1 or _effective_cores() < 2):
+                # No real CPU concurrency to exploit (or serial requested):
+                # N time-sliced worker processes each pay a full Python decode
+                # loop per slab, which is strictly slower than one in-process
+                # batched decode (joint Huffman lockstep + stacked QP inverse
+                # across all slabs).  Running in-process also keeps perf-stage
+                # accounting visible to the caller's profiler.
+                return self._decompress_batched(parts_raw, axis)
+            parallel = self.workers > 1 and n > 1
+            if parallel and _shm is not None:
+                out = self._decompress_shm(parts_raw, axis)
+                if out is not None:
+                    return out
+            parts = self._run_jobs("decompress", _decompress_one, parts_raw, parallel)
+            return np.concatenate(parts, axis=axis)
 
     def _decompress_batched(self, parts_raw: list[bytes], axis: int) -> np.ndarray:
         """Decode every slab in one in-process batch and assemble in place.
@@ -398,8 +460,7 @@ class ParallelCompressor:
                 hi = lo + s[axis]
                 jobs.append((raw, seg.name, dtype.str, out_shape, axis, lo, hi))
                 lo = hi
-            for _ in self._get_pool().map(_decompress_one_shm, jobs):
-                pass
+            self._run_jobs("decompress_shm", _decompress_one_shm, jobs, True)
             return np.ndarray(out_shape, dtype=dtype, buffer=seg.buf).copy()
         finally:
             seg.close()

@@ -1,8 +1,10 @@
-"""Performance observability: per-stage pipeline profiling and counters.
+"""Performance observability: the flat per-stage view over :mod:`repro.obs`.
 
-See :mod:`repro.perf.profiler` for the design and docs/performance.md for
-usage; ``tools/bench.py`` builds the repo's regression baseline on top of
-this module.
+The structured tracer/metrics layer in :mod:`repro.obs` is the single
+timing source of truth; this package re-exports the legacy profiler facade
+built on it.  See docs/observability.md for the obs design and
+docs/performance.md for the per-stage conventions; ``tools/bench.py``
+builds the repo's regression baseline on top of both.
 """
 from .profiler import PipelineProfiler, active_profiler, add_bytes, profile, stage
 

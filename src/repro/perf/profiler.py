@@ -1,16 +1,21 @@
-"""Pipeline profiler: per-stage wall-clock and byte counters.
+"""Pipeline profiler: the flat per-stage view over :mod:`repro.obs`.
 
-Extends :class:`repro.utils.timer.Stopwatch` with byte counters and a
-module-level activation switch so the hot paths can be instrumented with
-*zero overhead when profiling is off*: every instrumentation point is
+Historically this module owned its own stopwatch + byte counters.  The
+observability layer (``repro.obs``) is now the single timing source of
+truth: every hot-path hook records structured spans and metrics, and this
+module is a thin compatibility facade over it —
 
-    with stage("predict"):
-        ...
+* :func:`stage` / :func:`add_bytes` *are* ``obs.span`` / ``obs.add_bytes``
+  (the same function objects, so the no-op-when-disabled guarantee and its
+  cost are identical);
+* :class:`PipelineProfiler` wraps an :class:`~repro.obs.Observation` and
+  derives the familiar ``totals`` / ``bytes_seen`` / ``report()`` views
+  from the tracer and metrics registry;
+* :func:`profile` activates the wrapped observation via ``obs.observe``.
 
-and :func:`stage` returns a shared no-op context manager (one global read,
-one ``is None`` test) unless a profiler has been activated via
-:func:`profile`.  Activating a profiler never changes any compressed bytes —
-the hooks only observe timings and sizes.
+Existing callers keep working unchanged; new code should prefer the
+:mod:`repro.obs` API directly, which additionally exposes span nesting,
+events, histograms, and exporters (see docs/observability.md).
 
 Stage names used across the stack (see docs/performance.md):
 
@@ -25,24 +30,53 @@ Stage names used across the stack (see docs/performance.md):
 """
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from ..utils.timer import Stopwatch, throughput_mbs
+from ..obs import Observation, add_bytes as _obs_add_bytes, observe, span as _obs_span
 
 __all__ = ["PipelineProfiler", "profile", "stage", "add_bytes", "active_profiler"]
 
+#: hot-path hooks — literally the obs layer's, re-exported for compatibility
+stage = _obs_span
+add_bytes = _obs_add_bytes
 
-@dataclass
-class PipelineProfiler(Stopwatch):
-    """Stopwatch plus per-stage byte counters and a throughput report."""
 
-    bytes_seen: dict[str, int] = field(default_factory=dict)
+class PipelineProfiler:
+    """Flat per-stage seconds/bytes view over one observation.
+
+    ``totals`` and ``bytes_seen`` are computed from the underlying tracer
+    and metrics registry on access, so they always reflect everything the
+    observation has recorded (including merged fork-pool worker buffers).
+    """
+
+    __slots__ = ("observation",)
+
+    def __init__(self, observation: Observation | None = None) -> None:
+        self.observation = observation if observation is not None else Observation()
+
+    @property
+    def totals(self) -> dict[str, float]:
+        """Accumulated seconds per span name (the legacy stopwatch view)."""
+        return self.observation.tracer.stage_seconds()
+
+    @property
+    def bytes_seen(self) -> dict[str, int]:
+        """Accumulated bytes per stage name."""
+        return self.observation.bytes_seen()
 
     def add_bytes(self, name: str, nbytes: int) -> None:
-        self.bytes_seen[name] = self.bytes_seen.get(name, 0) + int(nbytes)
+        self.observation.add_bytes(name, nbytes)
+
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    @contextmanager
+    def section(self, name: str):
+        """Record a span directly into this profiler's observation (works
+        even when the observation is not globally active)."""
+        with self.observation.tracer.span(name):
+            yield
 
     def report(self, nbytes: int | None = None) -> dict[str, Any]:
         """Per-stage seconds / bytes / MB/s.
@@ -51,33 +85,10 @@ class PipelineProfiler(Stopwatch):
         throughput denominator so stages are comparable; stages that recorded
         their own byte counts also report those.
         """
-        stages: dict[str, Any] = {}
-        for name in sorted(set(self.totals) | set(self.bytes_seen)):
-            seconds = self.totals.get(name, 0.0)
-            entry: dict[str, Any] = {"seconds": seconds}
-            if name in self.bytes_seen:
-                entry["bytes"] = self.bytes_seen[name]
-            if nbytes is not None and seconds > 0:
-                entry["mb_per_s"] = throughput_mbs(nbytes, seconds)
-            stages[name] = entry
-        return {"stages": stages, "total_s": self.total()}
+        return self.observation.stage_report(nbytes)
 
 
-class _NullContext:
-    """Reusable no-op context manager (cheaper than contextlib.nullcontext)."""
-
-    __slots__ = ()
-
-    def __enter__(self) -> None:
-        return None
-
-    def __exit__(self, *exc: object) -> bool:
-        return False
-
-
-_NULL = _NullContext()
-
-#: the currently active profiler (None = profiling off, hooks are no-ops)
+#: the currently active profiler facade (None = none installed via profile())
 _ACTIVE: PipelineProfiler | None = None
 
 
@@ -87,55 +98,17 @@ def active_profiler() -> PipelineProfiler | None:
 
 @contextmanager
 def profile(profiler: PipelineProfiler | None = None) -> Iterator[PipelineProfiler]:
-    """Activate ``profiler`` (or a fresh one) for the duration of the block."""
+    """Activate ``profiler`` (or a fresh one) for the duration of the block.
+
+    Equivalent to ``obs.observe(profiler.observation)`` plus bookkeeping for
+    :func:`active_profiler`.
+    """
     global _ACTIVE
     prof = profiler if profiler is not None else PipelineProfiler()
     prev = _ACTIVE
     _ACTIVE = prof
     try:
-        yield prof
+        with observe(prof.observation):
+            yield prof
     finally:
         _ACTIVE = prev
-
-
-class _StageTimer:
-    """Context manager accumulating one named segment into the profiler.
-
-    A tiny dedicated class (rather than ``Stopwatch.section``) keeps the
-    per-call overhead low on hot paths that enter a stage thousands of times.
-    """
-
-    __slots__ = ("_profiler", "_name", "_start")
-
-    def __init__(self, profiler: PipelineProfiler, name: str) -> None:
-        self._profiler = profiler
-        self._name = name
-
-    def __enter__(self) -> None:
-        self._start = time.perf_counter()
-
-    def __exit__(self, *exc: object) -> bool:
-        totals = self._profiler.totals
-        totals[self._name] = (
-            totals.get(self._name, 0.0) + time.perf_counter() - self._start
-        )
-        return False
-
-
-def stage(name: str):
-    """Instrumentation hook: time the enclosed block under ``name``.
-
-    Returns a shared no-op when profiling is inactive, so the hook costs a
-    single global read on production paths.
-    """
-    prof = _ACTIVE
-    if prof is None:
-        return _NULL
-    return _StageTimer(prof, name)
-
-
-def add_bytes(name: str, nbytes: int) -> None:
-    """Record ``nbytes`` flowing through stage ``name`` (no-op when off)."""
-    prof = _ACTIVE
-    if prof is not None:
-        prof.add_bytes(name, nbytes)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..perf import stage
+from ..obs import span as stage
 
 __all__ = ["LorenzoResult", "lorenzo_encode", "lorenzo_decode"]
 

@@ -10,22 +10,37 @@ the QoI tolerance on the decoded output.
 """
 from __future__ import annotations
 
+import json
 import struct
+import warnings
 
 import numpy as np
 
 from ..compressors import decompress_any, get_compressor
 from ..core.config import QPConfig
+from ..io.integrity import is_sealed, seal, unseal
+from ..obs import span
 from ..utils.blocks import iter_blocks
 from .bounds import IsolineQoI, QoISpec
 
 __all__ = ["QoIPreservingCompressor"]
 
-_MAGIC = b"RQOI"
+#: legacy v1 container: bare block list, geometry supplied out of band
+_MAGIC_V1 = b"RQOI"
+#: v2 container: ``RQO2 | u32 hlen | JSON header | blocks`` — the header
+#: carries shape/dtype/block geometry, so decompression is self-describing
+_MAGIC = b"RQO2"
 
 
 class QoIPreservingCompressor:
     """Wrap a base compressor with QoI-derived spatially varying bounds.
+
+    Satisfies the :class:`repro.compressors.Codec` protocol: the v2
+    container header carries the array geometry, so
+    ``decompress(blob)`` needs no out-of-band ``shape`` (passing one is
+    deprecated); ``compress(..., checksum=True)`` seals the container in
+    the v1 integrity envelope.  Legacy shape-less ``RQOI`` containers
+    still decode when ``shape`` is supplied.
 
     Parameters
     ----------
@@ -59,62 +74,118 @@ class QoIPreservingCompressor:
         self.block_side = block_side
         self.qp = qp
 
+    @property
+    def name(self) -> str:
+        return f"qoi[{self.base}]"
+
     def _block_compressor(self, eb: float):
         kwargs = {}
         if self.base in ("mgard", "sz3", "qoz", "hpez", "sperr"):
             kwargs["qp"] = self.qp or QPConfig.disabled()
         return get_compressor(self.base, eb, **kwargs)
 
-    def compress(self, data: np.ndarray) -> bytes:
+    def compress(self, data: np.ndarray, *, checksum: bool = False) -> bytes:
+        data = np.asarray(data)
         bounds = self.qoi.pointwise_bound(data, self.tau)
         blobs: list[bytes] = []
         recon = np.empty_like(data)
-        for bslice in iter_blocks(data.shape, self.block_side):
-            block = np.ascontiguousarray(data[bslice])
-            eb = float(bounds[bslice].min())
-            # verify-and-tighten: the derived bound is sufficient in exact
-            # arithmetic; shrink on the rare violation from stacked rounding
-            for _ in range(8):
-                blob = self._block_compressor(eb).compress(block)
-                out = decompress_any(blob)
-                if self._block_ok(block, out):
-                    break
-                eb /= 2.0
-            else:
-                raise RuntimeError("QoI bound could not be satisfied")
-            blobs.append(blob)
-            recon[bslice] = out
+        with span("qoi.compress", base=self.base, block_side=self.block_side):
+            for bslice in iter_blocks(data.shape, self.block_side):
+                block = np.ascontiguousarray(data[bslice])
+                eb = float(bounds[bslice].min())
+                # verify-and-tighten: the derived bound is sufficient in exact
+                # arithmetic; shrink on the rare violation from stacked
+                # rounding
+                for _ in range(8):
+                    blob = self._block_compressor(eb).compress(block)
+                    out = decompress_any(blob)
+                    if self._block_ok(block, out):
+                        break
+                    eb /= 2.0
+                else:
+                    raise RuntimeError("QoI bound could not be satisfied")
+                blobs.append(blob)
+                recon[bslice] = out
         qerr = self.qoi.error(data, recon)
         if isinstance(self.qoi, IsolineQoI):
             if not self.qoi.check(data, recon, self.tau):
                 raise RuntimeError("isoline QoI violated after compression")
         elif qerr > self.tau * (1 + 1e-9):
             raise RuntimeError(f"QoI error {qerr} exceeds tau {self.tau}")
-        header = struct.pack("<I", len(blobs))
+        header = json.dumps(
+            {
+                "shape": list(data.shape),
+                "dtype": data.dtype.str,
+                "block_side": self.block_side,
+                "n_blocks": len(blobs),
+            },
+            separators=(",", ":"),
+        ).encode()
         body = b"".join(struct.pack("<Q", len(b)) + b for b in blobs)
-        return _MAGIC + header + body
+        out_bytes = _MAGIC + struct.pack("<I", len(header)) + header + body
+        return seal(out_bytes) if checksum else out_bytes
 
     def _block_ok(self, block: np.ndarray, out: np.ndarray) -> bool:
         if isinstance(self.qoi, IsolineQoI):
             return self.qoi.check(block, out, self.tau)
         return self.qoi.error(block, out) <= self.tau * (1 + 1e-9)
 
-    def decompress(self, blob: bytes, shape: tuple[int, ...]) -> np.ndarray:
-        if blob[:4] != _MAGIC:
+    def decompress(
+        self, blob: bytes, shape: tuple[int, ...] | None = None
+    ) -> np.ndarray:
+        if is_sealed(blob):
+            blob = unseal(blob)
+        if blob[:4] == _MAGIC:
+            (hlen,) = struct.unpack_from("<I", blob, 4)
+            header = json.loads(blob[8:8 + hlen].decode())
+            if shape is not None:
+                warnings.warn(
+                    "QoIPreservingCompressor.decompress(blob, shape) is "
+                    "deprecated for v2 containers: the shape is stored in "
+                    "the blob header; drop the argument",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                if tuple(shape) != tuple(header["shape"]):
+                    raise ValueError(
+                        f"shape argument {tuple(shape)} contradicts the "
+                        f"container header {tuple(header['shape'])}"
+                    )
+            out_shape = tuple(header["shape"])
+            block_side = int(header["block_side"])
+            n_blocks = int(header["n_blocks"])
+            off = 8 + hlen
+        elif blob[:4] == _MAGIC_V1:
+            if shape is None:
+                raise ValueError(
+                    "legacy RQOI container carries no geometry; pass "
+                    "shape= (and re-compress to get the self-describing "
+                    "v2 format)"
+                )
+            warnings.warn(
+                "decoding the legacy shape-less RQOI container is "
+                "deprecated; re-compress to the self-describing v2 format",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            out_shape = tuple(shape)
+            block_side = self.block_side
+            (n_blocks,) = struct.unpack_from("<I", blob, 4)
+            off = 8
+        else:
             raise ValueError("not a QoI container")
-        (n_blocks,) = struct.unpack_from("<I", blob, 4)
-        off = 8
         out: np.ndarray | None = None
-        for i, bslice in enumerate(iter_blocks(shape, self.block_side)):
-            if i >= n_blocks:
-                raise ValueError("block count mismatch")
-            (size,) = struct.unpack_from("<Q", blob, off)
-            off += 8
-            block = decompress_any(blob[off:off + size])
-            off += size
-            if out is None:
-                out = np.empty(shape, dtype=block.dtype)
-            out[bslice] = block
+        with span("qoi.decompress", base=self.base, blocks=n_blocks):
+            for i, bslice in enumerate(iter_blocks(out_shape, block_side)):
+                if i >= n_blocks:
+                    raise ValueError("block count mismatch")
+                (size,) = struct.unpack_from("<Q", blob, off)
+                off += 8
+                block = decompress_any(blob[off:off + size])
+                off += size
+                if out is None:
+                    out = np.empty(out_shape, dtype=block.dtype)
+                out[bslice] = block
         if out is None or off != len(blob):
             raise ValueError("QoI container corrupt")
         return out

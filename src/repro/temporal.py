@@ -18,6 +18,8 @@ import numpy as np
 
 from .compressors import decompress_any, get_compressor
 from .core.config import QPConfig
+from .io.integrity import is_sealed, seal, unseal
+from .obs import span
 
 __all__ = ["TemporalCompressor"]
 
@@ -29,7 +31,13 @@ class TemporalCompressor:
 
     ``keyframe_interval`` bounds random-access cost: every k-th frame is
     coded without temporal prediction.
+
+    Satisfies the :class:`repro.compressors.Codec` protocol:
+    ``compress(data, *, checksum=True)`` seals the frame container in the
+    v1 integrity envelope, and ``decompress`` accepts both framings.
     """
+
+    name = "temporal"
 
     def __init__(
         self,
@@ -53,48 +61,53 @@ class TemporalCompressor:
             kwargs["qp"] = self.qp
         return get_compressor(self.base, self.error_bound, **kwargs)
 
-    def compress(self, data: np.ndarray) -> bytes:
+    def compress(self, data: np.ndarray, *, checksum: bool = False) -> bytes:
         data = np.asarray(data)
         if data.ndim < 2:
             raise ValueError("temporal compression needs a time axis plus space")
         comp = self._compressor()
         blobs: list[bytes] = []
         prev_decoded: np.ndarray | None = None
-        for t in range(data.shape[0]):
-            frame = np.ascontiguousarray(data[t])
-            if prev_decoded is None or t % self.keyframe_interval == 0:
-                blob = comp.compress(frame)
-                decoded = decompress_any(blob)
-            else:
-                residual = frame - prev_decoded
-                blob = comp.compress(residual)
-                decoded = prev_decoded + decompress_any(blob)
-            blobs.append(blob)
-            prev_decoded = decoded
+        with span("temporal.compress", base=self.base, frames=data.shape[0]):
+            for t in range(data.shape[0]):
+                frame = np.ascontiguousarray(data[t])
+                if prev_decoded is None or t % self.keyframe_interval == 0:
+                    blob = comp.compress(frame)
+                    decoded = decompress_any(blob)
+                else:
+                    residual = frame - prev_decoded
+                    blob = comp.compress(residual)
+                    decoded = prev_decoded + decompress_any(blob)
+                blobs.append(blob)
+                prev_decoded = decoded
         head = _MAGIC + struct.pack(
             "<IQ", self.keyframe_interval, data.shape[0]
         )
         body = b"".join(struct.pack("<Q", len(b)) + b for b in blobs)
-        return head + body
+        out = head + body
+        return seal(out) if checksum else out
 
     def decompress(self, blob: bytes) -> np.ndarray:
+        if is_sealed(blob):
+            blob = unseal(blob)
         if blob[:4] != _MAGIC:
             raise ValueError("not a temporal container")
         key_int, n_frames = struct.unpack_from("<IQ", blob, 4)
         off = 16
         frames = []
         prev: np.ndarray | None = None
-        for t in range(n_frames):
-            (size,) = struct.unpack_from("<Q", blob, off)
-            off += 8
-            part = decompress_any(blob[off:off + size])
-            off += size
-            if prev is None or t % key_int == 0:
-                decoded = part
-            else:
-                decoded = prev + part
-            frames.append(decoded)
-            prev = decoded
+        with span("temporal.decompress", base=self.base, frames=n_frames):
+            for t in range(n_frames):
+                (size,) = struct.unpack_from("<Q", blob, off)
+                off += 8
+                part = decompress_any(blob[off:off + size])
+                off += size
+                if prev is None or t % key_int == 0:
+                    decoded = part
+                else:
+                    decoded = prev + part
+                frames.append(decoded)
+                prev = decoded
         if off != len(blob):
             raise ValueError("temporal container corrupt")
         return np.stack(frames, axis=0)

@@ -22,6 +22,7 @@ import numpy as np
 from ..compressors import decompress_any, get_compressor
 from ..core.config import QPConfig
 from ..io import Archive
+from ..obs import add_bytes, span
 from .pipeline import LinkConfig, RetryPolicy, transfer_slices
 
 __all__ = ["DiskPipelineResult", "run_disk_pipeline"]
@@ -106,15 +107,19 @@ def run_disk_pipeline(
         for i, s in enumerate(slices)
     }
     t1 = time.perf_counter()
-    arch = Archive.create(path)
-    arch.append_many(blobs)
+    with span("archive.write", path=str(path)):
+        arch = Archive.create(path)
+        arch.append_many(blobs)
     t2 = time.perf_counter()
 
     archive_bytes = arch.total_bytes()
+    add_bytes("archive.write", archive_bytes)
 
     t3 = time.perf_counter()
-    read_blobs = {name: arch.read(name) for name in arch.names()}
+    with span("archive.read", path=str(path)):
+        read_blobs = {name: arch.read(name) for name in arch.names()}
     t4 = time.perf_counter()
+    add_bytes("archive.read", sum(len(b) for b in read_blobs.values()))
 
     if channel is not None:
         tx0 = time.perf_counter()

@@ -26,7 +26,7 @@ from typing import Callable
 import numpy as np
 
 from ..errors import TransferFaultError
-from ..perf import add_bytes, stage
+from ..obs import add_bytes, event, metric_count, metric_seconds, span as stage
 
 __all__ = [
     "LinkConfig",
@@ -286,10 +286,14 @@ def transfer_slices(
     on the quarantine list instead of raising, so one bad slice cannot sink
     the run; the report carries delivered/degraded/quarantined accounting.
 
-    Timings surface through the :mod:`repro.perf` profiler under the
-    ``transfer`` (channel attempts), ``verify`` (integrity checks), and
-    ``retry`` (backoff waits) stages; delivered and verified byte counts are
-    recorded via ``add_bytes`` under the same names.
+    Timings surface through :mod:`repro.obs` (and the ``repro.perf`` facade
+    over it) under the ``transfer`` (channel attempts), ``verify`` (integrity
+    checks), and ``retry`` (backoff waits) stages; delivered and verified
+    byte counts are recorded via ``add_bytes`` under the same names.  When an
+    observation is active the loop additionally records structured events
+    (``transfer.retry``, ``transfer.quarantine``), per-attempt latency in the
+    ``transfer.attempt_seconds`` histogram, and the
+    ``transfer.slices{outcome=...}`` / ``transfer.attempts`` counters.
 
     ``received`` (optional) collects the verified payloads by name.
     """
@@ -304,13 +308,18 @@ def transfer_slices(
         while attempts < policy.max_attempts and not delivered:
             attempts += 1
             t0 = time.perf_counter()
+            metric_count("transfer.attempts")
             try:
                 with stage("transfer"):
                     got = channel(name, payload)
             except TransferFaultError as exc:
                 last_error = str(exc)
+                metric_seconds(
+                    "transfer.attempt_seconds", time.perf_counter() - t0
+                )
             else:
                 elapsed = time.perf_counter() - t0
+                metric_seconds("transfer.attempt_seconds", elapsed)
                 if elapsed > policy.attempt_timeout_s:
                     last_error = (
                         f"attempt took {elapsed:.3f}s "
@@ -328,8 +337,17 @@ def transfer_slices(
                     else:
                         last_error = "received payload failed CRC32 verification"
             if not delivered and attempts < policy.max_attempts:
+                event("transfer.retry", slice=name, attempt=attempts, error=last_error)
                 with stage("retry"):
                     sleep(policy.delay_s(attempts))
+        if delivered:
+            outcome = "degraded" if attempts > 1 else "delivered"
+        else:
+            outcome = "quarantined"
+            event(
+                "transfer.quarantine", slice=name, attempts=attempts, error=last_error
+            )
+        metric_count("transfer.slices", outcome=outcome)
         report.outcomes.append(
             SliceOutcome(
                 name=name,

@@ -37,7 +37,8 @@ def report(report_path):
 
 
 def test_report_envelope(report):
-    assert report["schema_version"] == 2
+    assert report["schema_version"] == 3
+    assert report["timing_source"] == "repro.obs"
     assert report["smoke"] is True
     assert report["has_stage_profiler"] is True
     assert report["rel_error_bound"] == 1e-3

@@ -71,7 +71,7 @@ class TestQoIPreservingCompressor:
         tau = 1e-3
         comp = QoIPreservingCompressor("sz3", SquareQoI(), tau, block_side=16)
         blob = comp.compress(velocity)
-        out = comp.decompress(blob, velocity.shape)
+        out = comp.decompress(blob)
         err = np.abs(
             velocity.astype(np.float64) ** 2 - out.astype(np.float64) ** 2
         ).max()
@@ -80,7 +80,7 @@ class TestQoIPreservingCompressor:
     def test_log_preserved(self, positive_field):
         tau = 1e-3
         comp = QoIPreservingCompressor("sz3", LogQoI(), tau, block_side=16)
-        out = comp.decompress(comp.compress(positive_field), positive_field.shape)
+        out = comp.decompress(comp.compress(positive_field))
         err = np.abs(
             np.log(positive_field.astype(np.float64)) - np.log(out.astype(np.float64))
         ).max()
@@ -89,13 +89,13 @@ class TestQoIPreservingCompressor:
     def test_isoline_preserved(self, velocity):
         qoi = IsolineQoI(level=0.2)
         comp = QoIPreservingCompressor("sz3", qoi, tau=0.02, block_side=16)
-        out = comp.decompress(comp.compress(velocity), velocity.shape)
+        out = comp.decompress(comp.compress(velocity))
         assert qoi.check(velocity, out, 0.02)
 
     def test_regional_average_preserved(self, velocity):
         qoi = RegionalAverageQoI()
         comp = QoIPreservingCompressor("sz3", qoi, tau=1e-4, block_side=16)
-        out = comp.decompress(comp.compress(velocity), velocity.shape)
+        out = comp.decompress(comp.compress(velocity))
         assert abs(out.astype(np.float64).mean() - velocity.astype(np.float64).mean()) <= 1e-4
 
     def test_with_qp_enabled(self, velocity):
@@ -103,7 +103,7 @@ class TestQoIPreservingCompressor:
         comp = QoIPreservingCompressor(
             "qoz", SquareQoI(), tau, block_side=16, qp=QPConfig()
         )
-        out = comp.decompress(comp.compress(velocity), velocity.shape)
+        out = comp.decompress(comp.compress(velocity))
         err = np.abs(
             velocity.astype(np.float64) ** 2 - out.astype(np.float64) ** 2
         ).max()
@@ -148,4 +148,4 @@ class TestQoIPreservingCompressor:
         comp = QoIPreservingCompressor("sz3", SquareQoI(), 1e-2, block_side=16)
         blob = comp.compress(velocity)
         with pytest.raises(ValueError):
-            comp.decompress(b"XXXX" + blob[4:], velocity.shape)
+            comp.decompress(b"XXXX" + blob[4:])

@@ -3,9 +3,16 @@
 
 Runs the synthetic datasets through the four interpolation-based compressors
 (SZ3/QoZ/HPEZ/MGARD) with QP on and off, measures end-to-end compression and
-decompression throughput plus — when the :mod:`repro.perf` profiler is
-available — per-stage (predict/quantize/qp/huffman/lossless) wall-clock and
-byte counters, and writes everything to ``BENCH_pipeline.json``.
+decompression throughput plus per-stage wall-clock and byte counters, and
+writes everything to ``BENCH_pipeline.json``.
+
+Schema v3: stage timings come from the :mod:`repro.obs` tracer (the single
+timing source of truth), so the ``stages`` maps now also carry nested span
+names (``compress``/``decompress`` roots, ``parallel.*`` fan-out,
+``qp.forward``/``qp.inverse`` kernels) alongside the classic
+predict/quantize/qp/huffman/lossless keys.  The per-row shape is unchanged
+from v2, so ``--compare`` accepts a v2 baseline against a v3 run — span-only
+keys new in v3 show up as ``new`` and are never counted as regressions.
 
 Every future performance PR reruns this harness and compares against the
 committed JSON, so regressions in any stage are visible immediately.
@@ -16,6 +23,7 @@ Usage::
     PYTHONPATH=src python tools/bench.py --smoke          # tiny grids, seconds
     PYTHONPATH=src python tools/bench.py --out other.json --repeats 5
     PYTHONPATH=src python tools/bench.py --compare OLD.json NEW.json
+    PYTHONPATH=src python tools/bench.py --overhead       # tracer cost check
 """
 from __future__ import annotations
 
@@ -29,18 +37,13 @@ from typing import Any
 import numpy as np
 
 import repro
+from repro import obs
 from repro.core import QPConfig
 from repro.compressors import get_compressor
 from repro.parallel import ParallelCompressor
 from repro.utils.timer import throughput_mbs
 
-try:  # per-stage profiling (added with the perf subsystem; optional so the
-    # harness can also measure trees that predate it)
-    from repro import perf
-except ImportError:  # pragma: no cover - legacy trees only
-    perf = None
-
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: benchmark matrix: the four interpolation-based compressors QP integrates with
 BASES = ("sz3", "qoz", "hpez", "mgard")
@@ -64,14 +67,13 @@ def _time_best(fn, repeats: int) -> float:
 def _stage_profile(
     compressor, data: np.ndarray, blob: bytes, repeats: int = 1
 ) -> dict[str, Any]:
-    """Profiled compress + decompress; returns per-stage seconds/bytes.
+    """Observed compress + decompress; returns per-stage seconds/bytes.
 
-    Each direction runs ``repeats`` times and keeps the stage breakdown of
-    the fastest run, so stage numbers carry the same best-of semantics as
-    the end-to-end timings instead of single-shot scheduler noise.
+    Each direction runs ``repeats`` times under a fresh
+    :class:`repro.obs.Observation` and keeps the stage breakdown of the
+    fastest run, so stage numbers carry the same best-of semantics as the
+    end-to-end timings instead of single-shot scheduler noise.
     """
-    if perf is None:
-        return {}
     out: dict[str, Any] = {}
     for direction, fn in (
         ("compress", lambda: compressor.compress(data)),
@@ -79,13 +81,13 @@ def _stage_profile(
     ):
         best = None
         for _ in range(max(1, repeats)):
-            profiler = perf.PipelineProfiler()
-            with perf.profile(profiler):
+            ob = obs.Observation()
+            with obs.observe(ob):
                 t0 = time.perf_counter()
                 fn()
                 dt = time.perf_counter() - t0
             if best is None or dt < best[0]:
-                best = (dt, profiler.report(nbytes=data.nbytes))
+                best = (dt, ob.stage_report(nbytes=data.nbytes))
         out[direction] = best[1]
     return out
 
@@ -188,8 +190,50 @@ def run(
         "repeats": repeats,
         "python": platform.python_version(),
         "numpy": np.__version__,
-        "has_stage_profiler": perf is not None,
+        "has_stage_profiler": True,
+        "timing_source": "repro.obs",
         "results": results,
+    }
+
+
+def measure_overhead(
+    shape: tuple[int, ...] = (48, 48, 48), repeats: int = 30
+) -> dict[str, float]:
+    """Enabled-vs-disabled tracer cost on an SZ3+QP roundtrip.
+
+    Returns best-of-``repeats`` wall-clock for the bare roundtrip and the
+    same roundtrip under an active observation, plus the relative overhead.
+    The observability acceptance bar is <3% (docs/observability.md).
+    """
+    data = repro.generate("miranda", shape=shape, seed=0)
+    eb = REL_EB * float(data.max() - data.min())
+    comp = get_compressor("sz3", eb, qp=QPConfig())
+    blob = comp.compress(data)
+
+    def roundtrip():
+        comp.decompress(comp.compress(data))
+
+    def observed():
+        with obs.observe(obs.Observation()):
+            comp.decompress(comp.compress(data))
+
+    roundtrip()  # warm caches/schedules before timing either variant
+    _ = blob
+    # interleave the variants so slow machine drift (thermal, page cache)
+    # hits both equally instead of biasing whichever phase ran second
+    disabled_s = enabled_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        roundtrip()
+        disabled_s = min(disabled_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        observed()
+        enabled_s = min(enabled_s, time.perf_counter() - t0)
+    overhead = (enabled_s - disabled_s) / disabled_s
+    return {
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "overhead_pct": overhead * 100.0,
     }
 
 
@@ -278,7 +322,19 @@ def main(argv: list[str] | None = None) -> int:
                     help="relative slowdown that counts as a regression")
     ap.add_argument("--min-seconds", type=float, default=1e-3,
                     help="ignore metrics whose old timing is below this")
+    ap.add_argument("--overhead", action="store_true",
+                    help="measure the enabled-tracer overhead on an SZ3+QP "
+                         "roundtrip instead of running the benchmark")
     args = ap.parse_args(argv)
+
+    if args.overhead:
+        o = measure_overhead()
+        print(
+            f"tracer disabled: {o['disabled_s']:.4f}s  "
+            f"enabled: {o['enabled_s']:.4f}s  "
+            f"overhead: {o['overhead_pct']:+.2f}%"
+        )
+        return 0
 
     if args.compare:
         with open(args.compare[0]) as fh:

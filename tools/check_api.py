@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""API-surface lint: every compressor must satisfy the ``Codec`` protocol.
+
+The :class:`repro.compressors.Codec` protocol pins the unified surface
+
+    name: str
+    compress(data, *, checksum=False) -> bytes
+    decompress(blob) -> np.ndarray
+
+``isinstance`` against a ``runtime_checkable`` Protocol only proves the
+attributes *exist*; this lint additionally inspects the signatures so a
+conforming-by-name but incompatible-by-shape implementation (a positional
+``checksum``, a required extra argument, a missing keyword) fails loudly in
+CI instead of at a call site.
+
+Checked objects: one instance of every registered compressor
+(``repro.compressors.COMPRESSORS``) plus the wrapper compressors
+(parallel / temporal / pointwise-relative / QoI-preserving).
+
+Run directly (``python tools/check_api.py``, exit 0/1) or through the test
+suite (``tests/test_codec_api.py`` imports :func:`check_all`).
+"""
+from __future__ import annotations
+
+import inspect
+import sys
+from typing import Any
+
+sys.path.insert(0, "src")
+
+
+def _candidates() -> dict[str, Any]:
+    """name -> instance for every object the lint holds to the Codec bar."""
+    from repro.compressors import COMPRESSORS, get_compressor
+    from repro.modes import PointwiseRelativeCompressor
+    from repro.parallel import ParallelCompressor
+    from repro.qoi import QoIPreservingCompressor, SquareQoI
+    from repro.temporal import TemporalCompressor
+
+    out: dict[str, Any] = {
+        name: get_compressor(name, 1e-3) for name in COMPRESSORS
+    }
+    out["parallel[sz3]"] = ParallelCompressor("sz3", 1e-3)
+    out["temporal"] = TemporalCompressor("sz3", 1e-3)
+    out["pw_rel"] = PointwiseRelativeCompressor("sz3", 1e-3)
+    out["qoi[sz3]"] = QoIPreservingCompressor("sz3", SquareQoI(), tau=1e-3)
+    return out
+
+
+def check_codec(obj: Any) -> list[str]:
+    """Return the list of Codec-protocol violations for ``obj`` (empty = ok)."""
+    from repro.compressors import Codec
+
+    problems: list[str] = []
+    if not isinstance(obj, Codec):
+        missing = [a for a in ("name", "compress", "decompress") if not hasattr(obj, a)]
+        problems.append(f"does not satisfy Codec (missing: {missing})")
+        return problems
+
+    if not isinstance(obj.name, str) or not obj.name:
+        problems.append(f"name must be a non-empty str, got {obj.name!r}")
+
+    problems += _check_compress_sig(obj)
+    problems += _check_decompress_sig(obj)
+    return problems
+
+
+def _check_compress_sig(obj: Any) -> list[str]:
+    problems: list[str] = []
+    try:
+        sig = inspect.signature(obj.compress)
+    except (TypeError, ValueError):
+        return ["compress: signature not introspectable"]
+    params = list(sig.parameters.values())
+    if not params or params[0].kind not in (
+        inspect.Parameter.POSITIONAL_ONLY,
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+    ):
+        problems.append("compress: first parameter must accept data positionally")
+        return problems
+    checksum = sig.parameters.get("checksum")
+    if checksum is None:
+        problems.append("compress: missing keyword-only 'checksum' parameter")
+    else:
+        if checksum.kind is not inspect.Parameter.KEYWORD_ONLY:
+            problems.append("compress: 'checksum' must be keyword-only")
+        if checksum.default is not False:
+            problems.append(
+                f"compress: 'checksum' must default to False, got {checksum.default!r}"
+            )
+    for p in params[1:]:
+        if p.kind in (inspect.Parameter.VAR_KEYWORD, inspect.Parameter.VAR_POSITIONAL):
+            continue
+        if p.default is inspect.Parameter.empty:
+            problems.append(f"compress: extra parameter {p.name!r} must have a default")
+    return problems
+
+
+def _check_decompress_sig(obj: Any) -> list[str]:
+    problems: list[str] = []
+    try:
+        sig = inspect.signature(obj.decompress)
+    except (TypeError, ValueError):
+        return ["decompress: signature not introspectable"]
+    params = list(sig.parameters.values())
+    if not params or params[0].kind not in (
+        inspect.Parameter.POSITIONAL_ONLY,
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+    ):
+        problems.append("decompress: first parameter must accept the blob positionally")
+        return problems
+    for p in params[1:]:
+        if p.kind in (inspect.Parameter.VAR_KEYWORD, inspect.Parameter.VAR_POSITIONAL):
+            continue
+        if p.default is inspect.Parameter.empty:
+            problems.append(
+                f"decompress: extra parameter {p.name!r} must have a default"
+            )
+    return problems
+
+
+def check_all() -> dict[str, list[str]]:
+    """name -> violations for every candidate (empty dict values = all clean)."""
+    return {name: check_codec(obj) for name, obj in _candidates().items()}
+
+
+def main() -> int:
+    results = check_all()
+    bad = 0
+    for name in sorted(results):
+        problems = results[name]
+        if problems:
+            bad += 1
+            print(f"FAIL {name}")
+            for p in problems:
+                print(f"     - {p}")
+        else:
+            print(f"ok   {name}")
+    total = len(results)
+    print(f"{total - bad}/{total} compressors satisfy the Codec protocol")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
