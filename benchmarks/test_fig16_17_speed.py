@@ -14,7 +14,7 @@ from conftest import write_result
 
 import repro
 from repro.core import QPConfig
-from repro.utils.timer import throughput_mbs
+from repro.obs import throughput_mbs
 
 _BOUNDS = (1e-3, 1e-4, 1e-5)
 _COMPRESSORS = ("mgard", "sz3", "qoz", "hpez")

@@ -45,13 +45,13 @@ def _qp_from_args(args) -> "object":
 
 
 def _make_compressor(args, data: np.ndarray):
-    from .compressors import INTERP_COMPRESSORS, get_compressor
+    from .compressors import get_compressor, supports_qp
 
     eb = args.eb
     if args.rel:
         eb = eb * float(data.max() - data.min())
     kwargs = {}
-    if args.compressor in INTERP_COMPRESSORS or args.compressor == "sperr":
+    if supports_qp(args.compressor):
         kwargs["qp"] = _qp_from_args(args)
     return get_compressor(args.compressor, eb, **kwargs)
 
@@ -279,6 +279,7 @@ def _cmd_characterize(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from .analysis import print_table, qp_comparison, rd_sweep
+    from .compressors import supports_qp
     from .datasets import generate
 
     data = generate(args.dataset, args.field)
@@ -286,7 +287,7 @@ def _cmd_sweep(args) -> int:
     rows = []
     for name in args.compressors.split(","):
         name = name.strip()
-        if args.qp and name in ("mgard", "sz3", "qoz", "hpez", "sperr"):
+        if args.qp and supports_qp(name):
             kwargs = {"predictor": "interp"} if name == "sz3" else {}
             for p in qp_comparison(name, data, rel_bounds=bounds, **kwargs):
                 rows.append({

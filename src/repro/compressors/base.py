@@ -20,10 +20,16 @@ from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
-from ..codecs import HuffmanCodec, compress as lossless_compress, decompress as lossless_decompress
+from ..codecs import compress as lossless_compress, decompress as lossless_decompress
 from ..errors import CorruptBlobError, ReproError, TruncatedStreamError
 from ..io.integrity import is_sealed, seal, unseal
 from ..obs import add_bytes, span as stage
+from ..pipeline.stages import (
+    ENTROPY_STAGES,
+    StageContext,
+    entropy_stage,
+    entropy_stage_for_wire_id,
+)
 from ..utils.validation import check_error_bound, check_ndarray
 
 __all__ = [
@@ -343,7 +349,12 @@ class Compressor(ABC):
 
 
 _STREAM_ALPHABET_CAP = 1 << 16
-_ENTROPY_IDS = {"huffman": 0, "range": 1}
+#: wire ids are owned by the entropy stage classes; this view keeps the
+#: historical name for callers/tests that key on it
+_ENTROPY_IDS = {name: cls.wire_id for name, cls in ENTROPY_STAGES.items()}
+
+#: entropy stages never read the walk context in the framing below
+_FRAMING_CTX = StageContext()
 
 # range guard for the histogram median below: beyond this the bincount would
 # cost more than the partition it replaces
@@ -389,58 +400,47 @@ def encode_index_stream(
     """
     from ..codecs.fixed import encode_fixed
 
-    if entropy not in _ENTROPY_IDS:
-        raise ValueError(f"entropy must be one of {tuple(_ENTROPY_IDS)}")
+    coder = entropy_stage(entropy)(block_size)
     indices = np.ascontiguousarray(indices).ravel().astype(np.int64, copy=False)
-    if entropy == "range":
-        # the range coder's zigzag binarization handles signed values of any
-        # magnitude natively — no alphabet window or escapes needed
-        from ..codecs.rangecoder import RangeCodec
-
-        with stage("huffman"):
-            coded = RangeCodec().encode(indices)
-        with stage("lossless"):
-            payload = lossless_compress(coded, backend)
-        add_bytes("huffman", len(coded))
-        add_bytes("lossless", len(payload))
-        return (
-            struct.pack("<BqQ", _ENTROPY_IDS["range"], 0, len(payload))
-            + payload
-            + lossless_compress(encode_fixed(np.empty(0, np.uint64)), backend)
+    if coder.bounded_alphabet:
+        # center the alphabet window on the median so heavy-tailed streams
+        # keep their bulk in-alphabet; only genuine outliers escape
+        # (two-sided, zigzag fixed-width)
+        if indices.size:
+            lo = int(indices.min())
+            hi = int(indices.max())
+            offset = int(_int_median(indices, lo, hi)) - (_STREAM_ALPHABET_CAP // 2 - 1)
+        else:
+            lo = hi = 0
+            offset = 0
+        codes = indices - offset
+        esc = _STREAM_ALPHABET_CAP - 1
+        if lo - offset >= 0 and hi - offset < esc:
+            # whole stream fits the alphabet window: no escape scan needed
+            esc_vals = np.empty(0, dtype=np.int64)
+            esc_mask = None
+        else:
+            esc_mask = (codes < 0) | (codes >= esc)
+            esc_vals = codes[esc_mask]
+        escapes = encode_fixed(
+            np.where(esc_vals >= 0, 2 * esc_vals, -2 * esc_vals - 1).astype(np.uint64)
         )
-    # Huffman path: center the alphabet window on the median so heavy-tailed
-    # streams keep their bulk in-alphabet; only genuine outliers escape
-    # (two-sided, zigzag fixed-width).
-    if indices.size:
-        lo = int(indices.min())
-        hi = int(indices.max())
-        offset = int(_int_median(indices, lo, hi)) - (_STREAM_ALPHABET_CAP // 2 - 1)
+        if esc_mask is not None and esc_mask.any():
+            codes = np.where(esc_mask, esc, codes)
     else:
-        lo = hi = 0
+        # unbounded-alphabet coders take the signed stream as-is: no window,
+        # no escapes (zigzag of an empty stream is the empty escape block)
         offset = 0
-    codes = indices - offset
-    esc = _STREAM_ALPHABET_CAP - 1
-    if lo - offset >= 0 and hi - offset < esc:
-        # whole stream fits the alphabet window: no escape scan needed
-        esc_vals = np.empty(0, dtype=np.int64)
-        esc_mask = None
-    else:
-        esc_mask = (codes < 0) | (codes >= esc)
-        esc_vals = codes[esc_mask]
-    escapes = encode_fixed(
-        np.where(esc_vals >= 0, 2 * esc_vals, -2 * esc_vals - 1).astype(np.uint64)
-    )
-    if esc_mask is not None and esc_mask.any():
-        codes = np.where(esc_mask, esc, codes)
+        codes = indices
+        escapes = encode_fixed(np.empty(0, np.uint64))
     with stage("huffman"):
-        codec = HuffmanCodec(block_size) if block_size else HuffmanCodec()
-        coded = codec.encode(codes)
+        coded = coder.forward(_FRAMING_CTX, codes)
     with stage("lossless"):
         payload = lossless_compress(coded, backend)
     add_bytes("huffman", len(coded))
     add_bytes("lossless", len(payload))
     return (
-        struct.pack("<BqQ", _ENTROPY_IDS["huffman"], offset, len(payload))
+        struct.pack("<BqQ", coder.wire_id, offset, len(payload))
         + payload
         + lossless_compress(escapes, backend)
     )
@@ -485,22 +485,18 @@ def decode_index_streams(datas: "list[bytes]") -> "list[np.ndarray]":
         add_bytes("lossless", plen)
     codes_list: "list[np.ndarray | None]" = [None] * len(parsed)
     with stage("huffman"):
-        huff = [
-            i for i, (eid, _, _, _) in enumerate(parsed)
-            if eid == _ENTROPY_IDS["huffman"]
-        ]
-        if huff:
-            for i, codes in zip(
-                huff, HuffmanCodec().decode_many([payloads[i] for i in huff])
-            ):
-                codes_list[i] = codes
+        # group by wire id and hand each group to its stage's batched decode
+        # (Huffman runs one joint lockstep loop over its whole group)
+        by_wire_id: dict[int, list[int]] = {}
         for i, (eid, _, _, _) in enumerate(parsed):
-            if eid == _ENTROPY_IDS["range"]:
-                from ..codecs.rangecoder import RangeCodec
-
-                codes_list[i] = RangeCodec().decode(payloads[i])
-            elif eid != _ENTROPY_IDS["huffman"]:
+            by_wire_id.setdefault(eid, []).append(i)
+        for eid, members in by_wire_id.items():
+            coder = entropy_stage_for_wire_id(eid)
+            if coder is None:
                 raise CorruptBlobError(f"unknown entropy stage id {eid}")
+            decoded = coder.decode_many([payloads[i] for i in members])
+            for i, codes in zip(members, decoded):
+                codes_list[i] = codes
     for payload in payloads:
         add_bytes("huffman", len(payload))
     out = []

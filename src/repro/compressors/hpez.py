@@ -31,6 +31,7 @@ import numpy as np
 
 from ..codecs import compress as lossless_compress, decompress as lossless_decompress
 from ..core.config import QPConfig
+from ..pipeline.driver import decode_engine_blob, spec_for_blob
 from ..utils.blocks import iter_blocks
 from ..utils.levels import num_levels
 from .base import (
@@ -201,6 +202,17 @@ class HPEZ(Compressor):
     # -- decompression ----------------------------------------------------------
 
     def _decompress(self, blob: Blob) -> np.ndarray:
+        # the frontend stage's layout param (derived from the header) picks
+        # the decode walk: one engine replay, or the per-block schedule
+        spec = spec_for_blob(blob.header)
+        layout = spec.stage("interp_predict").params["layout"]
+        if layout == "global":
+            return decode_engine_blob(blob)
+        return self._decompress_blocks(blob)
+
+    def _decompress_blocks(self, blob: Blob) -> np.ndarray:
+        from ..utils.levels import anchor_slices
+
         header = blob.header
         shape = tuple(header["shape"])
         dtype = np.dtype(header["dtype"])
@@ -209,18 +221,6 @@ class HPEZ(Compressor):
             lossless_decompress(blob.sections["literals"]), dtype=dtype
         )
         anchors = np.frombuffer(blob.sections["anchors"], dtype=dtype)
-        from ..utils.levels import anchor_slices
-
-        if header["mode"] == "global":
-            a_shape = tuple(
-                len(range(*sl.indices(n)))
-                for sl, n in zip(anchor_slices(shape), shape)
-            )
-            return decompress_volume(
-                header["engine"], stream, literals, anchors.reshape(a_shape),
-                shape, dtype, header["error_bound"],
-            )
-
         out = np.empty(shape, dtype=dtype)
         spos = lpos = apos = 0
         for bslice, meta in zip(

@@ -2,14 +2,17 @@
 
 SZ3, QoZ and HPEZ are thin wrappers over this engine; they differ only in the
 :class:`EngineConfig` they construct (level structure, per-level error bounds,
-interpolation method selection, axis order, QP settings).  MGARD has its own
-hierarchical engine (see ``mgard.py``).
+interpolation method selection, axis order, QP settings).  MGARD expresses its
+hierarchical decomposition as the *multidim* structure of the same engine.
 
-The engine follows Algorithm 1 of the paper exactly: per pass it predicts,
-quantizes, overwrites the working array with decoded values (so later passes
-predict from what the decompressor will see), applies the QP transform to the
-pass's index array, and appends the result to the index stream.  Decompression
-replays the identical pass schedule.
+The engine is the driver for the stage objects in
+:mod:`repro.pipeline.stages`: per pass it invokes the prediction stage,
+the quantization stage, overwrites the working array with decoded values
+(so later passes predict from what the decompressor will see), walks the
+config's index-transform stages over the pass's index array (QP's
+Algorithm 1 insertion point — the engine itself no longer special-cases
+any transform), and appends the result to the index stream.  Decompression
+replays the identical pass schedule with each stage inverted.
 """
 from __future__ import annotations
 
@@ -19,9 +22,13 @@ from typing import Any
 import numpy as np
 
 from ..core.config import QPConfig
-from ..core.qp import qp_forward, qp_inverse, qp_inverse_multi
 from ..obs import span as stage
-from ..predictors.interpolation import predict_midpoints
+from ..pipeline.stages import (
+    InterpPredict,
+    LinearQuantize,
+    QPTransform,
+    StageContext,
+)
 from ..quantize.linear import LinearQuantizer
 from ..utils.levels import (
     MDPass,
@@ -41,6 +48,16 @@ __all__ = [
     "decompress_volumes",
     "level_error_bounds",
 ]
+
+# thin aliases: the prediction kernels moved into the InterpPredict stage
+# (repro.pipeline.stages); these names remain the engine's public surface
+_pass_prediction = InterpPredict.pass_prediction
+_pass_prediction_stacked = InterpPredict.pass_prediction_stacked
+_choose_method_pred = InterpPredict.choose
+
+
+def _choose_method(arr: np.ndarray, p: Pass | MDPass) -> str:
+    return InterpPredict.choose(arr, p)[0]
 
 
 @dataclass
@@ -72,6 +89,38 @@ class EngineConfig:
         order = scheme.get("axis_order")
         return scheme["structure"], tuple(order) if order else None
 
+    # -- stage construction --------------------------------------------------
+
+    def predict_stage(self) -> InterpPredict:
+        return InterpPredict(self.interp)
+
+    def quantize_stage(self) -> LinearQuantize:
+        return LinearQuantize(self.error_bound, self.radius, self.level_eb_factors)
+
+    def index_transforms(self) -> tuple:
+        """Index-stream transform stages applied between quantization and
+        entropy coding, in forward order.  The engine walks these
+        generically; QP is currently the only registered index transform
+        (each wrapped kernel no-ops outside its configured case/levels)."""
+        return (QPTransform(self.qp),)
+
+    @classmethod
+    def from_meta(cls, meta: dict[str, Any], error_bound: float) -> "EngineConfig":
+        """Rebuild the decode-side config from the blob's engine meta."""
+        return cls(
+            error_bound=error_bound,
+            radius=int(meta["radius"]),
+            structure=meta["structure"],
+            axis_order=tuple(meta["axis_order"]) if meta["axis_order"] else None,
+            level_schemes={
+                int(k): v for k, v in meta.get("level_schemes", {}).items()
+            },
+            level_eb_factors={
+                int(k): float(v) for k, v in meta["level_eb_factors"].items()
+            },
+            qp=QPConfig.from_dict(meta["qp"]),
+        )
+
 
 def level_error_bounds(eb: float, levels: int, alpha: float, beta: float) -> dict[int, float]:
     """QoZ-style per-level error-bound factors: level ``l`` uses
@@ -89,46 +138,6 @@ def _passes_for_level(
     if structure == "multidim":
         return level_passes_multidim(shape, level)
     return level_passes(shape, level, axis_order)
-
-
-def _pass_prediction(arr: np.ndarray, p: Pass | MDPass, method: str) -> np.ndarray:
-    """Average of 1-D interpolations along each prediction axis, in the
-    natural orientation of the pass's target subgrid."""
-    shape = arr.shape
-    pred_sum: np.ndarray | None = None
-    for a in p.axes:
-        known = arr[p.known_for(a)]
-        n_targets = len(range(*p.target[a].indices(shape[a])))
-        pred_a = predict_midpoints(np.moveaxis(known, a, 0), n_targets, method)
-        pred_a = np.moveaxis(pred_a, 0, a)
-        pred_sum = pred_a if pred_sum is None else pred_sum + pred_a
-    assert pred_sum is not None
-    if len(p.axes) > 1:
-        pred_sum = pred_sum / len(p.axes)
-    return pred_sum
-
-
-def _choose_method(arr: np.ndarray, p: Pass | MDPass) -> str:
-    """Auto interpolation selection: smaller L1 residual on this pass wins
-    (SZ3's per-level linear-vs-cubic tuning)."""
-    return _choose_method_pred(arr, p)[0]
-
-
-def _choose_method_pred(
-    arr: np.ndarray, p: Pass | MDPass
-) -> tuple[str, np.ndarray]:
-    """Like :func:`_choose_method`, but also returns the winning method's
-    prediction for ``p`` so the caller can reuse it instead of recomputing
-    the identical array for the pass it just scored."""
-    actual = arr[p.target]
-    best_method, best_err, best_pred = "linear", None, None
-    for method in ("linear", "cubic"):
-        pred = _pass_prediction(arr, p, method)
-        err = float(np.abs(actual - pred).sum())
-        if best_err is None or err < best_err:
-            best_method, best_err, best_pred = method, err, pred
-    assert best_pred is not None
-    return best_method, best_pred
 
 
 def trial_level_bits(
@@ -184,15 +193,21 @@ def compress_volume(
     """Run the interpolation pipeline over ``data``.
 
     Returns ``(meta, index_stream, literals, anchors)``: ``meta`` holds
-    everything the decompressor needs (levels, chosen methods, QP settings),
-    ``index_stream`` is the concatenated (QP-transformed) quantization indices
-    of every pass in schedule order, ``literals`` the unpredictable values in
-    the same order, and ``anchors`` the exact coarsest-grid values.
+    everything the decompressor needs (levels, chosen methods, transform
+    configs), ``index_stream`` is the concatenated (transform-applied)
+    quantization indices of every pass in schedule order, ``literals`` the
+    unpredictable values in the same order, and ``anchors`` the exact
+    coarsest-grid values.
     """
     arr = data.copy()
     shape = arr.shape
     levels = num_levels(shape)
     anchors = arr[anchor_slices(shape)].copy()
+
+    predictor = cfg.predict_stage()
+    quantize = cfg.quantize_stage()
+    transforms = cfg.index_transforms()
+    ctx = StageContext(sentinel=quantize.sentinel, dtype=data.dtype)
 
     if state is not None:
         state.index_volume = np.zeros(shape, dtype=np.int64)
@@ -204,7 +219,7 @@ def compress_volume(
     methods: dict[int, str] = {}
 
     for level in range(levels, 0, -1):
-        quantizer = LinearQuantizer(cfg.eb_for_level(level), cfg.radius)
+        ctx.level = level
         if cfg.scheme_selector is not None and level not in cfg.level_schemes:
             cfg.level_schemes[level] = cfg.scheme_selector(arr, level, cfg)
         passes = _passes_for_level(shape, level, cfg)
@@ -215,21 +230,21 @@ def compress_volume(
             with stage("predict"):
                 # the selection already computed the winning method's
                 # prediction for the first pass — reuse it below
-                methods[level], first_pred = _choose_method_pred(arr, passes[0])
+                methods[level], first_pred = InterpPredict.choose(arr, passes[0])
         else:
             methods[level] = cfg.interp
-        method = methods[level]
+        ctx.method = methods[level]
         for p in passes:
             with stage("predict"):
                 pred = first_pred if p is passes[0] and first_pred is not None \
-                    else _pass_prediction(arr, p, method)
+                    else predictor.forward(ctx, (arr, p))
             target_view = arr[p.target]
             with stage("quantize"):
-                res = quantizer.quantize(target_view, pred)
+                res = quantize.forward(ctx, (target_view, pred))
             target_view[...] = res.decoded  # future passes see decoded values
-            q = np.moveaxis(res.indices, p.axis, 0)
-            with stage("qp"):
-                q_out = qp_forward(q, quantizer.sentinel, cfg.qp, level)
+            q_out = np.moveaxis(res.indices, p.axis, 0)
+            for t in transforms:
+                q_out = t.forward(ctx, q_out)
             streams.append(np.ascontiguousarray(q_out).ravel())
             literal_parts.append(res.literals)
             if state is not None:
@@ -257,8 +272,9 @@ def compress_volume(
         },
         "radius": cfg.radius,
         "level_eb_factors": {str(k): v for k, v in cfg.level_eb_factors.items()},
-        "qp": cfg.qp.to_dict(),
     }
+    for t in transforms:
+        meta[t.meta_key] = t.config.to_dict()
     if state is not None:
         state.extras["decoded"] = arr
     return meta, index_stream, literals, anchors
@@ -273,6 +289,7 @@ def decompress_volume(
     dtype: np.dtype,
     error_bound: float,
     exact_streams: bool = True,
+    stop_level: int = 0,
 ) -> "np.ndarray | tuple[np.ndarray, int, int]":
     """Replay the pass schedule and invert every stage.
 
@@ -280,51 +297,51 @@ def decompress_volume(
     and the array alone is returned.  With ``exact_streams=False`` the caller
     passes shared streams that may extend past this volume (HPEZ blocks) and
     receives ``(array, indices_consumed, literals_consumed)``.
+    ``stop_level > 0`` stops before the finer levels (MGARD's resolution
+    reduction) — their streams are simply left unread, so exactness checks
+    are skipped.
     """
-    cfg = EngineConfig(
-        error_bound=error_bound,
-        radius=int(meta["radius"]),
-        structure=meta["structure"],
-        axis_order=tuple(meta["axis_order"]) if meta["axis_order"] else None,
-        level_schemes={
-            int(k): v for k, v in meta.get("level_schemes", {}).items()
-        },
-        level_eb_factors={int(k): float(v) for k, v in meta["level_eb_factors"].items()},
-        qp=QPConfig.from_dict(meta["qp"]),
-    )
+    cfg = EngineConfig.from_meta(meta, error_bound)
     methods = {int(k): v for k, v in meta["methods"].items()}
     levels = int(meta["levels"])
+
+    predictor = cfg.predict_stage()
+    quantize = cfg.quantize_stage()
+    transforms = cfg.index_transforms()
+    ctx = StageContext(sentinel=quantize.sentinel, dtype=dtype)
 
     arr = np.zeros(shape, dtype=dtype)
     arr[anchor_slices(shape)] = anchors.reshape(arr[anchor_slices(shape)].shape)
 
     spos = 0
     lpos = 0
-    for level in range(levels, 0, -1):
-        quantizer = LinearQuantizer(cfg.eb_for_level(level), cfg.radius)
+    for level in range(levels, stop_level, -1):
+        ctx.level = level
         passes = _passes_for_level(shape, level, cfg)
         if not passes:
             continue
-        method = methods[level]
+        ctx.method = methods[level]
         for p in passes:
             psize = pass_sizes(shape, p)
             count = int(np.prod(psize))
             moved_shape = tuple(
                 psize[a] for a in _moved_axes(len(shape), p.axis)
             )
-            q_out = index_stream[spos:spos + count].reshape(moved_shape)
+            q = index_stream[spos:spos + count].reshape(moved_shape)
             spos += count
-            with stage("qp"):
-                q = qp_inverse(q_out, quantizer.sentinel, cfg.qp, level)
+            for t in reversed(transforms):
+                q = t.inverse(ctx, q)
             indices = np.moveaxis(q, 0, p.axis)
-            n_lit = int((indices == quantizer.sentinel).sum())
+            n_lit = int((indices == quantize.sentinel).sum())
             lits = literals[lpos:lpos + n_lit]
             lpos += n_lit
             with stage("predict"):
-                pred = _pass_prediction(arr, p, method)
+                pred = predictor.forward(ctx, (arr, p))
             with stage("quantize"):
-                arr[p.target] = quantizer.dequantize(indices, pred, lits)
-    if not exact_streams:
+                arr[p.target] = quantize.inverse(ctx, (indices, pred, lits))
+    if stop_level or not exact_streams:
+        if exact_streams:
+            return arr
         return arr, spos, lpos
     if spos != index_stream.size:
         raise ValueError("index stream size mismatch")
@@ -343,46 +360,48 @@ def _moved_axes(ndim: int, primary: int) -> list[int]:
 
 #: meta keys that must match across volumes for them to share one pass
 #: schedule (methods and level_eb_factors may differ — they are only used
-#: per-volume, never inside the batched QP inverse).
+#: per-volume, never inside the batched transform inverse).
 _SCHEDULE_KEYS = ("levels", "structure", "axis_order", "level_schemes", "radius", "qp")
 
 
-def _pass_prediction_stacked(
-    arr_st: np.ndarray, p: Pass | MDPass, method: str
+def _inverse_transforms_multi(
+    ctx: StageContext, transforms: tuple, q_views: "list[np.ndarray]"
 ) -> np.ndarray:
-    """:func:`_pass_prediction` over a stack of volumes ``(N, *shape)``.
-
-    The pass geometry addresses the per-volume axes, so every index is
-    lifted by one; ``predict_midpoints`` treats all trailing axes as batch,
-    which now includes the stack axis.
-    """
-    shape = arr_st.shape[1:]
-    pred_sum: np.ndarray | None = None
-    for a in p.axes:
-        known = arr_st[(slice(None),) + p.known_for(a)]
-        n_targets = len(range(*p.target[a].indices(shape[a])))
-        pred_a = predict_midpoints(np.moveaxis(known, a + 1, 0), n_targets, method)
-        pred_a = np.moveaxis(pred_a, 0, a + 1)
-        pred_sum = pred_a if pred_sum is None else pred_sum + pred_a
-    assert pred_sum is not None
-    if len(p.axes) > 1:
-        pred_sum = pred_sum / len(p.axes)
-    return pred_sum
+    """Invert the index-transform chain across a batch of equal-schedule
+    pass views; returns the results stacked along a new leading axis.
+    Transforms exposing ``inverse_multi`` (QP's wavefront inverse) handle
+    the whole batch in one call; others fall back to per-view inversion."""
+    if not transforms:
+        return np.stack(q_views)
+    stacked: np.ndarray | None = None
+    for t in reversed(transforms):
+        if stacked is None:
+            multi = getattr(t, "inverse_multi", None)
+            if multi is not None:
+                stacked = multi(ctx, q_views)
+            else:
+                stacked = np.stack([t.inverse(ctx, q) for q in q_views])
+        else:
+            stacked = np.stack([
+                t.inverse(ctx, stacked[i]) for i in range(stacked.shape[0])
+            ])
+    return stacked
 
 
 def decompress_volumes(
     items: "list[tuple[dict[str, Any], np.ndarray, np.ndarray, np.ndarray, tuple[int, ...], np.dtype, float]]",
 ) -> "list[np.ndarray]":
-    """Decompress several volumes, batching the QP inverse across them.
+    """Decompress several volumes, batching the transform inverse across
+    them.
 
     ``items`` holds ``(meta, index_stream, literals, anchors, shape, dtype,
     error_bound)`` per volume — the :func:`decompress_volume` signature.
     When every volume shares one geometry and pass schedule (the
-    slab-parallel case), the per-pass QP wavefront inverse runs *once* over
-    all volumes stacked along a new batch axis instead of once per volume,
-    collapsing N Python diagonal walks into one.  Output is bit-identical
-    to calling :func:`decompress_volume` per item; mixed-geometry inputs
-    silently fall back to the per-volume path.
+    slab-parallel case), the per-pass index-transform inverse runs *once*
+    over all volumes stacked along a new batch axis instead of once per
+    volume, collapsing N Python diagonal walks into one.  Output is
+    bit-identical to calling :func:`decompress_volume` per item;
+    mixed-geometry inputs silently fall back to the per-volume path.
     """
     if not items:
         return []
@@ -409,19 +428,7 @@ def decompress_volumes(
     methods_list: list[dict[int, str]] = []
     arrs: list[np.ndarray] = []
     for meta, _, _, anchors, _, dt, eb in items:
-        cfg = EngineConfig(
-            error_bound=eb,
-            radius=int(meta["radius"]),
-            structure=meta["structure"],
-            axis_order=tuple(meta["axis_order"]) if meta["axis_order"] else None,
-            level_schemes={
-                int(k): v for k, v in meta.get("level_schemes", {}).items()
-            },
-            level_eb_factors={
-                int(k): float(v) for k, v in meta["level_eb_factors"].items()
-            },
-            qp=QPConfig.from_dict(meta["qp"]),
-        )
+        cfg = EngineConfig.from_meta(meta, eb)
         cfgs.append(cfg)
         methods_list.append({int(k): v for k, v in meta["methods"].items()})
         arr = np.zeros(shape, dtype=dt)
@@ -432,11 +439,13 @@ def decompress_volumes(
     spos = [0] * n
     lpos = [0] * n
     ndim = len(shape)
+    transforms = cfgs[0].index_transforms()  # schedule keys include configs
+    ctx = StageContext(sentinel=-cfgs[0].radius, dtype=dtype0)
     # With identical error bounds too (methods may still differ — they only
     # steer prediction, handled per level below), every per-pass stage
-    # (QP inverse, prediction, dequantization) runs once over all volumes
-    # stacked along a leading batch axis — one set of Python dispatches for
-    # the whole group instead of one per volume.
+    # (transform inverse, prediction, dequantization) runs once over all
+    # volumes stacked along a leading batch axis — one set of Python
+    # dispatches for the whole group instead of one per volume.
     full_stack = all(
         it[6] == items[0][6]
         and it[0].get("level_eb_factors") == meta0.get("level_eb_factors")
@@ -444,9 +453,10 @@ def decompress_volumes(
     )
     if full_stack:
         cfg0 = cfgs[0]
+        quantize = cfg0.quantize_stage()
         arr_st = np.stack(arrs)
         for level in range(levels, 0, -1):
-            quantizer = LinearQuantizer(cfg0.eb_for_level(level), cfg0.radius)
+            ctx.level = level
             passes = _passes_for_level(shape, level, cfg0)
             if not passes:
                 continue
@@ -464,12 +474,9 @@ def decompress_volumes(
                         it[1][spos[i]:spos[i] + count].reshape(moved_shape)
                     )
                     spos[i] += count
-                with stage("qp"):
-                    q = qp_inverse_multi(
-                        q_views, quantizer.sentinel, cfg0.qp, level
-                    )
+                q = _inverse_transforms_multi(ctx, transforms, q_views)
                 indices = np.moveaxis(q, 1, p.axis + 1)
-                unpred = indices == quantizer.sentinel
+                unpred = indices == quantize.sentinel
                 lit_counts = unpred.sum(axis=tuple(range(1, ndim + 1)))
                 lit_parts = []
                 for i in range(n):
@@ -488,8 +495,9 @@ def decompress_volumes(
                             for i in range(n)
                         ])
                 with stage("quantize"):
-                    arr_st[(slice(None),) + p.target] = quantizer.dequantize(
-                        indices, pred, lits
+                    ctx.level = level
+                    arr_st[(slice(None),) + p.target] = quantize.inverse(
+                        ctx, (indices, pred, lits)
                     )
         for i, it in enumerate(items):
             if spos[i] != it[1].size:
@@ -497,8 +505,9 @@ def decompress_volumes(
             if lpos[i] != it[2].size:
                 raise ValueError("literal stream size mismatch")
         return [arr_st[i] for i in range(n)]
+    quants = [cfg.quantize_stage() for cfg in cfgs]
     for level in range(levels, 0, -1):
-        quants = [LinearQuantizer(cfg.eb_for_level(level), cfg.radius) for cfg in cfgs]
+        ctx.level = level
         passes = _passes_for_level(shape, level, cfgs[0])
         if not passes:
             continue
@@ -512,11 +521,8 @@ def decompress_volumes(
             for i, it in enumerate(items):
                 q_outs.append(it[1][spos[i]:spos[i] + count].reshape(moved_shape))
                 spos[i] += count
-            with stage("qp"):
-                # sentinel depends only on the (shared) radius
-                qs = list(qp_inverse_multi(
-                    q_outs, quants[0].sentinel, cfgs[0].qp, level
-                ))
+            # sentinel depends only on the (shared) radius
+            qs = _inverse_transforms_multi(ctx, transforms, q_outs)
             for i in range(n):
                 indices = np.moveaxis(qs[i], 0, p.axis)
                 n_lit = int((indices == quants[i].sentinel).sum())
@@ -525,7 +531,9 @@ def decompress_volumes(
                 with stage("predict"):
                     pred = _pass_prediction(arrs[i], p, methods_list[i][level])
                 with stage("quantize"):
-                    arrs[i][p.target] = quants[i].dequantize(indices, pred, lits)
+                    arrs[i][p.target] = quants[i].inverse(
+                        ctx, (indices, pred, lits)
+                    )
     for i, it in enumerate(items):
         if spos[i] != it[1].size:
             raise ValueError("index stream size mismatch")

@@ -20,18 +20,13 @@ from typing import Any
 
 import numpy as np
 
-from ..codecs import compress as lossless_compress, decompress as lossless_decompress
+from ..codecs import compress as lossless_compress
 from ..core.config import QPConfig
 from ..errors import CorruptBlobError, ReproError
-from ..utils.levels import anchor_slices, num_levels
-from .base import (
-    Blob,
-    CompressionState,
-    Compressor,
-    decode_index_stream,
-    encode_index_stream,
-)
-from .interp_engine import EngineConfig, compress_volume, decompress_volume
+from ..pipeline.driver import decode_engine_blob
+from ..utils.levels import num_levels
+from .base import Blob, CompressionState, Compressor, encode_index_stream
+from .interp_engine import EngineConfig, compress_volume
 
 __all__ = ["MGARD"]
 
@@ -111,61 +106,10 @@ class MGARD(Compressor):
             ) from exc
 
     def _reconstruct(self, blob: Blob, stop_level: int) -> np.ndarray:
-        header = blob.header
-        shape = tuple(header["shape"])
-        dtype = np.dtype(header["dtype"])
-        stream = decode_index_stream(blob.sections["indices"])
-        literals = np.frombuffer(
-            lossless_decompress(blob.sections["literals"]), dtype=dtype
-        )
-        a_shape = tuple(
-            len(range(*sl.indices(n))) for sl, n in zip(anchor_slices(shape), shape)
-        )
-        anchors = np.frombuffer(blob.sections["anchors"], dtype=dtype).reshape(a_shape)
+        # the engine's schedule replay handles partial decode natively: with
+        # stop_level > 0 the finer levels' streams are simply left unread
+        arr = decode_engine_blob(blob, stop_level=stop_level)
         if stop_level == 0:
-            return decompress_volume(
-                header["engine"], stream, literals, anchors, shape, dtype,
-                header["error_bound"],
-            )
-        arr, _, _ = _decode_until(
-            header, stream, literals, anchors, shape, dtype, stop_level
-        )
+            return arr
         s = 1 << stop_level
-        return arr[tuple(slice(0, None, s) for _ in shape)].copy()
-
-
-def _decode_until(header, stream, literals, anchors, shape, dtype, stop_level):
-    """Replay the schedule, stopping before level ``stop_level`` (the finer
-    levels' streams are simply left unread)."""
-    from ..quantize.linear import LinearQuantizer
-    from ..core.qp import qp_inverse
-    from ..utils.levels import level_passes_multidim, pass_sizes
-
-    meta = header["engine"]
-    eb = header["error_bound"]
-    factors = {int(k): float(v) for k, v in meta["level_eb_factors"].items()}
-    qp_cfg = QPConfig.from_dict(meta["qp"])
-    methods = {int(k): v for k, v in meta["methods"].items()}
-    levels = int(meta["levels"])
-
-    arr = np.zeros(shape, dtype=dtype)
-    arr[anchor_slices(shape)] = anchors
-    spos = lpos = 0
-    from .interp_engine import _pass_prediction, _moved_axes
-
-    for level in range(levels, stop_level, -1):
-        quantizer = LinearQuantizer(eb * factors.get(level, 1.0), int(meta["radius"]))
-        for p in level_passes_multidim(shape, level):
-            psize = pass_sizes(shape, p)
-            n = int(np.prod(psize))
-            moved = tuple(psize[a] for a in _moved_axes(len(shape), p.axis))
-            q_out = stream[spos:spos + n].reshape(moved)
-            spos += n
-            q = qp_inverse(q_out, quantizer.sentinel, qp_cfg, level)
-            indices = np.moveaxis(q, 0, p.axis)
-            n_lit = int((indices == quantizer.sentinel).sum())
-            lits = literals[lpos:lpos + n_lit]
-            lpos += n_lit
-            pred = _pass_prediction(arr, p, methods[level])
-            arr[p.target] = quantizer.dequantize(indices, pred, lits)
-    return arr, spos, lpos
+        return arr[tuple(slice(0, None, s) for _ in blob.header["shape"])].copy()

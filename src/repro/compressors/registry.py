@@ -1,10 +1,20 @@
-"""Compressor registry: name-based construction and blob dispatch."""
+"""Compressor registry: name-based construction and blob dispatch.
+
+The registry is a *view over the pipeline registrations*
+(:mod:`repro.pipeline.builders`): the listed names, their order, the
+implementation classes, and the capability queries are all derived from
+the registered :class:`~repro.pipeline.spec.PipelineSpec` builders, so a
+compressor cannot be registered without declaring its stage chain — and
+the listings below can never drift from it.
+"""
 from __future__ import annotations
 
+from importlib import import_module
 from typing import Any
 
 import numpy as np
 
+from ..pipeline import pipeline, pipeline_spec, registered_pipelines
 from .base import Blob, Compressor
 
 __all__ = [
@@ -18,46 +28,43 @@ __all__ = [
 ]
 
 
-def _registry() -> dict[str, type[Compressor]]:
-    from .hpez import HPEZ
-    from .mgard import MGARD
-    from .sperr import SPERR
-    from .sz3 import SZ3
-    from .tthresh import TTHRESH
-    from .qoz import QoZ
-    from .zfp import ZFP
-
-    return {
-        c.name: c for c in (MGARD, SZ3, QoZ, HPEZ, ZFP, TTHRESH, SPERR)
-    }
+def _resolve_class(name: str) -> type[Compressor]:
+    """Import the implementation class from the pipeline's ``cls_path``."""
+    module_name, _, cls_name = pipeline(name).cls_path.partition(":")
+    return getattr(import_module(module_name), cls_name)
 
 
-COMPRESSORS = ("mgard", "sz3", "qoz", "hpez", "zfp", "tthresh", "sperr")
-#: the four interpolation-based compressors QP integrates with
-INTERP_COMPRESSORS = ("mgard", "sz3", "qoz", "hpez")
+#: every registered compressor, in pipeline registration order
+COMPRESSORS = registered_pipelines()
+#: the four interpolation-based compressors QP integrates with — i.e. the
+#: pipelines whose spec starts from the interpolation prediction stage
+INTERP_COMPRESSORS = tuple(
+    name for name in COMPRESSORS if pipeline_spec(name).has_stage("interp_predict")
+)
 
 
 def available_compressors() -> tuple[str, ...]:
-    return tuple(_registry())
+    return registered_pipelines()
 
 
 def _lookup(name: str) -> type[Compressor]:
     """Resolve a registry name to its class — the single place the
     unknown-name error is raised, shared by every registry entry point."""
-    reg = _registry()
+    reg = registered_pipelines()
     if name not in reg:
         raise KeyError(f"unknown compressor {name!r}; available: {tuple(reg)}")
-    return reg[name]
+    return _resolve_class(name)
 
 
 def supports_qp(name: str) -> bool:
     """Whether the named compressor honors a ``qp=`` config.
 
-    Reads the class-level capability flag, so wrappers (e.g. the parallel
-    slab compressor) can route QP by what the class declares instead of
-    keeping their own hardcoded name lists in sync.
+    Spec introspection — "does the registered pipeline contain a ``qp``
+    stage?" — so wrappers (parallel slabs, temporal, QoI) route QP by what
+    the pipeline declares instead of keeping hardcoded name lists in sync.
     """
-    return _lookup(name).supports_qp
+    _lookup(name)  # keep the unknown-name contract
+    return pipeline_spec(name).has_stage("qp")
 
 
 def constructor_accepts(name: str, param: str) -> bool:
@@ -112,7 +119,7 @@ def _dispatch_key(blob: bytes) -> tuple[str, float]:
 
     b = Blob.from_bytes(blob)
     name = b.header.get("compressor")
-    if name not in _registry():
+    if name not in registered_pipelines():
         raise CorruptBlobError(f"blob names unknown compressor {name!r}")
     eb = b.header.get("error_bound")
     if not isinstance(eb, (int, float)) or not eb > 0:
@@ -173,10 +180,9 @@ def decompress_many(
 
 def traits_table() -> list[dict[str, Any]]:
     """Qualitative characteristics of the compressors (paper Table I)."""
-    reg = _registry()
     rows = []
-    for name in ("mgard", "sz3", "qoz", "hpez"):
+    for name in INTERP_COMPRESSORS:
         row = {"compressor": name.upper()}
-        row.update(reg[name].traits)
+        row.update(_resolve_class(name).traits)
         rows.append(row)
     return rows

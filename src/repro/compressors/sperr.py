@@ -19,6 +19,7 @@ import numpy as np
 
 from ..codecs import compress as lossless_compress, decompress as lossless_decompress
 from ..codecs.fixed import decode_fixed, encode_fixed
+from ..pipeline.stages import CDF97Transform, StageContext
 from .base import (
     Blob,
     CompressionState,
@@ -37,6 +38,9 @@ _DELTA = 0.443506852043971
 _KAPPA = 1.230174104914001
 
 _LEVELS = 3
+
+#: wavelet stage contexts are unused (the stage carries its level count)
+_CTX = StageContext()
 
 
 def _lift_1d(arr: np.ndarray, inverse: bool) -> np.ndarray:
@@ -189,7 +193,8 @@ class SPERR(Compressor):
         mult = 1 << self.levels
         pads = [(0, (-n) % mult) for n in data.shape]
         padded = np.pad(data.astype(np.float64), pads, mode="edge")
-        coeffs = cdf97_forward(padded, self.levels)
+        wavelet = CDF97Transform(self.levels)
+        coeffs = wavelet.forward(_CTX, padded)
         core = tuple(slice(0, n) for n in data.shape)
         if self.coder == "speck":
             return self._compress_speck(data, coeffs, core)
@@ -204,7 +209,7 @@ class SPERR(Compressor):
         for factor in (1.0, 0.5, 0.25, 0.125):
             step = factor * self.error_bound
             q = np.rint(coeffs / step).astype(np.int64)
-            recon = cdf97_inverse(q.astype(np.float64) * step, self.levels)
+            recon = wavelet.inverse(_CTX, q.astype(np.float64) * step)
             rec_cast = recon[core].astype(data.dtype).astype(np.float64)
             viol = np.abs(rec_cast - data.astype(np.float64)) > self.error_bound
             n_out = int(viol.sum())
@@ -243,7 +248,7 @@ class SPERR(Compressor):
         imag = (np.abs(coeffs) / threshold).astype(np.int64)
         mags = np.where(imag > 0, (imag + 0.5) * threshold, 0.0)
         rq = np.where(coeffs < 0, -mags, mags)
-        recon = cdf97_inverse(rq, self.levels)
+        recon = CDF97Transform(self.levels).inverse(_CTX, rq)
         rec_cast = recon[core].astype(data.dtype).astype(np.float64)
         viol = np.abs(rec_cast - data.astype(np.float64)) > self.error_bound
         positions = np.nonzero(viol.ravel())[0]
@@ -269,7 +274,7 @@ class SPERR(Compressor):
             from ..codecs.speck import speck_decode
 
             rq = speck_decode(lossless_decompress(blob.sections["coeffs"]))
-            recon = cdf97_inverse(rq, header["levels"])
+            recon = CDF97Transform(int(header["levels"])).inverse(_CTX, rq)
             dtype = np.dtype(header["dtype"])
             out = recon[tuple(slice(0, n) for n in header["shape"])].astype(dtype)
             positions = decode_fixed(lossless_decompress(blob.sections["outlier_pos"]))
@@ -286,7 +291,9 @@ class SPERR(Compressor):
             self.qp = QPConfig.from_dict(header["qp"])
             self.levels = int(header["levels"])
             q = self._qp_transform(q, inverse=True)
-        recon = cdf97_inverse(q.astype(np.float64) * header["step"], header["levels"])
+        recon = CDF97Transform(int(header["levels"])).inverse(
+            _CTX, q.astype(np.float64) * header["step"]
+        )
         dtype = np.dtype(header["dtype"])
         out = recon[tuple(slice(0, n) for n in header["shape"])].astype(dtype)
         positions = decode_fixed(lossless_decompress(blob.sections["outlier_pos"]))

@@ -18,6 +18,7 @@ from ..codecs import compress as lossless_compress, decompress as lossless_decom
 from ..codecs.fixed import decode_fixed, encode_fixed
 from ..core.characterize import shannon_entropy
 from ..core.config import QPConfig
+from ..pipeline.driver import decode_engine_blob, engine_decode_item, spec_for_blob
 from ..predictors.lorenzo import LorenzoResult, lorenzo_decode, lorenzo_encode
 from .base import (
     Blob,
@@ -31,7 +32,6 @@ from .interp_engine import (
     EngineConfig,
     _pass_prediction as _engine_pass_prediction,
     compress_volume,
-    decompress_volume,
     decompress_volumes,
 )
 
@@ -279,44 +279,46 @@ class SZ3(Compressor):
 
     # -- decompression ----------------------------------------------------------
 
+    #: decode finisher per pipeline frontend stage id — ``_finish_decompress``
+    #: walks the blob's derived spec instead of testing header fields
+    _FRONTEND_DECODERS = {
+        "interp_predict": "_decompress_interp",
+        "lorenzo_predict": "_decompress_lorenzo_one",
+        "regression_predict": "_decompress_regression",
+    }
+
     def _decompress(self, blob: Blob) -> np.ndarray:
         return self._finish_decompress(
             blob, decode_index_stream(blob.sections["indices"])
         )
 
     def _finish_decompress(self, blob: Blob, stream: np.ndarray) -> np.ndarray:
-        """Per-predictor decode of one blob whose index stream is already
+        """Spec-driven decode of one blob whose index stream is already
         entropy-decoded (shared by the serial path and the batched path,
-        which decodes all streams in one joint Huffman pass)."""
-        header = blob.header
-        shape = tuple(header["shape"])
-        dtype = np.dtype(header["dtype"])
-        if header["predictor"] == "regression":
-            return self._decompress_regression(blob, stream)
-        if header["predictor"] == "lorenzo":
-            indices = stream.reshape(shape)
-            escapes = _unzigzag(
-                decode_fixed(lossless_decompress(blob.sections["escapes"]))
-            )
-            result = LorenzoResult(
-                indices=indices,
-                escapes=escapes,
-                sentinel=int(header["sentinel"]),
-                step=float(header.get("step", 0.0)),
-            )
-            return lorenzo_decode(result, header["error_bound"], dtype)
-        literals = np.frombuffer(
-            lossless_decompress(blob.sections["literals"]), dtype=dtype
-        )
-        meta = header["engine"]
-        from ..utils.levels import anchor_slices
+        which decodes all streams in one joint Huffman pass): the blob's
+        header derives the producing :class:`PipelineSpec`, whose frontend
+        stage selects the finisher."""
+        spec = spec_for_blob(blob.header)
+        finish = getattr(self, self._FRONTEND_DECODERS[spec.stages[0].stage])
+        return finish(blob, stream)
 
-        anchor_shape = tuple(
-            len(range(*sl.indices(n))) for sl, n in zip(anchor_slices(shape), shape)
+    def _decompress_interp(self, blob: Blob, stream: np.ndarray) -> np.ndarray:
+        return decode_engine_blob(blob, stream)
+
+    def _decompress_lorenzo_one(self, blob: Blob, stream: np.ndarray) -> np.ndarray:
+        header = blob.header
+        indices = stream.reshape(tuple(header["shape"]))
+        escapes = _unzigzag(
+            decode_fixed(lossless_decompress(blob.sections["escapes"]))
         )
-        anchors = np.frombuffer(blob.sections["anchors"], dtype=dtype).reshape(anchor_shape)
-        return decompress_volume(
-            meta, stream, literals, anchors, shape, dtype, header["error_bound"]
+        result = LorenzoResult(
+            indices=indices,
+            escapes=escapes,
+            sentinel=int(header["sentinel"]),
+            step=float(header.get("step", 0.0)),
+        )
+        return lorenzo_decode(
+            result, header["error_bound"], np.dtype(header["dtype"])
         )
 
     def _decompress_many(self, blobs: "list[Blob]") -> "list[np.ndarray]":
@@ -330,38 +332,16 @@ class SZ3(Compressor):
         if len(blobs) <= 1:
             return [self._decompress(b) for b in blobs]
         streams = decode_index_streams([b.sections["indices"] for b in blobs])
-        interp = [
-            i for i, b in enumerate(blobs)
-            if b.header.get("predictor") == "interp"
-        ]
+        fronts = [spec_for_blob(b.header).stages[0].stage for b in blobs]
+        interp = [i for i, f in enumerate(fronts) if f == "interp_predict"]
         outs: "list[np.ndarray | None]" = [None] * len(blobs)
         if len(interp) > 1:
-            from ..utils.levels import anchor_slices
-
-            items = []
-            for i in interp:
-                header = blobs[i].header
-                shape = tuple(header["shape"])
-                dtype = np.dtype(header["dtype"])
-                literals = np.frombuffer(
-                    lossless_decompress(blobs[i].sections["literals"]), dtype=dtype
-                )
-                anchor_shape = tuple(
-                    len(range(*sl.indices(n)))
-                    for sl, n in zip(anchor_slices(shape), shape)
-                )
-                anchors = np.frombuffer(
-                    blobs[i].sections["anchors"], dtype=dtype
-                ).reshape(anchor_shape)
-                items.append((
-                    header["engine"], streams[i], literals, anchors, shape,
-                    dtype, header["error_bound"],
-                ))
+            items = [engine_decode_item(blobs[i], streams[i]) for i in interp]
             for i, arr in zip(interp, decompress_volumes(items)):
                 outs[i] = arr
         lorenzo = [
-            i for i, b in enumerate(blobs)
-            if outs[i] is None and b.header.get("predictor") == "lorenzo"
+            i for i, f in enumerate(fronts)
+            if outs[i] is None and f == "lorenzo_predict"
         ]
         if len(lorenzo) > 1:
             batched = self._decompress_lorenzo_many(

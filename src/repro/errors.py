@@ -18,6 +18,8 @@ tightening a decoder never breaks an existing ``except ValueError`` site.
                          framing (a :class:`CorruptBlobError` refinement).
 ``CorruptArchiveError``  the ``RARC`` archive index/footer is unreadable.
 ``TransferError``        the resilient transfer pipeline's failures.
+``PipelineSpecError``    a serialized pipeline spec fails validation.
+``UnknownStageError``    a pipeline spec names a stage id no stage type claims.
 """
 from __future__ import annotations
 
@@ -31,6 +33,8 @@ __all__ = [
     "TransferError",
     "TransferFaultError",
     "QuarantinedSliceError",
+    "PipelineSpecError",
+    "UnknownStageError",
 ]
 
 
@@ -57,6 +61,20 @@ class IntegrityError(CorruptBlobError):
 
 class CorruptArchiveError(ReproError, ValueError):
     """The ``RARC`` archive footer/index cannot be read."""
+
+
+class PipelineSpecError(CorruptBlobError):
+    """A pipeline spec (in a header or built by hand) fails validation:
+    wrong structure, malformed stage entries, or an unknown stage id."""
+
+
+class UnknownStageError(PipelineSpecError, KeyError):
+    """A pipeline spec names a stage id that no registered stage type
+    claims.  Doubles as ``KeyError`` so registry-style callers can keep
+    their existing ``except KeyError`` handling."""
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
 
 
 class TransferError(ReproError):

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..compressors.base import Compressor
-from ..utils.timer import throughput_mbs
+from ..obs import throughput_mbs
 from .errors import max_abs_error, max_rel_error, psnr
 from .rate import bitrate, compression_ratio
 

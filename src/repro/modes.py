@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .compressors import Compressor, decompress_any, get_compressor
+from .compressors import Compressor, decompress_any, get_compressor, supports_qp
 from .compressors.base import Blob
 from .core.config import QPConfig
 
@@ -60,7 +60,7 @@ class PointwiseRelativeCompressor:
     def _base_compressor(self) -> Compressor:
         eb = float(np.log1p(self.rel))
         kwargs = dict(self.kwargs)
-        if self.base in ("mgard", "sz3", "qoz", "hpez", "sperr"):
+        if supports_qp(self.base):
             kwargs.setdefault("qp", self.qp or QPConfig.disabled())
         return get_compressor(self.base, eb, **kwargs)
 

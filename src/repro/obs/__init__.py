@@ -47,9 +47,12 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .timing import Stopwatch, throughput_mbs
 from .tracer import Span, TraceEvent, Tracer
 
 __all__ = [
+    "Stopwatch",
+    "throughput_mbs",
     "Observation",
     "observe",
     "current",
@@ -129,8 +132,6 @@ class Observation:
 
     def stage_report(self, nbytes: int | None = None) -> dict[str, Any]:
         """Flat per-stage seconds/bytes/throughput (the bench/perf schema)."""
-        from ..utils.timer import throughput_mbs
-
         totals = self.tracer.stage_seconds()
         seen = self.bytes_seen()
         stages: dict[str, Any] = {}

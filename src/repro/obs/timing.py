@@ -1,4 +1,11 @@
-"""Lightweight wall-clock timing helpers for the speed experiments."""
+"""Wall-clock timing primitives of the observability layer.
+
+The :class:`Stopwatch` is the manual counterpart of the tracer's
+``span`` — for callers (benchmarks, the speed experiments) that want
+named wall-clock totals without installing an :class:`Observation`
+handler — and ``throughput_mbs`` is the single throughput convention
+(paper convention, 1 MB = 1e6 bytes) every report shares.
+"""
 from __future__ import annotations
 
 import time

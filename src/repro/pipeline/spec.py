@@ -1,0 +1,194 @@
+"""Declarative pipeline specs: ordered stage ids + per-stage params.
+
+A :class:`PipelineSpec` describes a compressor as a *configuration of
+stages* — ``[interp_predict, quantize, qp, huffman, lossless]`` — instead
+of a forked code path.  Stage ids resolve to concrete stage types through
+the registry in this module (stage types self-register via
+:func:`register_stage` when :mod:`repro.pipeline.stages` is imported).
+
+Serialization
+-------------
+Blobs are self-describing *without* a dedicated spec field: the container
+header's existing fields (``compressor``, ``predictor``/``mode``, the
+engine meta's ``qp`` dict, the entropy wire id leading each index stream)
+are the canonical on-disk encoding of the pipeline, and
+:func:`repro.pipeline.driver.spec_for_blob` derives the spec from them —
+which is what keeps every golden container digest byte-identical across
+the stage-pipeline refactor.  :meth:`PipelineSpec.to_header` /
+:meth:`PipelineSpec.from_header` define the *explicit* versioned encoding
+(used by tools, tests, and any future header revision that embeds it):
+bump :data:`SPEC_HEADER_VERSION` whenever the encoded structure changes
+shape, never for new stage types or params (those are additive).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..errors import PipelineSpecError, UnknownStageError, VersionError
+
+__all__ = [
+    "SPEC_HEADER_VERSION",
+    "StageSpec",
+    "PipelineSpec",
+    "register_stage",
+    "resolve_stage",
+    "registered_stage_ids",
+]
+
+#: version of the explicit ``to_header``/``from_header`` encoding.  Bump on
+#: structural change of the encoding (field renames, nesting changes), not
+#: when adding stage types or stage params.
+SPEC_HEADER_VERSION = 1
+
+#: header key the explicit encoding lives under
+SPEC_HEADER_KEY = "pipeline"
+
+
+# -- stage-type registry ------------------------------------------------------
+
+_STAGE_TYPES: dict[str, type] = {}
+
+
+def register_stage(stage_id: str) -> Callable[[type], type]:
+    """Class decorator: register a stage type under ``stage_id``.
+
+    The id becomes the class's ``stage_id`` attribute and the key specs
+    refer to it by.  Registration is idempotent for the same class and an
+    error for two different classes claiming one id.
+    """
+
+    def deco(cls: type) -> type:
+        prev = _STAGE_TYPES.get(stage_id)
+        if prev is not None and prev is not cls:
+            raise ValueError(
+                f"stage id {stage_id!r} already registered to {prev.__name__}"
+            )
+        cls.stage_id = stage_id
+        _STAGE_TYPES[stage_id] = cls
+        return cls
+
+    return deco
+
+
+def _ensure_stages_loaded() -> None:
+    # stage types live in .stages and self-register on import; importing
+    # lazily keeps this module dependency-free for spec-only consumers
+    from . import stages  # noqa: F401
+
+
+def resolve_stage(stage_id: str) -> type:
+    """Stage id -> registered stage type; :class:`UnknownStageError` if no
+    stage type claims the id."""
+    _ensure_stages_loaded()
+    cls = _STAGE_TYPES.get(stage_id)
+    if cls is None:
+        raise UnknownStageError(
+            f"unknown pipeline stage {stage_id!r}; "
+            f"registered: {tuple(sorted(_STAGE_TYPES))}"
+        )
+    return cls
+
+
+def registered_stage_ids() -> tuple[str, ...]:
+    _ensure_stages_loaded()
+    return tuple(sorted(_STAGE_TYPES))
+
+
+# -- specs --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage in a pipeline: the stage-type id plus its parameters."""
+
+    stage: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> Any:
+        """Instantiate the stage type with this spec's params."""
+        return resolve_stage(self.stage)(**self.params)
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A compressor expressed as an ordered list of stage specs."""
+
+    name: str
+    stages: tuple[StageSpec, ...]
+
+    def __iter__(self) -> Iterator[StageSpec]:
+        return iter(self.stages)
+
+    def stage_ids(self) -> tuple[str, ...]:
+        return tuple(s.stage for s in self.stages)
+
+    def has_stage(self, stage_id: str) -> bool:
+        return any(s.stage == stage_id for s in self.stages)
+
+    def stage(self, stage_id: str) -> StageSpec | None:
+        """First stage spec with the given id, or ``None``."""
+        for s in self.stages:
+            if s.stage == stage_id:
+                return s
+        return None
+
+    def validate(self) -> "PipelineSpec":
+        """Check every stage id resolves; returns self for chaining."""
+        for s in self.stages:
+            resolve_stage(s.stage)
+        return self
+
+    # -- explicit serialization ----------------------------------------------
+
+    def to_header(self) -> dict[str, Any]:
+        """Versioned JSON-safe encoding (see module docs for when this is
+        used versus the derived header-field encoding)."""
+        return {
+            "version": SPEC_HEADER_VERSION,
+            "name": self.name,
+            "stages": [[s.stage, dict(s.params)] for s in self.stages],
+        }
+
+    @classmethod
+    def from_header(cls, encoded: Any) -> "PipelineSpec":
+        """Parse and validate the :meth:`to_header` encoding.
+
+        Raises :class:`~repro.errors.VersionError` for a structurally valid
+        spec written by an unsupported encoding version,
+        :class:`~repro.errors.UnknownStageError` for unregistered stage ids,
+        and :class:`~repro.errors.PipelineSpecError` for anything malformed.
+        """
+        if not isinstance(encoded, dict):
+            raise PipelineSpecError(
+                f"pipeline spec must be a dict, got {type(encoded).__name__}"
+            )
+        version = encoded.get("version")
+        if not isinstance(version, int):
+            raise PipelineSpecError(
+                f"pipeline spec has invalid version {version!r}"
+            )
+        if version != SPEC_HEADER_VERSION:
+            raise VersionError(
+                f"pipeline spec version {version} not supported "
+                f"(this reader understands {SPEC_HEADER_VERSION})"
+            )
+        name = encoded.get("name")
+        if not isinstance(name, str) or not name:
+            raise PipelineSpecError(f"pipeline spec has invalid name {name!r}")
+        raw_stages = encoded.get("stages")
+        if not isinstance(raw_stages, list) or not raw_stages:
+            raise PipelineSpecError("pipeline spec has no stages")
+        stages = []
+        for entry in raw_stages:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not isinstance(entry[1], dict)
+            ):
+                raise PipelineSpecError(f"malformed stage entry {entry!r}")
+            stage_id, params = entry
+            resolve_stage(stage_id)  # raises UnknownStageError
+            stages.append(StageSpec(stage_id, dict(params)))
+        return cls(name=name, stages=tuple(stages))

@@ -16,7 +16,7 @@ import warnings
 
 import numpy as np
 
-from ..compressors import decompress_any, get_compressor
+from ..compressors import decompress_any, get_compressor, supports_qp
 from ..core.config import QPConfig
 from ..io.integrity import is_sealed, seal, unseal
 from ..obs import span
@@ -80,7 +80,7 @@ class QoIPreservingCompressor:
 
     def _block_compressor(self, eb: float):
         kwargs = {}
-        if self.base in ("mgard", "sz3", "qoz", "hpez", "sperr"):
+        if supports_qp(self.base):
             kwargs["qp"] = self.qp or QPConfig.disabled()
         return get_compressor(self.base, eb, **kwargs)
 

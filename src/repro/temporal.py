@@ -16,7 +16,7 @@ import struct
 
 import numpy as np
 
-from .compressors import decompress_any, get_compressor
+from .compressors import decompress_any, get_compressor, supports_qp
 from .core.config import QPConfig
 from .io.integrity import is_sealed, seal, unseal
 from .obs import span
@@ -57,7 +57,7 @@ class TemporalCompressor:
 
     def _compressor(self):
         kwargs = dict(self.kwargs)
-        if self.base in ("mgard", "sz3", "qoz", "hpez", "sperr"):
+        if supports_qp(self.base):
             kwargs["qp"] = self.qp
         return get_compressor(self.base, self.error_bound, **kwargs)
 

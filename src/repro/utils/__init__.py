@@ -1,7 +1,12 @@
-"""Shared utilities: level math, blocks, validation, timing."""
+"""Shared utilities: level math, blocks, validation.
+
+Timing lives in :mod:`repro.obs.timing` (the observability layer is the
+single timing source of truth); ``Stopwatch``/``throughput_mbs`` are
+re-exported here for back-compatibility.
+"""
+from ..obs.timing import Stopwatch, throughput_mbs
 from .blocks import block_grid_shape, iter_blocks, pad_to_multiple
 from .levels import Pass, anchor_slices, anchor_stride, level_passes, num_levels, pass_sizes
-from .timer import Stopwatch, throughput_mbs
 from .validation import check_error_bound, check_ndarray
 
 __all__ = [

@@ -4,7 +4,7 @@ import pytest
 
 from repro.analysis.visualize import ascii_heatmap, save_index_slice, to_pgm, to_ppm
 from repro.utils.blocks import block_grid_shape, iter_blocks, pad_to_multiple
-from repro.utils.timer import Stopwatch, throughput_mbs
+from repro.obs import Stopwatch, throughput_mbs
 from repro.utils.validation import check_error_bound, check_ndarray
 
 

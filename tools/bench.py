@@ -41,7 +41,7 @@ from repro import obs
 from repro.core import QPConfig
 from repro.compressors import get_compressor
 from repro.parallel import ParallelCompressor
-from repro.utils.timer import throughput_mbs
+from repro.obs import throughput_mbs
 
 SCHEMA_VERSION = 3
 

@@ -17,6 +17,16 @@ Checked objects: one instance of every registered compressor
 (``repro.compressors.COMPRESSORS``) plus the wrapper compressors
 (parallel / temporal / pointwise-relative / QoI-preserving).
 
+The lint also holds every *registered pipeline* to the stage-pipeline
+contract (:func:`check_pipeline`): every stage id resolves to a registered
+stage type, every stage builds from its spec params and exposes the
+``forward``/``inverse`` pair, the explicit ``to_header``/``from_header``
+encoding round-trips and enforces the version-bump rule (an unknown
+version is a typed :class:`~repro.errors.VersionError`, never a silent
+parse), the ``cls_path`` resolves to a class whose ``name`` matches the
+registration, and the registry's ``supports_qp`` answer agrees with the
+spec.
+
 Run directly (``python tools/check_api.py``, exit 0/1) or through the test
 suite (``tests/test_codec_api.py`` imports :func:`check_all`).
 """
@@ -119,9 +129,92 @@ def _check_decompress_sig(obj: Any) -> list[str]:
     return problems
 
 
+def check_pipeline(name: str) -> list[str]:
+    """Return the stage-pipeline-contract violations for a registered
+    pipeline (empty = ok)."""
+    from repro.compressors import supports_qp
+    from repro.errors import PipelineSpecError, UnknownStageError, VersionError
+    from repro.pipeline import PipelineSpec, pipeline, pipeline_spec, resolve_stage
+    from repro.pipeline.spec import SPEC_HEADER_VERSION
+
+    problems: list[str] = []
+    try:
+        spec = pipeline_spec(name)
+    except Exception as exc:  # noqa: BLE001 - lint reports, never crashes
+        return [f"spec builder failed: {exc!r}"]
+
+    # every stage id resolvable, every stage buildable with a forward/inverse pair
+    for s in spec.stages:
+        try:
+            resolve_stage(s.stage)
+        except UnknownStageError as exc:
+            problems.append(f"stage {s.stage!r} does not resolve: {exc}")
+            continue
+        try:
+            stage = s.build()
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"stage {s.stage!r} failed to build from params: {exc!r}")
+            continue
+        if getattr(stage, "stage_id", None) != s.stage:
+            problems.append(f"stage {s.stage!r}: built object claims id "
+                            f"{getattr(stage, 'stage_id', None)!r}")
+        for method in ("forward", "inverse"):
+            if not callable(getattr(stage, method, None)):
+                problems.append(f"stage {s.stage!r}: missing callable {method!r}")
+
+    # explicit header encoding round-trips and enforces the version-bump rule
+    encoded = spec.to_header()
+    try:
+        if PipelineSpec.from_header(encoded) != spec:
+            problems.append("to_header/from_header round-trip changed the spec")
+    except Exception as exc:  # noqa: BLE001
+        problems.append(f"from_header rejected its own encoding: {exc!r}")
+    bumped = dict(encoded, version=SPEC_HEADER_VERSION + 1)
+    try:
+        PipelineSpec.from_header(bumped)
+        problems.append("from_header accepted an unsupported spec version")
+    except VersionError:
+        pass
+    try:
+        PipelineSpec.from_header(dict(encoded, version="1"))
+        problems.append("from_header accepted a non-integer spec version")
+    except PipelineSpecError:
+        pass
+
+    # registration metadata: cls_path resolves to the matching class, and the
+    # registry's capability view agrees with the spec
+    try:
+        module_name, _, cls_name = pipeline(name).cls_path.partition(":")
+        import importlib
+
+        cls = getattr(importlib.import_module(module_name), cls_name)
+        if getattr(cls, "name", None) != name:
+            problems.append(
+                f"cls_path class names itself {getattr(cls, 'name', None)!r}"
+            )
+    except Exception as exc:  # noqa: BLE001
+        problems.append(f"cls_path does not resolve: {exc!r}")
+    if supports_qp(name) != spec.has_stage("qp"):
+        problems.append("supports_qp() disagrees with the spec's qp stage")
+
+    return problems
+
+
+def check_pipelines() -> dict[str, list[str]]:
+    """``pipeline[name]`` -> violations for every registered pipeline."""
+    from repro.pipeline import registered_pipelines
+
+    return {
+        f"pipeline[{name}]": check_pipeline(name)
+        for name in registered_pipelines()
+    }
+
+
 def check_all() -> dict[str, list[str]]:
     """name -> violations for every candidate (empty dict values = all clean)."""
-    return {name: check_codec(obj) for name, obj in _candidates().items()}
+    out = {name: check_codec(obj) for name, obj in _candidates().items()}
+    out.update(check_pipelines())
+    return out
 
 
 def main() -> int:
@@ -137,7 +230,7 @@ def main() -> int:
         else:
             print(f"ok   {name}")
     total = len(results)
-    print(f"{total - bad}/{total} compressors satisfy the Codec protocol")
+    print(f"{total - bad}/{total} API-surface checks pass (Codec + pipeline lint)")
     return 1 if bad else 0
 
 
