@@ -420,6 +420,16 @@ def _cmd_stats(args) -> int:
     print(f"transfer: {s['delivered']}/{s['slices']} slices delivered "
           f"({s['degraded']} degraded, {s['quarantined']} quarantined, "
           f"{s['attempts']} attempts, {s['verified_bytes']} bytes verified)")
+    snap = ob.metrics.snapshot()
+    hits = int(snap.get("huffman.table_cache{result=hit}", {}).get("value", 0))
+    misses = int(snap.get("huffman.table_cache{result=miss}", {}).get("value", 0))
+    if hits or misses:
+        from .codecs.huffman import decode_table_cache_info
+
+        info = decode_table_cache_info()
+        print(f"huffman decode-table cache: {hits} hits / {misses} misses "
+              f"this run (process totals: {info['hits']}/{info['misses']}, "
+              f"{info['size']} tables resident)")
     if args.jsonl:
         records = JsonlExporter(args.jsonl).export(
             ob, command="stats", dataset=args.dataset,

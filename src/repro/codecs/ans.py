@@ -1,0 +1,300 @@
+"""Static range asymmetric numeral system (rANS) entropy coder.
+
+The third entropy stage next to Huffman and the adaptive range coder: a
+table-driven static coder whose per-symbol decode is one table gather, one
+multiply and one shift — no bit-level code-length walk — which is what makes
+ANS the entropy stage of choice in modern compressors (zstd's FSE is the
+tabled variant of the same construction).
+
+Container layout (all little-endian)::
+
+    "ANS1" | <QII  n, block_size, n_present
+          | uint32[n_present]  present symbols (strictly increasing)
+          | uint32[n_present]  normalized frequencies (sum == 2**16)
+          | <QQ   n_blocks, total_words
+          | uint64[n_blocks]   per-block word offsets (exclusive prefix sum)
+          | uint32[n_blocks]   per-block final encoder states
+          | uint16[total_words] renormalization words
+
+Coding parameters: probabilities are normalized to ``M = 2**16`` (so even a
+fully saturated 16-bit alphabet keeps every frequency >= 1), the state lives
+in ``[2**16, 2**32)`` and renormalizes by 16-bit words — at most one word in
+or out per symbol, which keeps both directions vectorizable across blocks:
+like the Huffman codec, symbols are split into ``block_size`` *lanes* that
+encode and decode in lockstep, so the Python-level loop runs ``block_size``
+times on whole-lane vectors, not once per symbol.
+
+Strict validation mirrors the Huffman container: every count is
+bounds-checked against the available bytes, the frequency table must
+normalize exactly, the lockstep loop runs a fixed number of steps over
+zero-padded words, and every lane must consume exactly its word span and
+land back on the initial state.  Corrupt input raises
+:class:`~repro.errors.CorruptBlobError` /
+:class:`~repro.errors.TruncatedStreamError` in bounded time.
+"""
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..errors import CorruptBlobError, TruncatedStreamError
+
+__all__ = ["ANSCodec", "PROB_BITS", "DEFAULT_BLOCK_SIZE"]
+
+_MAGIC = b"ANS1"
+
+PROB_BITS = 16
+_M = 1 << PROB_BITS  # probability denominator
+_L = np.int64(1 << 16)  # state lower bound; state < 2**32
+_MASK = np.int64(_M - 1)
+
+DEFAULT_BLOCK_SIZE = 4096
+_MAX_BLOCK_SIZE = 1 << 16  # bounds the lockstep step count on decode
+_MAX_SYMBOLS = 1 << 31  # sanity cap on a declared symbol count
+
+
+def _normalize_freqs(counts: np.ndarray) -> np.ndarray:
+    """Scale raw counts to frequencies summing exactly to ``_M``.
+
+    Every present symbol keeps frequency >= 1 (possible because the
+    alphabet has at most ``_M`` distinct symbols); the residual after
+    floor-scaling is distributed deterministically, largest counts first.
+    """
+    if counts.size == 1:
+        return np.array([_M], dtype=np.int64)
+    total = int(counts.sum())
+    scaled = np.maximum((counts.astype(np.int64) * _M) // total, 1)
+    diff = _M - int(scaled.sum())
+    if diff > 0:
+        # bulk first, then one unit each to the largest counts
+        q, r = divmod(diff, counts.size)
+        if q:
+            scaled += q
+        if r:
+            order = np.argsort(-counts, kind="stable")[:r]
+            scaled[order] += 1
+    elif diff < 0:
+        order = np.argsort(-counts, kind="stable")
+        i = 0
+        while diff < 0:
+            j = order[i % order.size]
+            if scaled[j] > 1:
+                scaled[j] -= 1
+                diff += 1
+            i += 1
+    return scaled
+
+
+class ANSCodec:
+    """Self-contained static rANS container: ``encode`` -> bytes -> ``decode``."""
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if not 0 < block_size <= _MAX_BLOCK_SIZE:
+            raise ValueError(
+                f"block_size must be in [1, {_MAX_BLOCK_SIZE}]"
+            )
+        self.block_size = block_size
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        symbols = np.ascontiguousarray(symbols).ravel()
+        n = symbols.size
+        bs = self.block_size
+        if n == 0:
+            return _MAGIC + struct.pack("<QII", 0, bs, 0)
+        if symbols.dtype != np.int64:
+            symbols = symbols.astype(np.int64)
+        try:
+            counts = np.bincount(symbols)
+        except ValueError:
+            raise ValueError("symbols must be non-negative") from None
+        present = np.nonzero(counts)[0]
+        if present.size > _M:
+            raise ValueError(
+                f"rANS supports at most {_M} distinct symbols, "
+                f"got {present.size}"
+            )
+        freqs = _normalize_freqs(counts[present])
+        cum = np.zeros(present.size, dtype=np.int64)
+        np.cumsum(freqs[:-1], out=cum[1:])
+        # dense per-symbol tables for the encode gathers
+        alpha = int(present[-1]) + 1
+        f_dense = np.zeros(alpha, dtype=np.int64)
+        f_dense[present] = freqs
+        cum_dense = np.zeros(alpha, dtype=np.int64)
+        cum_dense[present] = cum
+
+        nb = (n + bs - 1) // bs
+        llast = n - (nb - 1) * bs
+        width = bs if nb > 1 else n
+        symmat = np.zeros((nb, width), dtype=np.int64)
+        symmat.reshape(-1)[:n] = symbols
+
+        x = np.full(nb, _L, dtype=np.int64)
+        wordbuf = np.empty((nb, width), dtype=np.uint16)
+        wcount = np.zeros(nb, dtype=np.int64)
+        # Encode back to front so the decoder walks forward.  The active
+        # lane set is a prefix (only the last lane is short), mirroring the
+        # decoder exactly; at most one 16-bit word leaves the state per
+        # symbol by construction.
+        for t in range(width - 1, -1, -1):
+            act = nb if t < llast else nb - 1
+            if act == 0:
+                continue
+            s = symmat[:act, t]
+            f = f_dense[s]
+            xa = x[:act]
+            emit = xa >= (f << PROB_BITS)
+            idx = np.nonzero(emit)[0]
+            if idx.size:
+                wordbuf[idx, wcount[idx]] = x[idx] & 0xFFFF
+                wcount[idx] += 1
+                x[idx] >>= 16
+                xa = x[:act]
+            q, r = np.divmod(xa, f)
+            x[:act] = (q << PROB_BITS) + cum_dense[s] + r
+
+        # per-lane words reversed so decode reads them in forward order
+        streams = [wordbuf[k, : wcount[k]][::-1] for k in range(nb)]
+        offsets = np.zeros(nb, dtype=np.int64)
+        np.cumsum(wcount[:-1], out=offsets[1:])
+        total_words = int(wcount.sum())
+        header = [
+            _MAGIC,
+            struct.pack("<QII", n, bs, present.size),
+            present.astype("<u4").tobytes(),
+            freqs.astype("<u4").tobytes(),
+            struct.pack("<QQ", nb, total_words),
+            offsets.astype("<u8").tobytes(),
+            x.astype("<u4").tobytes(),
+        ]
+        return b"".join(header) + np.concatenate(streams).astype("<u2").tobytes()
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, data: bytes) -> np.ndarray:
+        """Decode one rANS container (strict-validating, bounded time)."""
+        parsed = _parse_container(data)
+        if parsed is None:
+            return np.empty(0, dtype=np.int64)
+        return _decode_parsed(parsed)
+
+    def decode_many(self, datas: "list[bytes]") -> "list[np.ndarray]":
+        """Decode several containers; each already decodes its blocks in
+        one vectorized lockstep, so the batch form is a simple loop with
+        ``decode``'s exact output and error behaviour per member."""
+        return [self.decode(d) for d in datas]
+
+
+def _parse_container(data: bytes):
+    """Validate one container's header; ``None`` for the empty container."""
+    if len(data) >= 4 and data[:4] != _MAGIC:
+        raise CorruptBlobError("not an ANS container")
+    if len(data) < 20:
+        raise TruncatedStreamError("ANS container header truncated")
+    off = 4
+    n, block_size, n_present = struct.unpack_from("<QII", data, off)
+    off += 16
+    if n == 0:
+        return None
+    if n > _MAX_SYMBOLS:
+        raise CorruptBlobError(f"ANS container declares {n} symbols")
+    if not 0 < block_size <= _MAX_BLOCK_SIZE:
+        raise CorruptBlobError(
+            f"ANS block size {block_size} outside [1, {_MAX_BLOCK_SIZE}]"
+        )
+    if n_present == 0:
+        raise CorruptBlobError(f"{n} symbols but an empty frequency table")
+    if n_present > _M:
+        raise CorruptBlobError(
+            f"ANS frequency table with {n_present} entries exceeds {_M}"
+        )
+    if off + 8 * n_present + 16 > len(data):
+        raise TruncatedStreamError("ANS frequency table truncated")
+    present = np.frombuffer(data, dtype="<u4", count=n_present, offset=off)
+    off += 4 * n_present
+    freqs = np.frombuffer(data, dtype="<u4", count=n_present, offset=off)
+    off += 4 * n_present
+    if n_present > 1 and (np.diff(present.astype(np.int64)) <= 0).any():
+        raise CorruptBlobError("ANS present symbols not strictly increasing")
+    freqs = freqs.astype(np.int64)
+    if (freqs <= 0).any() or int(freqs.sum()) != _M:
+        raise CorruptBlobError("ANS frequency table does not normalize")
+    n_blocks, total_words = struct.unpack_from("<QQ", data, off)
+    off += 16
+    if n_blocks != (n + block_size - 1) // block_size:
+        raise CorruptBlobError(
+            f"{n_blocks} block states inconsistent with {n} symbols "
+            f"in blocks of {block_size}"
+        )
+    if total_words > n:
+        # at most one renormalization word per symbol
+        raise CorruptBlobError(
+            f"{total_words} ANS words cannot come from {n} symbols"
+        )
+    if off + 12 * n_blocks + 2 * total_words > len(data):
+        raise TruncatedStreamError("ANS block tables or payload truncated")
+    offsets = np.frombuffer(
+        data, dtype="<u8", count=n_blocks, offset=off
+    ).astype(np.int64)
+    off += 8 * n_blocks
+    states = np.frombuffer(
+        data, dtype="<u4", count=n_blocks, offset=off
+    ).astype(np.int64)
+    off += 4 * n_blocks
+    if int(offsets[0]) != 0 or (np.diff(offsets) < 0).any() or (
+        int(offsets[-1]) > total_words
+    ):
+        raise CorruptBlobError("ANS word offsets out of order or range")
+    if (states < _L).any():
+        raise CorruptBlobError("ANS block state below the coder's lower bound")
+    words = np.frombuffer(data, dtype="<u2", count=int(total_words), offset=off)
+    return n, block_size, int(total_words), present.astype(np.int64), freqs, \
+        offsets, states, words
+
+
+def _decode_parsed(parsed) -> np.ndarray:
+    n, bs, total_words, present, freqs, offsets, states, words = parsed
+    # slot-indexed tables: for every residue class of the state modulo 2**16,
+    # the symbol owning that slot, its frequency, and the slot's offset
+    # within the symbol's span (slot - cum[sym])
+    slot_sym = np.repeat(present, freqs)
+    slot_freq = np.repeat(freqs, freqs)
+    cum = np.zeros(freqs.size, dtype=np.int64)
+    np.cumsum(freqs[:-1], out=cum[1:])
+    slot_r = np.arange(_M, dtype=np.int64) - np.repeat(cum, freqs)
+
+    nb = offsets.size
+    llast = n - (nb - 1) * bs
+    width = bs if nb > 1 else n
+    # a corrupt stream can demand one word per step on every lane, so pad by
+    # one lane's worth of zero words to keep every gather in bounds
+    padded = np.zeros(total_words + width + 1, dtype=np.int64)
+    padded[:total_words] = words
+    ends = np.empty(nb, dtype=np.int64)
+    ends[:-1] = offsets[1:]
+    ends[-1] = total_words
+
+    x = states.copy()
+    ptr = offsets.copy()
+    out = np.empty((nb, width), dtype=np.int64)
+    for t in range(width):
+        act = nb if t < llast else nb - 1
+        xa = x[:act]
+        slot = xa & _MASK
+        out[:act, t] = slot_sym[slot]
+        x[:act] = slot_freq[slot] * (xa >> PROB_BITS) + slot_r[slot]
+        need = np.nonzero(x[:act] < _L)[0]
+        if need.size:
+            x[need] = (x[need] << 16) | padded[ptr[need]]
+            ptr[need] += 1
+
+    if not np.array_equal(ptr, ends):
+        if int(ptr.max()) > total_words:
+            raise TruncatedStreamError("ANS payload exhausted mid-block")
+        raise CorruptBlobError("ANS blocks misaligned after decode")
+    if (x != _L).any():
+        raise CorruptBlobError("ANS block state did not return to the origin")
+    return out.reshape(-1)[:n]

@@ -32,6 +32,8 @@ from collections import OrderedDict
 import numpy as np
 
 from ..errors import CorruptBlobError, TruncatedStreamError
+from ..kernels import select_backend
+from ..obs import metric_count
 
 __all__ = [
     "HuffmanCodec",
@@ -172,14 +174,17 @@ def _decode_tables(
     if cached is not None:
         _DECODE_TABLE_CACHE.move_to_end(key)
         _DECODE_TABLE_STATS["hits"] += 1
+        metric_count("huffman.table_cache", result="hit")
         return (key, *cached)
     _DECODE_TABLE_STATS["misses"] += 1
+    metric_count("huffman.table_cache", result="miss")
 
-    alphabet = int(present.max()) + 1
-    lengths = np.zeros(alphabet, dtype=np.int64)
-    lengths[present] = present_lens
-    psyms = np.nonzero(lengths)[0]
-    plens = lengths[psyms]
+    # ``present`` is validated strictly increasing by the container parse
+    # (the canonical encoder emits it sorted), so no dense alphabet-sized
+    # scratch array is needed — a tampered header declaring a symbol near
+    # 2**32 must not cost alphabet-sized memory or scan time.
+    psyms = present.astype(np.int64)
+    plens = present_lens.astype(np.int64)
     max_len = int(plens.max())
     # Kraft inequality: an over-subscribed length table would assign
     # canonical codes past the table and corrupt the flat lookup
@@ -265,10 +270,14 @@ class HuffmanCodec:
     the symbol count, and per-block bit offsets enabling lockstep decoding.
     """
 
-    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+    def __init__(
+        self, block_size: int = DEFAULT_BLOCK_SIZE, backend: str | None = None
+    ) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
         self.block_size = block_size
+        #: kernel backend name for the hot loops (None = env/auto resolution)
+        self.backend = backend
 
     # -- encoding ---------------------------------------------------------
 
@@ -297,9 +306,8 @@ class HuffmanCodec:
         block_offsets = bit_positions[:-1:self.block_size].astype(np.uint64)
         total_bits = int(bit_positions[-1])
 
-        from .bitstream import encode_codes_packed
-
-        payload = encode_codes_packed(sym_codes, sym_lengths, bit_positions)
+        kern = select_backend("huffman", self.backend)
+        payload = kern.ops["encode_payload"](sym_codes, sym_lengths, bit_positions)
 
         present = np.nonzero(lengths)[0].astype(np.uint32)
         present_lens = lengths[present].astype(np.uint8)
@@ -332,7 +340,7 @@ class HuffmanCodec:
         parsed = _parse_container(data)
         if parsed is None:
             return np.empty(0, dtype=np.int64)
-        return _decode_group([parsed])[0]
+        return _decode_group([parsed], backend=self.backend)[0]
 
     def decode_many(self, datas: "list[bytes]") -> "list[np.ndarray]":
         """Decode several containers in one joint lockstep loop.
@@ -346,7 +354,9 @@ class HuffmanCodec:
         """
         parsed = [_parse_container(d) for d in datas]
         live = [p for p in parsed if p is not None]
-        decoded = iter(_decode_group(live)) if live else iter(())
+        decoded = (
+            iter(_decode_group(live, backend=self.backend)) if live else iter(())
+        )
         return [
             np.empty(0, dtype=np.int64) if p is None else next(decoded)
             for p in parsed
@@ -411,6 +421,8 @@ def _parse_container(data: bytes) -> "tuple | None":
         raise CorruptBlobError(
             f"Huffman code lengths outside [1, {MAX_CODE_LEN}]"
         )
+    if n_present > 1 and (np.diff(present.astype(np.int64)) <= 0).any():
+        raise CorruptBlobError("Huffman code table symbols not ascending")
     # Flat decode table: for every max_len-bit window, the symbol whose code
     # prefixes it and that code's length.  Memoized across decodes sharing
     # one code table; the Kraft check lives with the build.
@@ -419,16 +431,15 @@ def _parse_container(data: bytes) -> "tuple | None":
     return n, block_size, block_offsets.astype(np.int64), total_bits, payload, tables
 
 
-def _decode_group(parsed: list) -> "list[np.ndarray]":
+def _decode_group(parsed: list, backend: str | None = None) -> "list[np.ndarray]":
     """Joint lockstep decode of one or more parsed containers.
 
     Every block of every container is one *lane*: a cursor advanced one
     symbol per Python-level step.  Lanes are sorted by their step count
-    (descending), so the active set is always a prefix and each step runs a
-    fixed sequence of whole-vector ufuncs on preallocated scratch — no
-    per-step masking, no allocation.  Windows are gathered from a
-    precomputed native-endian ``int64`` view of the concatenated payloads
-    (one ``astype`` pass instead of one per step), and matched windows are
+    (descending), so the active set is always a prefix and the lockstep
+    advance runs as one ``decode_lockstep`` kernel call (numpy reference or
+    a compiled backend — see :mod:`repro.kernels`).  Windows are gathered
+    from the concatenated zero-padded payload buffer and matched windows are
     stored row-major so the per-step store is contiguous.  The step count is
     fixed up front, so decode time stays bounded for corrupt input; each
     container's blocks are still checked to land exactly on the next block's
@@ -453,13 +464,6 @@ def _decode_group(parsed: list) -> "list[np.ndarray]":
     buf = np.zeros(int(base_bytes[-1]) + pad, dtype=np.uint8)
     for p, lo, size in zip(parsed, base_bytes, pay_sizes):
         buf[int(lo):int(lo) + size] = p[4]
-    # Overlapping big-endian uint32 windows, converted to native int64 once:
-    # allwin[b] holds the 4 payload bytes starting at byte b, so the M-bit
-    # window at bit cursor c is one gather (c >> 3) plus one shift (c & 7
-    # alignment).  32 bits always suffice: M (<= 20) + 7 alignment bits <= 27.
-    allwin = np.ndarray(
-        (buf.size - 3,), dtype=_WIN_DTYPE, buffer=buf.data, strides=(1,)
-    ).astype(np.int64)
 
     # Lane tables: cursors (absolute bit positions in the concatenated
     # buffer), per-lane step counts, and — for multi-container groups — the
@@ -488,35 +492,19 @@ def _decode_group(parsed: list) -> "list[np.ndarray]":
     inv[perm] = np.arange(L)
     cur = np.ascontiguousarray(cur[perm])
     stops_p = stops[perm]
-    if not single:
+    if single:
+        # empty offset table = "single shared length table" in the kernel
+        # contract (compiled backends cannot take None for an array argument)
+        lane_off = np.empty(0, dtype=np.int64)
+    else:
         # per-lane base offset into the width-expanded length table; the
         # expansion absorbs the per-container normalization shift, so the
         # advance is one add + one gather regardless of mixed table depths
         lane_off = np.ascontiguousarray(cont_ids[perm] << np.int64(M))
 
     wins = np.empty((max_steps, L), dtype=np.int64)
-    mask = np.int64((1 << M) - 1)
-    shift_base = np.int64(32 - M)
-
-    prev = 0
-    for b in [int(v) for v in np.unique(stops_p)]:
-        act = int(np.count_nonzero(stops_p >= b))
-        cur_v = cur[:act]
-        off_v = None if single else lane_off[:act]
-        row = slice(0, act)
-        if single:
-            for step in range(prev, b):
-                w = allwin[cur_v >> 3]
-                win = (w >> (shift_base - (cur_v & 7))) & mask
-                wins[step, row] = win
-                cur_v += len_flat[win]
-        else:
-            for step in range(prev, b):
-                w = allwin[cur_v >> 3]
-                win = (w >> (shift_base - (cur_v & 7))) & mask
-                wins[step, row] = win
-                cur_v += len_flat[win + off_v]
-        prev = b
+    kern = select_backend("huffman", backend)
+    kern.ops["decode_lockstep"](buf, cur, stops_p, len_flat, lane_off, wins, M)
 
     # Validate and extract per container.  Each container's blocks must land
     # exactly where the next one starts — a decode that drifted out of code

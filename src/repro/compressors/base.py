@@ -226,6 +226,13 @@ class Compressor(ABC):
     #: streams decode far faster with smaller blocks (at ~8 bytes of stored
     #: offset per extra block) — the slab-parallel wrapper tunes this down
     huffman_block_size: int | None = None
+    #: entropy stage for the index streams — any key of
+    #: :data:`repro.pipeline.stages.ENTROPY_STAGES` ("huffman", "range",
+    #: "ans").  The default keeps all serial container bytes frozen;
+    #: assigning e.g. ``comp.entropy = "ans"`` switches every index stream
+    #: to the static rANS coder (decode dispatches on the wire id, so no
+    #: header change is needed)
+    entropy: str = "huffman"
 
     def __init__(self, error_bound: float, lossless_backend: str = "zlib") -> None:
         self.error_bound = check_error_bound(error_bound)

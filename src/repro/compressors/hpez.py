@@ -150,7 +150,9 @@ class HPEZ(Compressor):
         if state is not None:
             state.extras["level_schemes"] = dict(cfg.level_schemes)
         sections = {
-            "indices": encode_index_stream(stream, self.lossless_backend),
+            "indices": encode_index_stream(
+                stream, self.lossless_backend, entropy=self.entropy
+            ),
             "literals": lossless_compress(literals.tobytes(), self.lossless_backend),
             "anchors": anchors.tobytes(),
         }
@@ -193,7 +195,9 @@ class HPEZ(Compressor):
             "block_metas": metas,
         }
         sections = {
-            "indices": encode_index_stream(index_stream, self.lossless_backend),
+            "indices": encode_index_stream(
+                index_stream, self.lossless_backend, entropy=self.entropy
+            ),
             "literals": lossless_compress(literals.tobytes(), self.lossless_backend),
             "anchors": anchors.tobytes(),
         }

@@ -75,7 +75,9 @@ class MGARD(Compressor):
         cfg = self._engine_config(data.shape)
         meta, stream, literals, anchors = compress_volume(data, cfg, state)
         sections = {
-            "indices": encode_index_stream(stream, self.lossless_backend),
+            "indices": encode_index_stream(
+                stream, self.lossless_backend, entropy=self.entropy
+            ),
             "literals": lossless_compress(literals.tobytes(), self.lossless_backend),
             "anchors": anchors.tobytes(),
         }

@@ -228,7 +228,9 @@ class SPERR(Compressor):
             "qp": self.qp.to_dict(),
         }
         sections = {
-            "coeffs": encode_index_stream(q.ravel(), self.lossless_backend),
+            "coeffs": encode_index_stream(
+                q.ravel(), self.lossless_backend, entropy=self.entropy
+            ),
             "outlier_pos": lossless_compress(
                 encode_fixed(positions), self.lossless_backend
             ),

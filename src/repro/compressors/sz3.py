@@ -85,6 +85,7 @@ class SZ3(Compressor):
         radius: int = 32768,
         lossless_backend: str = "zlib",
         huffman_block_size: int | None = None,
+        entropy: str = "huffman",
     ) -> None:
         super().__init__(error_bound, lossless_backend)
         if predictor not in ("auto", "interp", "lorenzo", "regression"):
@@ -96,6 +97,10 @@ class SZ3(Compressor):
         if huffman_block_size is not None and huffman_block_size <= 0:
             raise ValueError("huffman_block_size must be positive")
         self.huffman_block_size = huffman_block_size
+        from ..pipeline.stages import entropy_stage
+
+        entropy_stage(entropy)  # raises on unknown name
+        self.entropy = entropy
 
     # -- engine configuration (overridden by QoZ/HPEZ subclasses) ----------
 
@@ -171,13 +176,16 @@ class SZ3(Compressor):
         meta, stream, literals, anchors = compress_volume(data, cfg, state)
         sections = {
             "indices": encode_index_stream(
-                stream, self.lossless_backend,
+                stream, self.lossless_backend, entropy=self.entropy,
                 block_size=self.huffman_block_size,
             ),
             "literals": lossless_compress(literals.tobytes(), self.lossless_backend),
             "anchors": anchors.tobytes(),
         }
-        return {"predictor": "interp", "engine": meta}, sections
+        header: dict[str, Any] = {"predictor": "interp", "engine": meta}
+        if self.entropy != "huffman":  # default stays off-header: bytes frozen
+            header["entropy"] = self.entropy
+        return header, sections
 
     def _compress_lorenzo(
         self, data: np.ndarray, state: CompressionState | None, trial=None
@@ -193,7 +201,7 @@ class SZ3(Compressor):
             state.extras["predictor"] = "lorenzo"
         sections = {
             "indices": encode_index_stream(
-                result.indices, self.lossless_backend,
+                result.indices, self.lossless_backend, entropy=self.entropy,
                 block_size=self.huffman_block_size,
             ),
             "escapes": lossless_compress(
@@ -233,7 +241,7 @@ class SZ3(Compressor):
                 state.index_volume[bslice] = res.indices
         sections = {
             "indices": encode_index_stream(
-                np.concatenate(index_parts), self.lossless_backend,
+                np.concatenate(index_parts), self.lossless_backend, entropy=self.entropy,
                 block_size=self.huffman_block_size,
             ),
             "literals": lossless_compress(

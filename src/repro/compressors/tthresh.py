@@ -141,7 +141,9 @@ class TTHRESH(Compressor):
         fact_q = np.concatenate([f.ravel() for f in fq_list])
         fact_blob = encode_fixed(_zigzag(fact_q))
         sections = {
-            "core": encode_index_stream(q.ravel(), self.lossless_backend),
+            "core": encode_index_stream(
+                q.ravel(), self.lossless_backend, entropy=self.entropy
+            ),
             "factors": lossless_compress(fact_blob, self.lossless_backend),
         }
         if state is not None:

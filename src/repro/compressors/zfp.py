@@ -89,7 +89,9 @@ class ZFP(Compressor):
             "guard": guard,
         }
         sections = {
-            "coeffs": encode_index_stream(truncated.ravel(), self.lossless_backend),
+            "coeffs": encode_index_stream(
+                truncated.ravel(), self.lossless_backend, entropy=self.entropy
+            ),
             "exponents": lossless_compress(
                 encode_fixed(e - e.min()), self.lossless_backend
             ),

@@ -1,0 +1,341 @@
+"""Numba ``@njit`` implementations of the kernel stages.
+
+Registered with ``available=False`` when numba is not importable, so the
+registry (and the parity lint) can still see the ops while
+:func:`repro.kernels.select_backend` falls back to numpy.  Every op is a
+thin Python wrapper around a jitted inner loop; if compilation fails at
+first call (unsupported numba/llvmlite combo, missing toolchain) the
+wrapper marks the whole numba backend broken for the process and re-runs
+the numpy reference op, so a JIT failure can never change results.
+
+Bit-identity notes (the golden-digest suite runs under both backends):
+
+* All entropy/QP/Lorenzo loops are pure integer arithmetic — identical by
+  construction once the visit order respects data dependencies (the QP
+  raster scan visits each cell after its left/top/back neighbours, which
+  is the same partial order the anti-diagonal wavefront satisfies).
+* The interpolation fills are floating point: the jitted expressions keep
+  the numpy reference's operation order, and the constants (9, 1/2, 1/16)
+  are passed in as scalars of the *array dtype* so numba cannot promote a
+  float32 computation to float64 mid-expression.
+"""
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from . import mark_backend_broken, register_kernel_backend
+from ..obs import metric_count
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except Exception:  # pragma: no cover - the only path in numba-free installs
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # no-op decorator so the module still imports
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+    def prange(*args):
+        return range(*args)
+
+
+# ---------------------------------------------------------------- huffman
+
+@njit(cache=True)
+def _encode_payload_jit(codes, lengths, positions, out):  # pragma: no cover
+    n = codes.shape[0]
+    for i in range(n):
+        ln = lengths[i]
+        if ln == 0:
+            continue
+        pos = positions[i]
+        b0 = pos >> 3
+        # left-justify the code inside a 32-bit window anchored at byte b0;
+        # ln <= 20 and (pos & 7) <= 7 so the shift is always >= 5
+        w = np.int64(codes[i]) << (32 - ln - (pos & 7))
+        out[b0] |= np.uint8(w >> 24)
+        out[b0 + 1] |= np.uint8((w >> 16) & 0xFF)
+        out[b0 + 2] |= np.uint8((w >> 8) & 0xFF)
+        out[b0 + 3] |= np.uint8(w & 0xFF)
+
+
+def encode_payload(sym_codes, sym_lengths, bit_positions):
+    # bit_positions is the exclusive prefix sum of sym_lengths (n + 1 long),
+    # exactly as codecs.bitstream.encode_codes_packed takes it
+    if sym_codes.size == 0:
+        return b""
+    total_bits = int(bit_positions[-1])
+    nbytes = (total_bits + 7) >> 3
+    if nbytes == 0:
+        return b""
+    out = np.zeros(nbytes + 4, dtype=np.uint8)
+    _encode_payload_jit(
+        np.ascontiguousarray(sym_codes, dtype=np.uint64),
+        np.ascontiguousarray(sym_lengths, dtype=np.int64),
+        np.ascontiguousarray(bit_positions[:-1], dtype=np.int64),
+        out,
+    )
+    return out[:nbytes].tobytes()
+
+
+@njit(cache=True, parallel=True)
+def _decode_lockstep_jit(buf, cur, stops, len_flat, lane_off, wins, M):  # pragma: no cover
+    n_lanes = cur.shape[0]
+    shift_base = 32 - M
+    mask = (np.int64(1) << M) - 1
+    single = lane_off.shape[0] == 0
+    for k in prange(n_lanes):
+        c = cur[k]
+        off = np.int64(0) if single else lane_off[k]
+        for step in range(stops[k]):
+            b0 = c >> 3
+            w = (
+                (np.int64(buf[b0]) << 24)
+                | (np.int64(buf[b0 + 1]) << 16)
+                | (np.int64(buf[b0 + 2]) << 8)
+                | np.int64(buf[b0 + 3])
+            )
+            win = (w >> (shift_base - (c & 7))) & mask
+            wins[step, k] = win
+            c += len_flat[win + off]
+        cur[k] = c
+
+
+def decode_lockstep(buf, cur, stops, len_flat, lane_off, wins, M):
+    _decode_lockstep_jit(
+        buf,
+        cur,
+        np.ascontiguousarray(stops, dtype=np.int64),
+        len_flat,
+        lane_off,
+        wins,
+        np.int64(M),
+    )
+
+
+# --------------------------------------------------------------------- qp
+
+@njit(cache=True, parallel=True)
+def _walk_2d_jit(q, na, nb, sentinel, cond):  # pragma: no cover
+    w = nb + 1
+    for b in prange(q.shape[0]):
+        for i in range(1, na + 1):
+            base = i * w
+            for j in range(1, nb + 1):
+                left = q[b, base + j - 1]
+                top = q[b, base - w + j]
+                lt = q[b, base - w + j - 1]
+                if left == sentinel or top == sentinel or lt == sentinel:
+                    continue
+                if cond == 3:
+                    if not ((left > 0 and top > 0) or (left < 0 and top < 0)):
+                        continue
+                elif cond == 4:
+                    if not (
+                        (left > 0 and top > 0 and lt > 0)
+                        or (left < 0 and top < 0 and lt < 0)
+                    ):
+                        continue
+                q[b, base + j] += left + top - lt
+
+
+def walk_2d(q, na, nb, sentinel, cond_code):
+    _walk_2d_jit(q, np.int64(na), np.int64(nb), np.int64(sentinel), np.int64(cond_code))
+
+
+@njit(cache=True, parallel=True)
+def _walk_3d_jit(q, na, nb, nc, sentinel, cond):  # pragma: no cover
+    w1 = (nb + 1) * (nc + 1)
+    w2 = nc + 1
+    for b in prange(q.shape[0]):
+        for i in range(1, na + 1):
+            for j in range(1, nb + 1):
+                base = i * w1 + j * w2
+                for k in range(1, nc + 1):
+                    left = q[b, base + k - 1]
+                    top = q[b, base - w2 + k]
+                    back = q[b, base - w1 + k]
+                    lt = q[b, base - w2 + k - 1]
+                    lb = q[b, base - w1 + k - 1]
+                    tb = q[b, base - w1 - w2 + k]
+                    ltb = q[b, base - w1 - w2 + k - 1]
+                    if (
+                        left == sentinel
+                        or top == sentinel
+                        or back == sentinel
+                        or lt == sentinel
+                        or lb == sentinel
+                        or tb == sentinel
+                        or ltb == sentinel
+                    ):
+                        continue
+                    if cond == 3:
+                        if not ((left > 0 and top > 0) or (left < 0 and top < 0)):
+                            continue
+                    elif cond == 4:
+                        if not (
+                            (left > 0 and top > 0 and back > 0)
+                            or (left < 0 and top < 0 and back < 0)
+                        ):
+                            continue
+                    q[b, base + k] += left + top + back - lt - lb - tb + ltb
+
+
+def walk_3d(q, na, nb, nc, sentinel, cond_code):
+    _walk_3d_jit(
+        q,
+        np.int64(na),
+        np.int64(nb),
+        np.int64(nc),
+        np.int64(sentinel),
+        np.int64(cond_code),
+    )
+
+
+# ---------------------------------------------------------------- lorenzo
+
+@njit(cache=True, parallel=True)
+def _diff_axis_jit(a):  # pragma: no cover
+    outer, n, inner = a.shape
+    for o in prange(outer):
+        for i in range(n - 1, 0, -1):
+            for k in range(inner):
+                a[o, i, k] -= a[o, i - 1, k]
+
+
+@njit(cache=True, parallel=True)
+def _cumsum_axis_jit(a):  # pragma: no cover
+    outer, n, inner = a.shape
+    for o in prange(outer):
+        for i in range(1, n):
+            for k in range(inner):
+                a[o, i, k] += a[o, i - 1, k]
+
+
+def _per_axis(q, kernel):
+    shape = q.shape
+    for ax in range(q.ndim):
+        outer = int(np.prod(shape[:ax], dtype=np.int64))
+        inner = int(np.prod(shape[ax + 1 :], dtype=np.int64))
+        kernel(q.reshape(outer, shape[ax], inner))
+    return q
+
+
+def forward_diff(t):
+    return _per_axis(np.ascontiguousarray(t).copy(), _diff_axis_jit)
+
+
+def inverse_cumsum(q):
+    return _per_axis(np.ascontiguousarray(q).copy(), _cumsum_axis_jit)
+
+
+# ----------------------------------------------------------------- interp
+
+@njit(cache=True, parallel=True)
+def _linear_fill_jit(known, out, n_inner, half):  # pragma: no cover
+    m = known.shape[1]
+    for j in prange(m):
+        for i in range(n_inner):
+            out[i, j] = (known[i, j] + known[i + 1, j]) * half
+
+
+@njit(cache=True, parallel=True)
+def _cubic_fill_jit(known, out, n_inner, half, nine, inv16):  # pragma: no cover
+    m = known.shape[1]
+    for j in prange(m):
+        for i in range(1, n_inner - 1):
+            out[i, j] = (
+                nine * (known[i, j] + known[i + 1, j])
+                - (known[i - 1, j] + known[i + 2, j])
+            ) * inv16
+        if n_inner > 0:
+            out[0, j] = (known[0, j] + known[1, j]) * half
+        if n_inner > 1:
+            out[n_inner - 1, j] = (
+                known[n_inner - 1, j] + known[n_inner, j]
+            ) * half
+
+
+def _fill_2d(known, pred, n_inner, jit_fn, consts):
+    nk = known.shape[0]
+    k2 = np.ascontiguousarray(known.reshape(nk, -1))
+    if k2.shape[1] == 0 or n_inner <= 0:
+        return
+    out = np.empty((n_inner, k2.shape[1]), dtype=k2.dtype)
+    jit_fn(k2, out, np.int64(n_inner), *consts)
+    pred[:n_inner] = out.reshape((n_inner,) + known.shape[1:])
+
+
+def linear_fill(known, pred, n_inner):
+    half = known.dtype.type(0.5)
+    _fill_2d(known, pred, n_inner, _linear_fill_jit, (half,))
+
+
+def cubic_fill(known, pred, n_inner):
+    dt = known.dtype.type
+    _fill_2d(
+        known, pred, n_inner, _cubic_fill_jit, (dt(0.5), dt(9.0), dt(0.0625))
+    )
+
+
+# ------------------------------------------------------------ registration
+
+_OPS = {
+    "huffman": {
+        "encode_payload": encode_payload,
+        "decode_lockstep": decode_lockstep,
+    },
+    "qp": {"walk_2d": walk_2d, "walk_3d": walk_3d},
+    "lorenzo": {"forward_diff": forward_diff, "inverse_cumsum": inverse_cumsum},
+    "interp": {"linear_fill": linear_fill, "cubic_fill": cubic_fill},
+}
+
+
+def _guarded(stage, opname, fn):
+    """Fall back to the numpy reference op if the jitted path blows up.
+
+    Compilation errors surface at first call, before the jitted body runs,
+    so input arrays are still pristine when we re-dispatch.
+    """
+
+    def wrapper(*args, **kwargs):
+        try:
+            return fn(*args, **kwargs)
+        except Exception:  # noqa: BLE001 - any JIT failure disables the backend
+            mark_backend_broken(stage, "numba")
+            metric_count("kernel.jit_failure", stage=stage, op=opname)
+            warnings.warn(
+                f"numba kernel {stage}.{opname} failed to compile/run; "
+                "disabling the numba backend for this process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            from .numpy_backend import OPS as _NUMPY_OPS
+
+            return _NUMPY_OPS[stage][opname](*args, **kwargs)
+
+    wrapper.__name__ = fn.__name__
+    wrapper.__qualname__ = fn.__qualname__
+    wrapper.__doc__ = fn.__doc__
+    wrapper.__wrapped__ = fn  # inspect.signature sees the public signature
+    return wrapper
+
+
+for _stage, _ops in _OPS.items():
+    register_kernel_backend(
+        _stage,
+        "numba",
+        {op: _guarded(_stage, op, fn) for op, fn in _ops.items()},
+        available=NUMBA_AVAILABLE,
+        priority=10,
+        introspect=_ops,
+    )

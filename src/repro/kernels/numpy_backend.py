@@ -1,0 +1,168 @@
+"""Pure-numpy reference implementations of every kernel stage.
+
+These are the *semantics-defining* implementations: compiled backends must
+produce bit-identical results (the golden-digest suite runs under both).
+The bodies delegate to — or were lifted verbatim from — the owning modules
+so there is exactly one source of truth per loop; imports of those modules
+happen lazily inside the ops to keep this module import-cycle-free.
+
+Op contracts (shared with :mod:`repro.kernels.numba_backend`):
+
+``huffman.encode_payload(sym_codes, sym_lengths, bit_positions) -> bytes``
+    Pack MSB-first canonical codes at precomputed bit offsets.
+``huffman.decode_lockstep(buf, cur, stops, len_flat, lane_off, wins, M)``
+    Joint table-driven decode of many lanes.  ``buf`` is the zero-padded
+    concatenated payload, ``cur`` holds per-lane absolute bit cursors
+    (mutated in place), ``stops`` the per-lane symbol counts sorted
+    descending, ``len_flat`` the window->code-length table (step table),
+    ``lane_off`` per-lane base offsets into ``len_flat`` (size 0 means a
+    single shared table), ``wins`` the (max_steps, n_lanes) int64 output
+    matrix of matched windows, ``M`` the window width in bits.
+``qp.walk_2d(q, na, nb, sentinel, cond_code)`` / ``qp.walk_3d(...)``
+    In-place wavefront reconstruction over the padded plane/volume ``q``
+    of shape (batch, (na+1)*(nb+1)[*(nc+1)]).  ``cond_code``: 0 plain
+    sentinel-validity, 3 condition III, 4 condition IV.
+``lorenzo.forward_diff(t) -> ndarray`` / ``lorenzo.inverse_cumsum(q)``
+    Sequential per-axis differencing (prepend-zero) and its cumsum inverse.
+``interp.linear_fill(known, pred, n_inner)`` / ``interp.cubic_fill(...)``
+    Midpoint prediction fills writing into ``pred[:n_inner]``.
+"""
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from . import register_kernel_backend
+
+_WIN_DTYPE = np.dtype(">u4")
+_COND_NAMES = {3: "III", 4: "IV"}
+
+# Imports of the owning modules stay out of module scope (import-cycle-free:
+# those modules import ``repro.kernels`` themselves), but they must not run
+# per call either — interp fills fire once per pass, and a repeated
+# ``from .. import`` costs microseconds that show up in the bench gate.
+# First use resolves the delegate and memoizes it here.
+_DELEGATES: dict[str, Any] = {}
+
+
+def _delegate(key, resolve):
+    fn = _DELEGATES.get(key)
+    if fn is None:
+        fn = _DELEGATES[key] = resolve()
+    return fn
+
+
+# ---------------------------------------------------------------- huffman
+
+def encode_payload(sym_codes, sym_lengths, bit_positions):
+    def _resolve():
+        from ..codecs.bitstream import encode_codes_packed
+
+        return encode_codes_packed
+
+    return _delegate("encode_codes_packed", _resolve)(
+        sym_codes, sym_lengths, bit_positions
+    )
+
+
+def decode_lockstep(buf, cur, stops, len_flat, lane_off, wins, M):
+    # Overlapping big-endian 32-bit window view: byte i starts the window
+    # covering bits [8i, 8i+32); buf carries >=3 padding bytes at the end.
+    allwin = np.ndarray(
+        (buf.size - 3,), dtype=_WIN_DTYPE, buffer=buf.data, strides=(1,)
+    ).astype(np.int64)
+    mask = np.int64((1 << M) - 1)
+    shift_base = np.int64(32 - M)
+    single = lane_off.size == 0
+    prev = 0
+    for b in [int(v) for v in np.unique(stops)]:
+        act = int(np.count_nonzero(stops >= b))
+        cur_v = cur[:act]
+        off_v = None if single else lane_off[:act]
+        row = slice(0, act)
+        if single:
+            for step in range(prev, b):
+                w = allwin[cur_v >> 3]
+                win = (w >> (shift_base - (cur_v & 7))) & mask
+                wins[step, row] = win
+                cur_v += len_flat[win]
+        else:
+            for step in range(prev, b):
+                w = allwin[cur_v >> 3]
+                win = (w >> (shift_base - (cur_v & 7))) & mask
+                wins[step, row] = win
+                cur_v += len_flat[win + off_v]
+        prev = b
+
+
+# --------------------------------------------------------------------- qp
+
+def _qp_mod():
+    def _resolve():
+        from ..core import qp
+
+        return qp
+
+    return _delegate("qp", _resolve)
+
+
+def walk_2d(q, na, nb, sentinel, cond_code):
+    qp = _qp_mod()
+    diags, _ = qp._diag_indices_2d(na, nb)
+    qp._walk_2d(q, diags, sentinel, _COND_NAMES.get(cond_code, ""))
+
+
+def walk_3d(q, na, nb, nc, sentinel, cond_code):
+    qp = _qp_mod()
+    diags, _ = qp._diag_indices_3d(na, nb, nc)
+    qp._walk_3d(q, diags, sentinel, _COND_NAMES.get(cond_code, ""))
+
+
+# ---------------------------------------------------------------- lorenzo
+
+def forward_diff(t):
+    q = t
+    for ax in range(q.ndim):
+        q = np.diff(q, axis=ax, prepend=0)
+    return q
+
+
+def inverse_cumsum(q):
+    for ax in range(q.ndim):
+        q = np.cumsum(q, axis=ax)
+    return q
+
+
+# ----------------------------------------------------------------- interp
+
+def linear_fill(known, pred, n_inner):
+    def _resolve():
+        from ..predictors.interpolation import _linear_fill
+
+        return _linear_fill
+
+    _delegate("_linear_fill", _resolve)(known, pred, n_inner)
+
+
+def cubic_fill(known, pred, n_inner):
+    def _resolve():
+        from ..predictors.interpolation import _cubic_fill
+
+        return _cubic_fill
+
+    _delegate("_cubic_fill", _resolve)(known, pred, n_inner)
+
+
+OPS = {
+    "huffman": {
+        "encode_payload": encode_payload,
+        "decode_lockstep": decode_lockstep,
+    },
+    "qp": {"walk_2d": walk_2d, "walk_3d": walk_3d},
+    "lorenzo": {"forward_diff": forward_diff, "inverse_cumsum": inverse_cumsum},
+    "interp": {"linear_fill": linear_fill, "cubic_fill": cubic_fill},
+}
+
+for _stage, _ops in OPS.items():
+    register_kernel_backend(_stage, "numpy", _ops, priority=0)

@@ -138,7 +138,9 @@ def mgard_pipeline(qp: dict | None = None) -> PipelineSpec:
 
 def _derive_sz3(header: dict) -> PipelineSpec:
     return sz3_pipeline(
-        predictor=header.get("predictor", "interp"), qp=_engine_qp(header)
+        predictor=header.get("predictor", "interp"),
+        qp=_engine_qp(header),
+        entropy=header.get("entropy", "huffman"),
     )
 
 

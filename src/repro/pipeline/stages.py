@@ -42,6 +42,7 @@ __all__ = [
     "QPTransform",
     "HuffmanEncode",
     "RangeEncode",
+    "ANSEncode",
     "LosslessBackend",
     "ZFPTransform",
     "TuckerFactorize",
@@ -60,6 +61,9 @@ class StageContext:
     sentinel: int = 0
     method: str = "linear"
     dtype: Any = None
+    #: kernel backend name for compiled hot loops (None = env/auto; see
+    #: :mod:`repro.kernels`) — per-stage ``backend`` params override it
+    backend: str | None = None
 
 
 @runtime_checkable
@@ -93,12 +97,20 @@ class InterpPredict:
     prediction is its own inverse (the decoder sees identical inputs).
     """
 
-    def __init__(self, interp: str = "auto", layout: str = "global") -> None:
+    def __init__(
+        self,
+        interp: str = "auto",
+        layout: str = "global",
+        backend: str | None = None,
+    ) -> None:
         self.interp = interp
         self.layout = layout
+        self.backend = backend
 
     @staticmethod
-    def pass_prediction(arr: np.ndarray, p: Any, method: str) -> np.ndarray:
+    def pass_prediction(
+        arr: np.ndarray, p: Any, method: str, backend: str | None = None
+    ) -> np.ndarray:
         """Average of 1-D interpolations along each prediction axis, in the
         natural orientation of the pass's target subgrid."""
         shape = arr.shape
@@ -106,7 +118,9 @@ class InterpPredict:
         for a in p.axes:
             known = arr[p.known_for(a)]
             n_targets = len(range(*p.target[a].indices(shape[a])))
-            pred_a = predict_midpoints(np.moveaxis(known, a, 0), n_targets, method)
+            pred_a = predict_midpoints(
+                np.moveaxis(known, a, 0), n_targets, method, backend
+            )
             pred_a = np.moveaxis(pred_a, 0, a)
             pred_sum = pred_a if pred_sum is None else pred_sum + pred_a
         assert pred_sum is not None
@@ -116,7 +130,7 @@ class InterpPredict:
 
     @staticmethod
     def pass_prediction_stacked(
-        arr_st: np.ndarray, p: Any, method: str
+        arr_st: np.ndarray, p: Any, method: str, backend: str | None = None
     ) -> np.ndarray:
         """:meth:`pass_prediction` over a stack of volumes ``(N, *shape)``.
 
@@ -130,7 +144,7 @@ class InterpPredict:
             known = arr_st[(slice(None),) + p.known_for(a)]
             n_targets = len(range(*p.target[a].indices(shape[a])))
             pred_a = predict_midpoints(
-                np.moveaxis(known, a + 1, 0), n_targets, method
+                np.moveaxis(known, a + 1, 0), n_targets, method, backend
             )
             pred_a = np.moveaxis(pred_a, 0, a + 1)
             pred_sum = pred_a if pred_sum is None else pred_sum + pred_a
@@ -157,7 +171,7 @@ class InterpPredict:
 
     def forward(self, ctx: StageContext, payload: Any) -> np.ndarray:
         arr, p = payload
-        return self.pass_prediction(arr, p, ctx.method)
+        return self.pass_prediction(arr, p, ctx.method, self.backend or ctx.backend)
 
     inverse = forward
 
@@ -166,22 +180,32 @@ class InterpPredict:
 class LorenzoPredict:
     """Dual-quantization Lorenzo predictor (SZ3's alternate frontend)."""
 
-    def __init__(self, error_bound: float = 0.0, radius: int = 32768) -> None:
+    def __init__(
+        self,
+        error_bound: float = 0.0,
+        radius: int = 32768,
+        backend: str | None = None,
+    ) -> None:
         self.error_bound = error_bound
         self.radius = radius
+        self.backend = backend
 
     def forward(self, ctx: StageContext, data: np.ndarray) -> Any:
         from ..predictors.lorenzo import lorenzo_encode
 
         result, _ = lorenzo_encode(
-            data, self.error_bound, self.radius, want_recon=False
+            data, self.error_bound, self.radius, want_recon=False,
+            backend=self.backend or ctx.backend,
         )
         return result
 
     def inverse(self, ctx: StageContext, result: Any) -> np.ndarray:
         from ..predictors.lorenzo import lorenzo_decode
 
-        return lorenzo_decode(result, self.error_bound, ctx.dtype)
+        return lorenzo_decode(
+            result, self.error_bound, ctx.dtype,
+            backend=self.backend or ctx.backend,
+        )
 
 
 @register_stage("regression_predict")
@@ -265,10 +289,15 @@ class QPTransform:
     #: engine-meta key this transform round-trips its config through
     meta_key = "qp"
 
-    def __init__(self, config: QPConfig | dict | None = None) -> None:
+    def __init__(
+        self,
+        config: QPConfig | dict | None = None,
+        backend: str | None = None,
+    ) -> None:
         if isinstance(config, dict):
             config = QPConfig.from_dict(config)
         self.config = config or QPConfig.disabled()
+        self.backend = backend
 
     def forward(self, ctx: StageContext, q: np.ndarray) -> np.ndarray:
         with obs_span("qp"):
@@ -276,13 +305,19 @@ class QPTransform:
 
     def inverse(self, ctx: StageContext, q: np.ndarray) -> np.ndarray:
         with obs_span("qp"):
-            return qp_inverse(q, ctx.sentinel, self.config, ctx.level)
+            return qp_inverse(
+                q, ctx.sentinel, self.config, ctx.level,
+                self.backend or ctx.backend,
+            )
 
     def inverse_multi(
         self, ctx: StageContext, qs: "list[np.ndarray]"
     ) -> np.ndarray:
         with obs_span("qp"):
-            return qp_inverse_multi(qs, ctx.sentinel, self.config, ctx.level)
+            return qp_inverse_multi(
+                qs, ctx.sentinel, self.config, ctx.level,
+                self.backend or ctx.backend,
+            )
 
 
 # -- entropy coding -----------------------------------------------------------
@@ -302,17 +337,22 @@ class HuffmanEncode:
     wire_id = 0
     bounded_alphabet = True
 
-    def __init__(self, block_size: int | None = None) -> None:
+    def __init__(
+        self, block_size: int | None = None, backend: str | None = None
+    ) -> None:
         self.block_size = block_size
+        self.backend = backend
 
     def _codec(self) -> HuffmanCodec:
-        return HuffmanCodec(self.block_size) if self.block_size else HuffmanCodec()
+        if self.block_size:
+            return HuffmanCodec(self.block_size, backend=self.backend)
+        return HuffmanCodec(backend=self.backend)
 
     def forward(self, ctx: StageContext, codes: np.ndarray) -> bytes:
         return self._codec().encode(codes)
 
     def inverse(self, ctx: StageContext, payload: bytes) -> np.ndarray:
-        return self.decode_many([payload])[0]
+        return self._codec().decode_many([payload])[0]
 
     @staticmethod
     def decode_many(payloads: "list[bytes]") -> "list[np.ndarray]":
@@ -352,11 +392,52 @@ class RangeEncode:
         return [RangeCodec().decode(p) for p in payloads]
 
 
+@register_stage("ans")
+class ANSEncode:
+    """Static rANS over a bounded symbol alphabet (see :mod:`..codecs.ans`).
+
+    Table-driven like Huffman (so it shares the framing's offset-window +
+    escape treatment via ``bounded_alphabet``) but with a one-gather decode
+    step instead of a bit-serial code-length walk.  New wire id: existing
+    Huffman/range containers are untouched, and decode dispatch is driven
+    by the wire byte, so a spec variant selecting ``ans`` round-trips
+    without any header version bump.
+    """
+
+    wire_id = 2
+    bounded_alphabet = True
+
+    def __init__(
+        self, block_size: int | None = None, backend: str | None = None
+    ) -> None:
+        self.block_size = block_size
+        # accepted for interface symmetry; the rANS loops are numpy-only
+        self.backend = backend
+
+    def _codec(self):
+        from ..codecs.ans import ANSCodec
+
+        return ANSCodec(self.block_size) if self.block_size else ANSCodec()
+
+    def forward(self, ctx: StageContext, codes: np.ndarray) -> bytes:
+        return self._codec().encode(codes)
+
+    def inverse(self, ctx: StageContext, payload: bytes) -> np.ndarray:
+        return self._codec().decode(payload)
+
+    @staticmethod
+    def decode_many(payloads: "list[bytes]") -> "list[np.ndarray]":
+        from ..codecs.ans import ANSCodec
+
+        return ANSCodec().decode_many(payloads)
+
+
 #: entropy stages by name — the only stages with a wire id, i.e. valid for
 #: the index-stream framing's leading dispatch byte
 ENTROPY_STAGES: dict[str, type] = {
     "huffman": HuffmanEncode,
     "range": RangeEncode,
+    "ans": ANSEncode,
 }
 
 

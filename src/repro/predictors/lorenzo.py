@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import select_backend
 from ..obs import span as stage
 
 __all__ = ["LorenzoResult", "lorenzo_encode", "lorenzo_decode"]
@@ -42,7 +43,7 @@ class LorenzoResult:
 
 def lorenzo_encode(
     data: np.ndarray, error_bound: float, radius: int = 32768,
-    want_recon: bool = True,
+    want_recon: bool = True, backend: str | None = None,
 ) -> tuple[LorenzoResult, np.ndarray | None]:
     """Encode ``data`` with dual-quantization Lorenzo.
 
@@ -74,9 +75,7 @@ def lorenzo_encode(
         recon = (t * two_eb).astype(data.dtype) if want_recon else None
 
     with stage("predict"):
-        q = t
-        for ax in range(q.ndim):
-            q = np.diff(q, axis=ax, prepend=0)
+        q = select_backend("lorenzo", backend).ops["forward_diff"](t)
 
     sentinel = -radius
     escape_mask = np.abs(q) >= radius
@@ -88,7 +87,10 @@ def lorenzo_encode(
     )
 
 
-def lorenzo_decode(result: LorenzoResult, error_bound: float, dtype=np.float64) -> np.ndarray:
+def lorenzo_decode(
+    result: LorenzoResult, error_bound: float, dtype=np.float64,
+    backend: str | None = None,
+) -> np.ndarray:
     """Invert :func:`lorenzo_encode` back to the reconstruction.
 
     ``error_bound`` is used only when the result predates the ``step`` field;
@@ -102,8 +104,7 @@ def lorenzo_decode(result: LorenzoResult, error_bound: float, dtype=np.float64) 
     if result.escapes.size:
         q[mask] = result.escapes
     with stage("predict"):
-        for ax in range(q.ndim):
-            q = np.cumsum(q, axis=ax)
+        q = select_backend("lorenzo", backend).ops["inverse_cumsum"](q)
     two_eb = result.step if result.step > 0 else 2.0 * error_bound
     with stage("quantize"):
         return (q * two_eb).astype(dtype)

@@ -1,0 +1,204 @@
+"""Static rANS entropy stage: round-trips, wire selection, fault behaviour.
+
+The ANS coder (:mod:`repro.codecs.ans`) registers as a third entropy wire id
+next to Huffman and the range coder.  Selection is per-compressor (the
+``entropy`` attribute / SZ3 constructor parameter); decode dispatches on the
+wire byte, so mixed archives and old blobs keep working unchanged.  The
+fault cells hold the decoder to the repo-wide contract: corrupted input
+raises a typed error in bounded time, never an untyped crash or a hang.
+"""
+import numpy as np
+import pytest
+
+import repro
+from repro.codecs.ans import ANSCodec, DEFAULT_BLOCK_SIZE, PROB_BITS
+from repro.compressors import COMPRESSORS, decompress_any, get_compressor
+from repro.compressors.sz3 import SZ3
+from repro.errors import CorruptBlobError, ReproError, TruncatedStreamError
+
+
+@pytest.fixture(scope="module")
+def field3d():
+    return repro.generate("miranda", shape=(18, 16, 14), seed=5)
+
+
+# -- codec round-trips --------------------------------------------------------
+
+
+@pytest.mark.parametrize("case", [
+    "empty", "single", "constant", "binary", "multiblock", "skewed",
+    "block-boundary",
+])
+def test_roundtrip(case):
+    rng = np.random.default_rng(hash(case) % 2**32)
+    streams = {
+        "empty": np.empty(0, dtype=np.int64),
+        "single": np.array([7], dtype=np.int64),
+        "constant": np.full(5000, 3, dtype=np.int64),
+        "binary": rng.integers(0, 2, size=10000).astype(np.int64),
+        "multiblock": rng.integers(0, 200, size=3 * DEFAULT_BLOCK_SIZE + 17),
+        "skewed": np.abs(rng.standard_normal(8000) * 3).astype(np.int64),
+        "block-boundary": rng.integers(0, 50, size=2 * DEFAULT_BLOCK_SIZE),
+    }
+    symbols = streams[case].astype(np.int64)
+    codec = ANSCodec()
+    blob = codec.encode(symbols)
+    np.testing.assert_array_equal(codec.decode(blob), symbols)
+
+
+def test_roundtrip_saturated_alphabet():
+    # every slot of the 2**PROB_BITS model used at least once
+    symbols = np.arange(1 << PROB_BITS, dtype=np.int64)
+    codec = ANSCodec(block_size=1 << 12)
+    np.testing.assert_array_equal(codec.decode(codec.encode(symbols)), symbols)
+
+
+def test_decode_uses_header_block_size():
+    rng = np.random.default_rng(0)
+    symbols = rng.integers(0, 64, size=9000).astype(np.int64)
+    blob = ANSCodec(block_size=512).encode(symbols)
+    # decoder instance's own block size must not matter
+    np.testing.assert_array_equal(ANSCodec(block_size=4096).decode(blob), symbols)
+
+
+def test_decode_many_matches_individual():
+    rng = np.random.default_rng(1)
+    blobs = [
+        ANSCodec().encode(rng.integers(0, 30, size=n).astype(np.int64))
+        for n in (0, 1, 700, 5000)
+    ]
+    codec = ANSCodec()
+    many = codec.decode_many(blobs)
+    for blob, out in zip(blobs, many):
+        np.testing.assert_array_equal(out, codec.decode(blob))
+
+
+def test_negative_symbols_rejected():
+    with pytest.raises(ValueError):
+        ANSCodec().encode(np.array([-1, 2], dtype=np.int64))
+
+
+def test_bad_block_size_rejected():
+    with pytest.raises(ValueError):
+        ANSCodec(block_size=0)
+    with pytest.raises(ValueError):
+        ANSCodec(block_size=(1 << 16) + 1)
+
+
+# -- compressor integration ---------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(COMPRESSORS))
+def test_all_compressors_roundtrip_with_ans(name, field3d):
+    eb = 1e-3 * float(field3d.max() - field3d.min())
+    comp_h = get_compressor(name, eb)
+    ref = decompress_any(comp_h.compress(field3d))
+    comp_a = get_compressor(name, eb)
+    comp_a.entropy = "ans"
+    blob = comp_a.compress(field3d)
+    # decode dispatch is wire-id driven: decompress_any needs no hints
+    out = decompress_any(blob)
+    np.testing.assert_array_equal(out, ref)
+    assert np.abs(out - field3d).max() <= eb * (1 + 1e-6)
+
+
+def test_sz3_entropy_constructor_param(field3d):
+    eb = 1e-3 * float(field3d.max() - field3d.min())
+    comp = SZ3(eb, entropy="ans")
+    blob = comp.compress(field3d)
+    out = decompress_any(blob)
+    assert np.abs(out - field3d).max() <= eb * (1 + 1e-6)
+
+
+def test_sz3_unknown_entropy_rejected():
+    with pytest.raises(Exception):
+        SZ3(1e-3, entropy="no-such-coder")
+
+
+def test_default_entropy_keeps_bytes_frozen(field3d):
+    # the attribute's default must be byte-invisible: same blob as before
+    eb = 1e-3 * float(field3d.max() - field3d.min())
+    assert SZ3(eb).compress(field3d) == SZ3(eb, entropy="huffman").compress(field3d)
+
+
+# -- pipeline spec ------------------------------------------------------------
+
+
+def test_ans_registered_as_entropy_stage():
+    from repro.pipeline.stages import ANSEncode, ENTROPY_STAGES
+
+    assert ENTROPY_STAGES["ans"] is ANSEncode
+    assert ANSEncode.wire_id == 2
+    wire_ids = [cls.wire_id for cls in ENTROPY_STAGES.values()]
+    assert len(set(wire_ids)) == len(wire_ids)
+
+
+def test_sz3_ans_spec_header_roundtrip():
+    from repro.errors import VersionError
+    from repro.pipeline import PipelineSpec, pipeline_spec
+    from repro.pipeline.spec import SPEC_HEADER_VERSION
+
+    spec = pipeline_spec("sz3", entropy="ans")
+    assert spec.has_stage("ans") and not spec.has_stage("huffman")
+    encoded = spec.to_header()
+    assert PipelineSpec.from_header(encoded) == spec
+    with pytest.raises(VersionError):
+        PipelineSpec.from_header(dict(encoded, version=SPEC_HEADER_VERSION + 1))
+
+
+def test_spec_derived_from_ans_blob(field3d):
+    from repro.pipeline.driver import spec_for_blob
+    from repro.compressors.base import Blob
+
+    eb = 1e-3 * float(field3d.max() - field3d.min())
+    blob = Blob.from_bytes(SZ3(eb, entropy="ans").compress(field3d))
+    spec = spec_for_blob(blob.header, blob.sections)
+    assert spec.has_stage("ans")
+
+
+# -- fault injection ----------------------------------------------------------
+
+
+@pytest.mark.faults
+def test_ans_corruption_matrix_typed_and_bounded():
+    from repro.testing import run_corruption_matrix
+
+    rng = np.random.default_rng(21)
+    symbols = rng.integers(0, 40, size=6000).astype(np.int64)
+    blob = ANSCodec().encode(symbols)
+    results = run_corruption_matrix(
+        blob, ANSCodec().decode, seeds=range(8), deadline_s=10.0
+    )
+    untyped = [r for r in results if r.outcome == "untyped"]
+    assert not untyped, [f"{r.injector}/seed={r.seed}: {r.detail}" for r in untyped]
+    assert all(r.elapsed_s <= 10.0 for r in results)
+
+
+@pytest.mark.faults
+def test_ans_truncation_is_typed():
+    symbols = np.arange(500, dtype=np.int64) % 37
+    blob = ANSCodec().encode(symbols)
+    for cut in (0, 3, 10, len(blob) // 2, len(blob) - 1):
+        with pytest.raises((TruncatedStreamError, CorruptBlobError)):
+            ANSCodec().decode(blob[:cut])
+
+
+@pytest.mark.faults
+def test_ans_wrong_magic_is_corrupt():
+    blob = ANSCodec().encode(np.arange(100, dtype=np.int64))
+    with pytest.raises(CorruptBlobError):
+        ANSCodec().decode(b"XXXX" + blob[4:])
+
+
+@pytest.mark.faults
+def test_ans_blob_corruption_through_compressor(field3d):
+    from repro.testing import run_corruption_matrix
+
+    eb = 1e-3 * float(field3d.max() - field3d.min())
+    comp = SZ3(eb, entropy="ans")
+    blob = comp.compress(field3d)
+    results = run_corruption_matrix(
+        blob, decompress_any, seeds=range(4), deadline_s=10.0
+    )
+    untyped = [r for r in results if r.outcome == "untyped"]
+    assert not untyped, [f"{r.injector}/seed={r.seed}: {r.detail}" for r in untyped]

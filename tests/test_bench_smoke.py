@@ -37,12 +37,15 @@ def report(report_path):
 
 
 def test_report_envelope(report):
-    assert report["schema_version"] == 3
+    assert report["schema_version"] == 4
     assert report["timing_source"] == "repro.obs"
     assert report["smoke"] is True
     assert report["has_stage_profiler"] is True
     assert report["rel_error_bound"] == 1e-3
     assert isinstance(report["python"], str) and isinstance(report["numpy"], str)
+    assert isinstance(report["kernel_backends_run"], list)
+    assert "numpy" in report["kernel_backends_run"]
+    assert isinstance(report["numba_available"], bool)
 
 
 def test_full_matrix_present(report):
@@ -57,10 +60,14 @@ def test_row_schema(report):
     required = {
         "base", "qp", "dataset", "shape", "error_bound", "compressed_bytes",
         "ratio", "compress_s", "decompress_s", "compress_mbs",
-        "decompress_mbs", "max_error", "stages",
+        "decompress_mbs", "max_error", "stages", "kernel_backend",
+        "kernel_backends",
     }
     for row in report["results"]:
         assert required <= set(row)
+        assert set(row["kernel_backends"]) == {
+            "huffman", "interp", "lorenzo", "qp"
+        }
         assert row["compressed_bytes"] > 0
         assert row["ratio"] > 1.0
         assert row["compress_mbs"] > 0 and row["decompress_mbs"] > 0
@@ -113,3 +120,24 @@ def test_compare_reports_counts_stage_metrics(bench_mod, report):
     assert any(k.endswith(":decompress_s") for k in flat)
     assert any(".huffman" in k and ":decompress." in k for k in flat)
     assert all(v >= 0 for v in flat.values())
+    # numpy rows keep unsuffixed keys, so a v3 baseline compares cleanly
+    assert not any("/backend=numpy" in k for k in flat)
+
+
+def test_flatten_suffixes_compiled_backend_rows(bench_mod, report):
+    forged = json.loads(json.dumps(report))
+    for row in forged["results"]:
+        row["kernel_backend"] = "numba"
+    flat = bench_mod._flatten_timings(forged)
+    assert flat and all("/backend=numba" in k for k in flat)
+
+
+def test_resolve_backends(bench_mod):
+    from repro import kernels
+
+    auto = bench_mod.resolve_backends("auto")
+    assert auto[0] == "numpy"
+    assert ("numba" in auto) == kernels.numba_available()
+    assert bench_mod.resolve_backends("numpy") == ["numpy"]
+    # unavailable names are skipped, never silently benchmarked via fallback
+    assert bench_mod.resolve_backends("no-such-backend") == ["numpy"]

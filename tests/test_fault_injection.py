@@ -21,7 +21,7 @@ import numpy as np
 import pytest
 
 from repro.codecs import fixed as fixed_codec
-from repro.codecs import huffman, lossless, rangecoder
+from repro.codecs import huffman, lossless
 from repro.compressors import decompress_any, get_compressor, supports_qp
 from repro.core.config import QPConfig
 from repro.errors import CorruptBlobError, ReproError, TruncatedStreamError
@@ -105,13 +105,21 @@ def test_unsealed_blobs_never_untyped_never_misshapen(name, qp_on):
 
 
 def _codec_streams():
+    from repro.pipeline.stages import ENTROPY_STAGES, StageContext
+
     rng = np.random.default_rng(42)
     symbols = rng.integers(0, 30, size=4000).astype(np.int64)
     raw_bytes = rng.integers(0, 256, size=3000, dtype=np.uint8).tobytes()
     compressible = (b"abcd" * 700) + raw_bytes[:200]
-    return {
-        "huffman": (huffman.HuffmanCodec().encode(symbols), huffman.HuffmanCodec().decode),
-        "rangecoder": (rangecoder.RangeCodec().encode(symbols), rangecoder.RangeCodec().decode),
+    streams = {
+        # every registered entropy stage (new wire ids are fuzzed for free)
+        f"entropy-{name}": (
+            cls().forward(StageContext(), symbols),
+            lambda payload, _cls=cls: _cls().inverse(StageContext(), payload),
+        )
+        for name, cls in sorted(ENTROPY_STAGES.items())
+    }
+    streams.update({
         "fixed": (
             fixed_codec.encode_fixed(symbols.astype(np.uint64)),
             fixed_codec.decode_fixed,
@@ -119,7 +127,8 @@ def _codec_streams():
         "lossless-zlib": (lossless.compress(compressible, "zlib"), lossless.decompress),
         "lossless-rle": (lossless.compress(b"\x07" * 5000, "rle"), lossless.decompress),
         "lossless-lz77": (lossless.compress(compressible, "lz77"), lossless.decompress),
-    }
+    })
+    return streams
 
 
 @pytest.mark.parametrize("codec", sorted(_codec_streams()))

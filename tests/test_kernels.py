@@ -1,0 +1,240 @@
+"""Kernel backend registry: selection rules and cross-backend bit-identity.
+
+The registry (:mod:`repro.kernels`) lets the hot loops resolve a compiled
+implementation at runtime; correctness demands that every backend of every
+stage is bit-identical to the numpy reference.  These tests pin the
+resolution rules (explicit name > per-stage env > global env > auto), the
+graceful-fallback contract for unknown/unavailable backends, and — for all
+seven compressors, QP on and off — that forcing each registered backend
+produces byte-identical blobs.  When numba is importable the forced-numba
+runs genuinely exercise the compiled kernels; when it is not, they exercise
+the fallback path instead, so the suite passes either way.
+"""
+import hashlib
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro import kernels, obs
+from repro.core.config import QPConfig
+from repro.compressors import COMPRESSORS, get_compressor, supports_qp
+
+from tests.test_golden_identity import GOLDEN
+
+
+BACKENDS = ("numpy", "numba")
+
+
+# -- registry resolution rules ------------------------------------------------
+
+
+def test_all_stages_registered():
+    assert set(kernels.kernel_stages()) == {"huffman", "interp", "lorenzo", "qp"}
+    for stage in kernels.kernel_stages():
+        assert "numpy" in kernels.registered_backends(stage)
+        assert "numpy" in kernels.available_backends(stage)
+
+
+def test_explicit_name_wins(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_GLOBAL, "no-such-backend-env")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        assert kernels.select_backend("huffman", "numpy").name == "numpy"
+
+
+def test_env_override_global(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_GLOBAL, "numpy")
+    assert kernels.select_backend("qp").name == "numpy"
+
+
+def test_env_override_per_stage_beats_global(monkeypatch):
+    monkeypatch.setenv(kernels.ENV_GLOBAL, "no-such-backend-global")
+    monkeypatch.setenv(f"{kernels.ENV_GLOBAL}_LORENZO", "numpy")
+    # the per-stage variable resolves cleanly; other stages fall back
+    assert kernels.select_backend("lorenzo").name == "numpy"
+
+
+def test_auto_resolves_available(monkeypatch):
+    monkeypatch.delenv(kernels.ENV_GLOBAL, raising=False)
+    for stage in kernels.kernel_stages():
+        b = kernels.select_backend(stage)
+        assert b.available
+        if not kernels.numba_available():
+            assert b.name == "numpy"
+
+
+def test_unknown_backend_falls_back_with_warning_and_counter():
+    ob = obs.Observation()
+    with obs.observe(ob):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            b = kernels.select_backend("huffman", "definitely-not-a-backend")
+    assert b.name == "numpy"
+    assert any("falling back" in str(w.message) for w in caught)
+    snap = ob.metrics.snapshot()
+    assert any(k.startswith("kernel.fallback") for k in snap)
+
+
+def test_numba_request_without_numba_degrades_to_numpy():
+    if kernels.numba_available():
+        pytest.skip("numba importable: the request resolves for real")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for stage in kernels.kernel_stages():
+            assert kernels.select_backend(stage, "numba").name == "numpy"
+
+
+def test_active_backends_maps_every_stage():
+    active = kernels.active_backends()
+    assert set(active) == set(kernels.kernel_stages())
+    assert all(isinstance(v, str) for v in active.values())
+
+
+def test_unknown_stage_raises():
+    with pytest.raises(KeyError):
+        kernels.select_backend("no-such-stage")
+
+
+# -- cross-backend bit-identity ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def field3d():
+    return repro.generate("miranda", shape=(20, 18, 16), seed=3)
+
+
+def _blob(name, data, qp_on, backend, monkeypatch):
+    monkeypatch.setenv(kernels.ENV_GLOBAL, backend)
+    eb = 1e-3 * float(data.max() - data.min())
+    kw = {"qp": QPConfig()} if qp_on else {}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        comp = get_compressor(name, eb, **kw)
+        blob = comp.compress(data)
+        out = comp.decompress(blob)
+    assert np.abs(out - data).max() <= eb * (1 + 1e-6)
+    return blob
+
+
+@pytest.mark.parametrize("qp_on", [False, True], ids=["qp=off", "qp=on"])
+@pytest.mark.parametrize("name", sorted(COMPRESSORS))
+def test_backends_bit_identical_all_compressors(name, qp_on, field3d, monkeypatch):
+    if qp_on and not supports_qp(name):
+        pytest.skip(f"{name} has no qp stage")
+    blobs = {b: _blob(name, field3d, qp_on, b, monkeypatch) for b in BACKENDS}
+    assert blobs["numba"] == blobs["numpy"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_golden_digests_hold_under_forced_backend(backend, monkeypatch):
+    monkeypatch.setenv(kernels.ENV_GLOBAL, backend)
+    data = repro.generate("miranda", shape=(24, 20, 22), seed=0)
+    eb = 1e-3 * float(data.max() - data.min())
+    for base in ("sz3", "qoz", "hpez", "mgard"):
+        for qp_on in (False, True):
+            kw = {"qp": QPConfig()} if qp_on else {}
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                blob = get_compressor(base, eb, **kw).compress(data)
+            key = f"miranda-24x20x22/{base}/qp={'on' if qp_on else 'off'}"
+            assert hashlib.sha256(blob).hexdigest() == GOLDEN[key], (
+                f"{key} changed bytes under backend={backend}"
+            )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_decode_fixture_roundtrip_under_backend(backend, field3d, monkeypatch):
+    # encode with the default backend, decode with each forced backend:
+    # the wire format must be backend-agnostic in both directions
+    monkeypatch.delenv(kernels.ENV_GLOBAL, raising=False)
+    eb = 1e-3 * float(field3d.max() - field3d.min())
+    comp = get_compressor("sz3", eb, qp=QPConfig())
+    blob = comp.compress(field3d)
+    ref = comp.decompress(blob)
+    monkeypatch.setenv(kernels.ENV_GLOBAL, backend)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        out = comp.decompress(blob)
+    np.testing.assert_array_equal(out, ref)
+
+
+# -- per-kernel equality (direct op-level, exercises numba when present) ------
+
+
+def _backend_pairs(stage):
+    names = kernels.available_backends(stage)
+    return [n for n in names if n != "numpy"]
+
+
+def test_lorenzo_ops_match_numpy():
+    rng = np.random.default_rng(11)
+    t = rng.integers(-500, 500, size=(9, 8, 7)).astype(np.int64)
+    ref_f = kernels.backend("lorenzo", "numpy").ops["forward_diff"](t)
+    ref_i = kernels.backend("lorenzo", "numpy").ops["inverse_cumsum"](ref_f.copy())
+    for name in _backend_pairs("lorenzo"):
+        b = kernels.backend("lorenzo", name)
+        np.testing.assert_array_equal(b.ops["forward_diff"](t), ref_f)
+        np.testing.assert_array_equal(b.ops["inverse_cumsum"](ref_f.copy()), ref_i)
+
+
+@pytest.mark.parametrize("method", ["linear", "cubic"])
+def test_interp_fill_matches_numpy(method):
+    from repro.predictors.interpolation import predict_midpoints
+
+    rng = np.random.default_rng(12)
+    known = rng.standard_normal((9, 30)).astype(np.float32)
+    ref = predict_midpoints(known, 9, method, backend="numpy")
+    for name in _backend_pairs("interp"):
+        got = predict_midpoints(known, 9, method, backend=name)
+        np.testing.assert_array_equal(got, ref)
+
+
+@pytest.mark.parametrize("cond", ["I", "II", "III", "IV"])
+def test_qp_inverse_matches_numpy(cond):
+    from repro.core.config import QPConfig
+    from repro.core.qp import qp_forward, qp_inverse
+
+    rng = np.random.default_rng(13)
+    q = rng.integers(-40, 40, size=(17, 13)).astype(np.int64)
+    cfg = QPConfig(condition=cond)
+    fwd = qp_forward(q, -99, cfg, 1)
+    ref = qp_inverse(fwd.copy(), -99, cfg, 1, backend="numpy")
+    np.testing.assert_array_equal(ref, q)
+    for name in _backend_pairs("qp"):
+        got = qp_inverse(fwd.copy(), -99, cfg, 1, backend=name)
+        np.testing.assert_array_equal(got, ref)
+
+
+def test_huffman_codec_matches_numpy_across_backends():
+    from repro.codecs.huffman import HuffmanCodec
+
+    rng = np.random.default_rng(14)
+    symbols = rng.integers(0, 300, size=20000).astype(np.int64)
+    ref_blob = HuffmanCodec(backend="numpy").encode(symbols)
+    ref_out = HuffmanCodec(backend="numpy").decode(ref_blob)
+    np.testing.assert_array_equal(ref_out, symbols)
+    for name in _backend_pairs("huffman"):
+        assert HuffmanCodec(backend=name).encode(symbols) == ref_blob
+        np.testing.assert_array_equal(
+            HuffmanCodec(backend=name).decode(ref_blob), symbols
+        )
+
+
+# -- observability ------------------------------------------------------------
+
+
+def test_huffman_table_cache_counters_surface_in_obs():
+    from repro.codecs.huffman import HuffmanCodec, clear_decode_table_cache
+
+    clear_decode_table_cache()
+    symbols = np.arange(100, dtype=np.int64) % 17
+    blob = HuffmanCodec().encode(symbols)
+    ob = obs.Observation()
+    with obs.observe(ob):
+        HuffmanCodec().decode(blob)   # miss: cold table
+        HuffmanCodec().decode(blob)   # hit: memoized table
+    snap = ob.metrics.snapshot()
+    assert snap["huffman.table_cache{result=miss}"]["value"] == 1
+    assert snap["huffman.table_cache{result=hit}"]["value"] == 1

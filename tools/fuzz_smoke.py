@@ -23,10 +23,11 @@ import time
 import numpy as np
 
 from repro.codecs import fixed as fixed_codec
-from repro.codecs import huffman, lossless, rangecoder
+from repro.codecs import lossless
 from repro.compressors import decompress_any, get_compressor, supports_qp
 from repro.core.config import QPConfig
 from repro.errors import ReproError
+from repro.pipeline.stages import ENTROPY_STAGES, StageContext
 from repro.testing import INJECTORS
 
 DEADLINE_S = 10.0
@@ -48,14 +49,15 @@ def _build_targets(seed: int):
             label = f"{name}{'+crc' if sealed else ''}"
             targets.append((label, blob, decompress_any))
     symbols = rng.integers(0, 40, size=3000).astype(np.int64)
-    targets.append(
-        ("huffman", huffman.HuffmanCodec().encode(symbols),
-         huffman.HuffmanCodec().decode)
-    )
-    targets.append(
-        ("rangecoder", rangecoder.RangeCodec().encode(symbols),
-         rangecoder.RangeCodec().decode)
-    )
+    # every registered entropy stage, enumerated from the pipeline registry
+    # so new wire formats (e.g. ans) are fuzzed without touching this list
+    for ename, cls in sorted(ENTROPY_STAGES.items()):
+        blob = cls().forward(StageContext(), symbols)
+
+        def decode(payload, _cls=cls):
+            return _cls().inverse(StageContext(), payload)
+
+        targets.append((f"entropy-{ename}", blob, decode))
     targets.append(
         ("fixed", fixed_codec.encode_fixed(symbols.astype(np.uint64)),
          fixed_codec.decode_fixed)
