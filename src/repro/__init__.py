@@ -30,6 +30,7 @@ from .compressors import (
     traits_table,
 )
 from .core import (
+    AdaptiveConfig,
     QPConfig,
     clustering_stats,
     plane_slice,
@@ -59,6 +60,7 @@ from .temporal import TemporalCompressor
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveConfig",
     "QPConfig",
     "qp_forward",
     "qp_inverse",

@@ -44,8 +44,28 @@ def _qp_from_args(args) -> "object":
     )
 
 
+def _add_adaptive_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--auto", action="store_true",
+                   help="sampling auto-tuner: pick interp/axis-order/"
+                        "per-level-eb/adaptive-bits/QP on strided blocks")
+    p.add_argument("--adaptive-bits", type=int, default=0,
+                   help="tighten the bound by 2^BITS at hard-to-predict "
+                        "points (0 = off; in-band reserved-index signalling)")
+    p.add_argument("--adaptive-threshold", type=int, default=4,
+                   help="coarse-index magnitude that marks a point as hard")
+
+
+def _adaptive_from_args(args) -> "object | None":
+    from .core.config import AdaptiveConfig
+
+    bits = getattr(args, "adaptive_bits", 0)
+    if not bits:
+        return None
+    return AdaptiveConfig(bits=bits, threshold=args.adaptive_threshold)
+
+
 def _make_compressor(args, data: np.ndarray):
-    from .compressors import get_compressor, supports_qp
+    from .compressors import constructor_accepts, get_compressor, supports_qp
 
     eb = args.eb
     if args.rel:
@@ -53,6 +73,13 @@ def _make_compressor(args, data: np.ndarray):
     kwargs = {}
     if supports_qp(args.compressor):
         kwargs["qp"] = _qp_from_args(args)
+    adaptive = _adaptive_from_args(args)
+    if adaptive is not None:
+        if not constructor_accepts(args.compressor, "adaptive"):
+            raise SystemExit(
+                f"{args.compressor} does not support adaptive quantization"
+            )
+        kwargs["adaptive"] = adaptive
     return get_compressor(args.compressor, eb, **kwargs)
 
 
@@ -77,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checksum", action="store_true",
                    help="seal the blob in the v1 integrity envelope (CRC32)")
     _add_qp_args(p)
+    _add_adaptive_args(p)
 
     p = sub.add_parser("decompress", help="decompress a blob to .npy")
     p.add_argument("input", help="input blob file")
@@ -92,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eb", type=float, required=True)
     p.add_argument("--rel", action="store_true")
     _add_qp_args(p)
+    _add_adaptive_args(p)
 
     p = sub.add_parser("dataset", help="generate a synthetic benchmark field")
     p.add_argument("name", choices=tuple(DATASETS))
@@ -190,12 +219,18 @@ def main(argv: list[str] | None = None) -> int:
 def _cmd_compress(args) -> int:
     data = np.load(args.input)
     comp = _make_compressor(args, data)
-    blob = comp.compress(data, checksum=getattr(args, "checksum", False))
+    blob = comp.compress(
+        data,
+        checksum=getattr(args, "checksum", False),
+        auto=getattr(args, "auto", False),
+    )
     with open(args.output, "wb") as f:
         f.write(blob)
     print(f"{args.input}: {data.nbytes} -> {len(blob)} bytes "
           f"(CR {data.nbytes / len(blob):.2f}) with {comp.name}"
           f"{'+QP' if getattr(args, 'qp', False) else ''}")
+    if comp.last_tuning is not None:
+        print(f"auto-tuned: {json.dumps(comp.last_tuning.to_dict())}")
     return 0
 
 
@@ -232,6 +267,9 @@ def _cmd_evaluate(args) -> int:
     data = generate(args.dataset, args.field)
     comp = _make_compressor(args, data)
     label = comp.name + ("+QP" if getattr(args, "qp", False) else "")
+    if getattr(args, "auto", False):
+        comp = comp._tuned_for(data)
+        label += "+auto"
     res = evaluate(comp, data, label=label)
     print_table([res.row()], f"{args.dataset}/{args.field or 'default'}")
     return 0

@@ -233,6 +233,12 @@ class Compressor(ABC):
     #: to the static rANS coder (decode dispatches on the wire id, so no
     #: header change is needed)
     entropy: str = "huffman"
+    #: :class:`~repro.core.autotune.TuningDecision` carried by instances
+    #: returned from ``_tuned_for`` (None on untuned compressors)
+    tuning_decision: Any = None
+    #: decision of the most recent ``compress(auto=True)`` call (None when
+    #: the last call was untuned or the compressor has no tuner)
+    last_tuning: Any = None
 
     def __init__(self, error_bound: float, lossless_backend: str = "zlib") -> None:
         self.error_bound = check_error_bound(error_bound)
@@ -246,16 +252,29 @@ class Compressor(ABC):
         *,
         state: CompressionState | None = None,
         checksum: bool = False,
+        auto: bool = False,
     ) -> bytes:
         """Compress ``data`` to a self-describing blob (bytes).
 
         ``checksum=True`` seals the canonical bytes in the v1 integrity
         envelope; the payload is byte-identical either way.  ``state``
         optionally collects characterization output
-        (:class:`CompressionState`).  Both are keyword-only — the
+        (:class:`CompressionState`).  ``auto=True`` runs the sampling
+        auto-tuner first (:func:`repro.core.autotune.autotune`) and
+        compresses with the tuned configuration; compressors without a
+        tuner accept the knob as a no-op.  The chosen
+        :class:`~repro.core.autotune.TuningDecision` is left in
+        ``self.last_tuning``.  All three are keyword-only — the
         :class:`Codec` protocol's surface.
         """
         data = check_ndarray(data)
+        if auto:
+            tuned = self._tuned_for(data)
+            self.last_tuning = getattr(tuned, "tuning_decision", None)
+            if tuned is not self:
+                return tuned.compress(data, state=state, checksum=checksum)
+        else:
+            self.last_tuning = None
         sp = stage("compress", compressor=self.name)
         with sp:
             header, sections = self._compress(data, state)
@@ -336,6 +355,15 @@ class Compressor(ABC):
 
     # -- subclass hooks -------------------------------------------------------
 
+    def _tuned_for(self, data: np.ndarray) -> "Compressor":
+        """Return a compressor tuned for ``data`` (``compress(auto=True)``).
+
+        The default is the identity — every compressor accepts the ``auto``
+        knob, and those without a sampling tuner simply run their fixed
+        configuration.  Overrides return a *copy* carrying a
+        ``tuning_decision`` so the original instance's settings survive.
+        """
+        return self
 
     @abstractmethod
     def _compress(

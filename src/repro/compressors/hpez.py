@@ -30,7 +30,7 @@ from typing import Any
 import numpy as np
 
 from ..codecs import compress as lossless_compress, decompress as lossless_decompress
-from ..core.config import QPConfig
+from ..core.config import AdaptiveConfig, QPConfig
 from ..pipeline.driver import decode_engine_blob, spec_for_blob
 from ..utils.blocks import iter_blocks
 from ..utils.levels import num_levels
@@ -86,6 +86,7 @@ class HPEZ(Compressor):
         radius: int = 32768,
         block_side: int | None = None,
         lossless_backend: str = "zlib",
+        adaptive: AdaptiveConfig | None = None,
     ) -> None:
         super().__init__(error_bound, lossless_backend)
         self.qp = qp or QPConfig.disabled()
@@ -94,6 +95,31 @@ class HPEZ(Compressor):
         self.interp = interp
         self.radius = radius
         self.block_side = block_side
+        if isinstance(adaptive, dict):
+            adaptive = AdaptiveConfig.from_dict(adaptive)
+        self.adaptive = adaptive
+
+    def _tuned_for(self, data: np.ndarray) -> "HPEZ":
+        """Sampling tuner for the knobs HPEZ does not already self-tune:
+        per-level eb scaling (alpha/beta), adaptive_bits, and QP.  The
+        per-level scheme selector (HPEZ's own structure tuning) stays in
+        charge of structure/axis order, so those are pinned here."""
+        import copy
+
+        from ..core.autotune import autotune
+
+        decision = autotune(
+            data, self.error_bound, radius=self.radius,
+            fixed={"structure": "sequential", "axis_order": None},
+        )
+        tuned = copy.copy(self)
+        tuned.interp = decision.interp
+        tuned.alpha = decision.alpha
+        tuned.beta = decision.beta
+        tuned.qp = decision.qp_config()
+        tuned.adaptive = decision.adaptive_config()
+        tuned.tuning_decision = decision
+        return tuned
 
     # -- engine configuration -------------------------------------------------
 
@@ -122,6 +148,7 @@ class HPEZ(Compressor):
             interp=self.interp,
             level_eb_factors=level_error_bounds(self.error_bound, levels, alpha, beta),
             qp=self.qp,
+            adaptive=self.adaptive,
         )
         if with_selector:
             candidates = _candidate_schemes(len(shape))

@@ -21,9 +21,10 @@ from typing import Any
 
 import numpy as np
 
-from ..core.config import QPConfig
+from ..core.config import AdaptiveConfig, QPConfig
 from ..obs import span as stage
 from ..pipeline.stages import (
+    AdaptiveLinearQuantize,
     InterpPredict,
     LinearQuantize,
     QPTransform,
@@ -71,6 +72,9 @@ class EngineConfig:
     axis_order: tuple[int, ...] | None = None
     level_eb_factors: dict[int, float] = field(default_factory=dict)  # QoZ tuning
     qp: QPConfig = field(default_factory=QPConfig.disabled)
+    #: reserved-index adaptive quantization; ``None`` keeps the classic
+    #: quantize stage (and the existing wire bytes) exactly as before
+    adaptive: AdaptiveConfig | None = None
     #: optional per-level scheme auto-tuner (HPEZ): called with
     #: (arr, level, cfg), returns {"structure": ..., "axis_order": ...};
     #: not serialized — the chosen schemes are recorded in the blob meta.
@@ -94,7 +98,15 @@ class EngineConfig:
     def predict_stage(self) -> InterpPredict:
         return InterpPredict(self.interp)
 
-    def quantize_stage(self) -> LinearQuantize:
+    def quantize_stage(self) -> "LinearQuantize | AdaptiveLinearQuantize":
+        if self.adaptive is not None:
+            return AdaptiveLinearQuantize(
+                self.error_bound,
+                self.radius,
+                adaptive_bits=self.adaptive.bits,
+                threshold=self.adaptive.threshold,
+                level_eb_factors=self.level_eb_factors,
+            )
         return LinearQuantize(self.error_bound, self.radius, self.level_eb_factors)
 
     def index_transforms(self) -> tuple:
@@ -119,6 +131,11 @@ class EngineConfig:
                 int(k): float(v) for k, v in meta["level_eb_factors"].items()
             },
             qp=QPConfig.from_dict(meta["qp"]),
+            adaptive=(
+                AdaptiveConfig.from_dict(meta["adaptive"])
+                if meta.get("adaptive") is not None
+                else None
+            ),
         )
 
 
@@ -275,6 +292,10 @@ def compress_volume(
     }
     for t in transforms:
         meta[t.meta_key] = t.config.to_dict()
+    if cfg.adaptive is not None:
+        # only written when enabled: absence keeps every pre-adaptive blob
+        # byte-identical (golden digests stay frozen)
+        meta["adaptive"] = cfg.adaptive.to_dict()
     if state is not None:
         state.extras["decoded"] = arr
     return meta, index_stream, literals, anchors
@@ -361,7 +382,10 @@ def _moved_axes(ndim: int, primary: int) -> list[int]:
 #: meta keys that must match across volumes for them to share one pass
 #: schedule (methods and level_eb_factors may differ — they are only used
 #: per-volume, never inside the batched transform inverse).
-_SCHEDULE_KEYS = ("levels", "structure", "axis_order", "level_schemes", "radius", "qp")
+_SCHEDULE_KEYS = (
+    "levels", "structure", "axis_order", "level_schemes", "radius", "qp",
+    "adaptive",
+)
 
 
 def _inverse_transforms_multi(

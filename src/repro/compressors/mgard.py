@@ -21,7 +21,7 @@ from typing import Any
 import numpy as np
 
 from ..codecs import compress as lossless_compress
-from ..core.config import QPConfig
+from ..core.config import AdaptiveConfig, QPConfig
 from ..errors import CorruptBlobError, ReproError
 from ..pipeline.driver import decode_engine_blob
 from ..utils.levels import num_levels
@@ -51,23 +51,53 @@ class MGARD(Compressor):
         qp: QPConfig | None = None,
         radius: int = 32768,
         lossless_backend: str = "zlib",
+        adaptive: AdaptiveConfig | None = None,
     ) -> None:
         super().__init__(error_bound, lossless_backend)
         self.qp = qp or QPConfig.disabled()
         self.radius = radius
+        if isinstance(adaptive, dict):
+            adaptive = AdaptiveConfig.from_dict(adaptive)
+        self.adaptive = adaptive
+
+    @staticmethod
+    def _level_factors(levels: int) -> dict[int, float]:
+        # L2-weight-style allocation: level l quantized 2**((l-1)/2) finer
+        return {l: 2.0 ** (-(l - 1) / 2.0) for l in range(1, levels + 1)}
 
     def _engine_config(self, shape: tuple[int, ...]) -> EngineConfig:
-        levels = num_levels(shape)
-        # L2-weight-style allocation: level l quantized 2**((l-1)/2) finer
-        factors = {l: 2.0 ** (-(l - 1) / 2.0) for l in range(1, levels + 1)}
         return EngineConfig(
             error_bound=self.error_bound,
             radius=self.radius,
             interp="linear",  # multilinear basis
             structure="multidim",
-            level_eb_factors=factors,
+            level_eb_factors=self._level_factors(num_levels(shape)),
             qp=self.qp,
+            adaptive=self.adaptive,
         )
+
+    def _tuned_for(self, data: np.ndarray) -> "MGARD":
+        """Sampling tuner with MGARD's basis pinned: the multilinear
+        interpolant, multidim structure, and L2-weight level allocation are
+        part of the format, so only QP and adaptivity are searched."""
+        import copy
+
+        from ..core.autotune import autotune
+
+        decision = autotune(
+            data, self.error_bound, radius=self.radius,
+            fixed={
+                "interp": "linear",
+                "structure": "multidim",
+                "axis_order": None,
+                "level_eb_factors": self._level_factors,
+            },
+        )
+        tuned = copy.copy(self)
+        tuned.qp = decision.qp_config()
+        tuned.adaptive = decision.adaptive_config()
+        tuned.tuning_decision = decision
+        return tuned
 
     def _compress(
         self, data: np.ndarray, state: CompressionState | None

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.config import QPConfig
+from ..core.config import AdaptiveConfig, QPConfig
 from ..metrics_light import psnr_estimate
 from .interp_engine import EngineConfig, compress_volume, level_error_bounds
 from .sz3 import SZ3, _center_sample
@@ -46,6 +46,7 @@ class QoZ(SZ3):
         interp: str = "auto",
         radius: int = 32768,
         lossless_backend: str = "zlib",
+        adaptive: AdaptiveConfig | None = None,
     ) -> None:
         super().__init__(
             error_bound,
@@ -54,6 +55,7 @@ class QoZ(SZ3):
             interp=interp,
             radius=radius,
             lossless_backend=lossless_backend,
+            adaptive=adaptive,
         )
         self.alpha = alpha
         self.beta = beta
@@ -67,8 +69,10 @@ class QoZ(SZ3):
             error_bound=self.error_bound,
             radius=self.radius,
             interp=self.interp,
+            axis_order=self.axis_order,
             level_eb_factors=level_error_bounds(self.error_bound, levels, alpha, beta),
             qp=self.qp,
+            adaptive=self.adaptive,
         )
 
     def _tune(self, data: np.ndarray, levels: int) -> tuple[float, float]:

@@ -17,7 +17,7 @@ import numpy as np
 from ..codecs import compress as lossless_compress, decompress as lossless_decompress
 from ..codecs.fixed import decode_fixed, encode_fixed
 from ..core.characterize import shannon_entropy
-from ..core.config import QPConfig
+from ..core.config import AdaptiveConfig, QPConfig
 from ..pipeline.driver import decode_engine_blob, engine_decode_item, spec_for_blob
 from ..predictors.lorenzo import LorenzoResult, lorenzo_decode, lorenzo_encode
 from .base import (
@@ -86,6 +86,7 @@ class SZ3(Compressor):
         lossless_backend: str = "zlib",
         huffman_block_size: int | None = None,
         entropy: str = "huffman",
+        adaptive: AdaptiveConfig | None = None,
     ) -> None:
         super().__init__(error_bound, lossless_backend)
         if predictor not in ("auto", "interp", "lorenzo", "regression"):
@@ -101,6 +102,11 @@ class SZ3(Compressor):
 
         entropy_stage(entropy)  # raises on unknown name
         self.entropy = entropy
+        if isinstance(adaptive, dict):
+            adaptive = AdaptiveConfig.from_dict(adaptive)
+        self.adaptive = adaptive
+        #: interpolation axis order; only the auto-tuner sets this
+        self.axis_order: tuple[int, ...] | None = None
 
     # -- engine configuration (overridden by QoZ/HPEZ subclasses) ----------
 
@@ -109,8 +115,34 @@ class SZ3(Compressor):
             error_bound=self.error_bound,
             radius=self.radius,
             interp=self.interp,
+            axis_order=self.axis_order,
             qp=self.qp,
+            adaptive=self.adaptive,
         )
+
+    # -- sampling auto-tuner (compress(auto=True)) --------------------------
+
+    def _tuned_for(self, data: np.ndarray) -> "SZ3":
+        """Joint sampling tuner: interp / axis order / per-level eb /
+        adaptive_bits / QP on a few strided blocks (see
+        :func:`repro.core.autotune.autotune`).  Returns a tuned copy; the
+        original instance keeps its configuration."""
+        import copy
+
+        from ..core.autotune import autotune
+
+        decision = autotune(data, self.error_bound, radius=self.radius)
+        tuned = copy.copy(self)
+        tuned.predictor = "interp"  # the tuner searches the interp engine
+        tuned.interp = decision.interp
+        tuned.axis_order = decision.axis_order
+        tuned.qp = decision.qp_config()
+        tuned.adaptive = decision.adaptive_config()
+        if hasattr(tuned, "alpha"):  # QoZ/HPEZ level-eb scaling
+            tuned.alpha = decision.alpha
+            tuned.beta = decision.beta
+        tuned.tuning_decision = decision
+        return tuned
 
     # -- predictor selection -------------------------------------------------
 
@@ -122,6 +154,11 @@ class SZ3(Compressor):
         won, so the compression path reuses it instead of encoding twice."""
         if self.predictor != "auto":
             return self.predictor, None
+        if self.adaptive is not None:
+            # reserved-index adaptivity lives in the interp engine's
+            # quantizer only; an explicit adaptive config would be silently
+            # dropped on the Lorenzo/regression paths, so pin the engine
+            return "interp", None
         try:
             lres, _ = lorenzo_encode(
                 data, self.error_bound, self.radius, want_recon=False

@@ -9,10 +9,12 @@ from .characterize import (
     slice_entropy,
 )
 from .conditions import compensation
-from .config import QP_CONDITIONS, QP_DIMENSIONS, QPConfig
+from .config import ADAPTIVE_MAX_BITS, QP_CONDITIONS, QP_DIMENSIONS, AdaptiveConfig, QPConfig
 from .qp import effective_dimension, qp_forward, qp_inverse
 
 __all__ = [
+    "AdaptiveConfig",
+    "ADAPTIVE_MAX_BITS",
     "QPConfig",
     "QP_DIMENSIONS",
     "QP_CONDITIONS",

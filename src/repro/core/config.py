@@ -1,12 +1,23 @@
-"""Configuration of the quantization index prediction (QP) stage."""
+"""Configuration of the quantization index prediction (QP) stage and the
+adaptive (reserved-index) quantizer."""
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["QPConfig", "QP_DIMENSIONS", "QP_CONDITIONS"]
+__all__ = [
+    "QPConfig",
+    "QP_DIMENSIONS",
+    "QP_CONDITIONS",
+    "AdaptiveConfig",
+    "ADAPTIVE_MAX_BITS",
+]
 
 QP_DIMENSIONS = ("1d-back", "1d-top", "1d-left", "2d", "3d")
 QP_CONDITIONS = ("I", "II", "III", "IV")
+
+#: cap on ``adaptive_bits`` — tightening by 2^12 already exceeds the dynamic
+#: range any float32 bound survives, and the cap bounds wire-index growth.
+ADAPTIVE_MAX_BITS = 12
 
 
 @dataclass(frozen=True)
@@ -60,3 +71,55 @@ class QPConfig:
     @staticmethod
     def from_dict(d: dict) -> "QPConfig":
         return QPConfig(**d)
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Settings for the in-band adaptive quantizer (reserved-index scheme).
+
+    ``bits``
+        Hard-to-predict points are re-quantized against the tightened bound
+        ``eb / 2**bits`` (SZ3's ``AdaptiveLinearQuantizer`` mechanism).
+    ``threshold``
+        A point is *hard* when its coarse index magnitude reaches this value;
+        wire indices with ``|w| >= threshold`` are reserved to signal the
+        tightened bound in-band, so decode needs no side channel.
+    """
+
+    bits: int = 2
+    threshold: int = 4
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.bits, int) or isinstance(self.bits, bool):
+            raise ValueError("bits must be an int")
+        if not isinstance(self.threshold, int) or isinstance(self.threshold, bool):
+            raise ValueError("threshold must be an int")
+        if not 1 <= self.bits <= ADAPTIVE_MAX_BITS:
+            raise ValueError(f"bits must be in [1, {ADAPTIVE_MAX_BITS}]")
+        if self.threshold < 1:
+            raise ValueError("threshold must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {"bits": self.bits, "threshold": self.threshold}
+
+    @staticmethod
+    def from_dict(d: dict) -> "AdaptiveConfig":
+        """Rebuild from an untrusted header dict; raises a typed error.
+
+        Decode paths call this on attacker-controllable bytes, so range and
+        type violations must surface as :class:`CorruptBlobError`, not as
+        bare ``ValueError``/``TypeError``.
+        """
+        from ..errors import CorruptBlobError
+
+        if not isinstance(d, dict):
+            raise CorruptBlobError(f"adaptive config must be a dict, got {type(d).__name__}")
+        extra = set(d) - {"bits", "threshold"}
+        if extra:
+            raise CorruptBlobError(f"unknown adaptive config keys: {sorted(extra)}")
+        try:
+            return AdaptiveConfig(
+                bits=d.get("bits", 2), threshold=d.get("threshold", 4)
+            )
+        except (ValueError, TypeError) as exc:
+            raise CorruptBlobError(f"invalid adaptive config: {exc}") from exc

@@ -26,6 +26,11 @@ Op contracts (shared with :mod:`repro.kernels.numba_backend`):
     Sequential per-axis differencing (prepend-zero) and its cumsum inverse.
 ``interp.linear_fill(known, pred, n_inner)`` / ``interp.cubic_fill(...)``
     Midpoint prediction fills writing into ``pred[:n_inner]``.
+``adaptive_quantize.encode(values, preds, eb, bits, threshold, radius)``
+    Reserved-index adaptive quantization returning
+    ``(wire, decoded, literals, n_adaptive)``.
+``adaptive_quantize.decode(indices, preds, literals, eb, bits, threshold, radius)``
+    Its exact inverse (bit-identical reconstruction).
 """
 from __future__ import annotations
 
@@ -134,6 +139,30 @@ def inverse_cumsum(q):
     return q
 
 
+# ----------------------------------------------------- adaptive quantize
+
+def adaptive_encode(values, preds, error_bound, bits, threshold, radius):
+    def _resolve():
+        from ..quantize.adaptive import adaptive_encode as fn
+
+        return fn
+
+    return _delegate("adaptive_encode", _resolve)(
+        values, preds, error_bound, bits, threshold, radius
+    )
+
+
+def adaptive_decode(indices, preds, literals, error_bound, bits, threshold, radius):
+    def _resolve():
+        from ..quantize.adaptive import adaptive_decode as fn
+
+        return fn
+
+    return _delegate("adaptive_decode", _resolve)(
+        indices, preds, literals, error_bound, bits, threshold, radius
+    )
+
+
 # ----------------------------------------------------------------- interp
 
 def linear_fill(known, pred, n_inner):
@@ -162,6 +191,7 @@ OPS = {
     "qp": {"walk_2d": walk_2d, "walk_3d": walk_3d},
     "lorenzo": {"forward_diff": forward_diff, "inverse_cumsum": inverse_cumsum},
     "interp": {"linear_fill": linear_fill, "cubic_fill": cubic_fill},
+    "adaptive_quantize": {"encode": adaptive_encode, "decode": adaptive_decode},
 }
 
 for _stage, _ops in OPS.items():

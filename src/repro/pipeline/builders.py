@@ -92,11 +92,28 @@ def _qp_params(qp: dict | None) -> dict[str, Any]:
     return {"config": dict(qp)} if qp else {}
 
 
+def _quantize_spec(adaptive: dict | None) -> StageSpec:
+    """The quantize link of the chain: the classic ``quantize`` stage, or
+    the ``adaptive_quantize`` variant when an adaptive config is present.
+    Stage-id change, never a silent param change — existing specs (and
+    their headers/digests) are untouched when ``adaptive`` is None."""
+    if not adaptive:
+        return StageSpec("quantize", {})
+    return StageSpec(
+        "adaptive_quantize",
+        {
+            "adaptive_bits": adaptive["bits"],
+            "threshold": adaptive["threshold"],
+        },
+    )
+
+
 def _interp_stack(
     *,
     interp: str = "auto",
     layout: str = "global",
     qp: dict | None = None,
+    adaptive: dict | None = None,
     entropy: str = "huffman",
     backend: str = "zlib",
 ) -> tuple[StageSpec, ...]:
@@ -105,7 +122,7 @@ def _interp_stack(
     is between quantization and entropy coding)."""
     return (
         StageSpec("interp_predict", {"interp": interp, "layout": layout}),
-        StageSpec("quantize", {}),
+        _quantize_spec(adaptive),
         StageSpec("qp", _qp_params(qp)),
         StageSpec(entropy, {}),
         StageSpec("lossless", {"backend": backend}),
@@ -121,18 +138,37 @@ def _engine_qp(header: dict) -> dict | None:
     return None
 
 
+def _engine_adaptive(header: dict) -> dict | None:
+    engine = header.get("engine")
+    if isinstance(engine, dict):
+        adaptive = engine.get("adaptive")
+        if isinstance(adaptive, dict):
+            # validates bits/threshold with typed errors before the values
+            # reach stage construction
+            from ..core.config import AdaptiveConfig
+
+            return AdaptiveConfig.from_dict(adaptive).to_dict()
+    return None
+
+
 # -- the seven registered compressors (registration order = registry order) --
 
 
 def _derive_mgard(header: dict) -> PipelineSpec:
-    return mgard_pipeline(qp=_engine_qp(header))
+    return mgard_pipeline(
+        qp=_engine_qp(header), adaptive=_engine_adaptive(header)
+    )
 
 
 @register_pipeline("mgard", "repro.compressors.mgard:MGARD", derive=_derive_mgard)
-def mgard_pipeline(qp: dict | None = None) -> PipelineSpec:
+def mgard_pipeline(
+    qp: dict | None = None, adaptive: dict | None = None
+) -> PipelineSpec:
     return PipelineSpec(
         "mgard",
-        _interp_stack(interp="linear", layout="multidim", qp=qp),
+        _interp_stack(
+            interp="linear", layout="multidim", qp=qp, adaptive=adaptive
+        ),
     )
 
 
@@ -140,6 +176,7 @@ def _derive_sz3(header: dict) -> PipelineSpec:
     return sz3_pipeline(
         predictor=header.get("predictor", "interp"),
         qp=_engine_qp(header),
+        adaptive=_engine_adaptive(header),
         entropy=header.get("entropy", "huffman"),
     )
 
@@ -149,6 +186,7 @@ def sz3_pipeline(
     predictor: str = "interp",
     interp: str = "auto",
     qp: dict | None = None,
+    adaptive: dict | None = None,
     entropy: str = "huffman",
 ) -> PipelineSpec:
     """SZ3's three frontends are three stage chains over shared tails; the
@@ -167,28 +205,42 @@ def sz3_pipeline(
             StageSpec("lossless", {}),
         )
     else:
-        stages = _interp_stack(interp=interp, qp=qp, entropy=entropy)
+        stages = _interp_stack(
+            interp=interp, qp=qp, adaptive=adaptive, entropy=entropy
+        )
     return PipelineSpec("sz3", stages)
 
 
 def _derive_qoz(header: dict) -> PipelineSpec:
-    return qoz_pipeline(qp=_engine_qp(header))
+    return qoz_pipeline(
+        qp=_engine_qp(header), adaptive=_engine_adaptive(header)
+    )
 
 
 @register_pipeline("qoz", "repro.compressors.qoz:QoZ", derive=_derive_qoz)
-def qoz_pipeline(qp: dict | None = None) -> PipelineSpec:
-    return PipelineSpec("qoz", _interp_stack(qp=qp))
+def qoz_pipeline(
+    qp: dict | None = None, adaptive: dict | None = None
+) -> PipelineSpec:
+    return PipelineSpec("qoz", _interp_stack(qp=qp, adaptive=adaptive))
 
 
 def _derive_hpez(header: dict) -> PipelineSpec:
     return hpez_pipeline(
-        layout=header.get("mode", "global"), qp=_engine_qp(header)
+        layout=header.get("mode", "global"),
+        qp=_engine_qp(header),
+        adaptive=_engine_adaptive(header),
     )
 
 
 @register_pipeline("hpez", "repro.compressors.hpez:HPEZ", derive=_derive_hpez)
-def hpez_pipeline(layout: str = "global", qp: dict | None = None) -> PipelineSpec:
-    return PipelineSpec("hpez", _interp_stack(layout=layout, qp=qp))
+def hpez_pipeline(
+    layout: str = "global",
+    qp: dict | None = None,
+    adaptive: dict | None = None,
+) -> PipelineSpec:
+    return PipelineSpec(
+        "hpez", _interp_stack(layout=layout, qp=qp, adaptive=adaptive)
+    )
 
 
 @register_pipeline("zfp", "repro.compressors.zfp:ZFP")

@@ -25,10 +25,11 @@ from ..codecs import (
     compress as lossless_compress,
     decompress as lossless_decompress,
 )
-from ..core.config import QPConfig
+from ..core.config import AdaptiveConfig, QPConfig
 from ..core.qp import qp_forward, qp_inverse, qp_inverse_multi
-from ..obs import span as obs_span
+from ..obs import metric_count, span as obs_span
 from ..predictors.interpolation import predict_midpoints
+from ..quantize.adaptive import AdaptiveLinearQuantizer
 from ..quantize.linear import LinearQuantizer
 from .spec import register_stage
 
@@ -39,6 +40,7 @@ __all__ = [
     "LorenzoPredict",
     "RegressionPredict",
     "LinearQuantize",
+    "AdaptiveLinearQuantize",
     "QPTransform",
     "HuffmanEncode",
     "RangeEncode",
@@ -269,6 +271,73 @@ class LinearQuantize:
     def inverse(self, ctx: StageContext, payload: Any) -> np.ndarray:
         indices, pred, literals = payload
         return self.for_level(ctx.level).dequantize(indices, pred, literals)
+
+
+@register_stage("adaptive_quantize")
+class AdaptiveLinearQuantize:
+    """Reserved-index adaptive quantization (tightened bound at hard points).
+
+    Same shape as :class:`LinearQuantize` — per-level quantizer cache,
+    ``(values, pred)`` forward / ``(indices, pred, literals)`` inverse —
+    but the per-level quantizer is an
+    :class:`~repro.quantize.adaptive.AdaptiveLinearQuantizer` that
+    tightens the effective bound by ``2**adaptive_bits`` wherever the
+    coarse index magnitude reaches ``threshold``, signalled in-band via
+    the reserved index range (see :mod:`repro.quantize.adaptive` for the
+    wire encoding).  A separate stage id keeps existing specs, headers,
+    and golden digests byte-frozen: adaptivity is a new spec variant.
+    """
+
+    def __init__(
+        self,
+        error_bound: float = 0.0,
+        radius: int = 32768,
+        adaptive_bits: int = 2,
+        threshold: int = 4,
+        level_eb_factors: dict[int, float] | None = None,
+        backend: str | None = None,
+    ) -> None:
+        # validate early — specs are built from untrusted headers
+        AdaptiveConfig(bits=adaptive_bits, threshold=threshold)
+        self.error_bound = error_bound
+        self.radius = radius
+        self.adaptive_bits = int(adaptive_bits)
+        self.threshold = int(threshold)
+        self.level_eb_factors = dict(level_eb_factors or {})
+        self.backend = backend
+        self._per_level: dict[int, AdaptiveLinearQuantizer] = {}
+
+    @property
+    def sentinel(self) -> int:
+        return -self.radius
+
+    def for_level(self, level: int) -> AdaptiveLinearQuantizer:
+        q = self._per_level.get(level)
+        if q is None:
+            eb = self.error_bound * self.level_eb_factors.get(level, 1.0)
+            q = AdaptiveLinearQuantizer(
+                eb, self.radius, bits=self.adaptive_bits,
+                threshold=self.threshold, backend=self.backend,
+            )
+            self._per_level[level] = q
+        return q
+
+    def forward(self, ctx: StageContext, payload: Any) -> Any:
+        values, pred = payload
+        quant = self.for_level(ctx.level)
+        if quant.backend is None and ctx.backend is not None:
+            quant.backend = ctx.backend
+        result = quant.quantize(values, pred)
+        metric_count("quantize.adaptive_points", quant.last_adaptive)
+        metric_count("quantize.points", int(np.asarray(values).size))
+        return result
+
+    def inverse(self, ctx: StageContext, payload: Any) -> np.ndarray:
+        indices, pred, literals = payload
+        quant = self.for_level(ctx.level)
+        if quant.backend is None and ctx.backend is not None:
+            quant.backend = ctx.backend
+        return quant.dequantize(indices, pred, literals)
 
 
 # -- index-stream transforms --------------------------------------------------

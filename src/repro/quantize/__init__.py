@@ -1,4 +1,5 @@
 """Quantization stage."""
+from .adaptive import AdaptiveLinearQuantizer
 from .linear import LinearQuantizer, QuantResult
 
-__all__ = ["LinearQuantizer", "QuantResult"]
+__all__ = ["AdaptiveLinearQuantizer", "LinearQuantizer", "QuantResult"]

@@ -34,6 +34,16 @@ def noisy_field(smooth_field):
     )
 
 
+@pytest.fixture()
+def tuner_rng():
+    """Deterministic RNG for the sampling auto-tuner's block jitter.
+
+    Function-scoped on purpose: every test that samples tuner blocks starts
+    from the same stream, so tuner decisions are reproducible run to run
+    and across test-selection order."""
+    return np.random.default_rng(2024)
+
+
 @pytest.fixture(scope="session")
 def field_2d():
     n = 64

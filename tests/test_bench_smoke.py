@@ -37,7 +37,7 @@ def report(report_path):
 
 
 def test_report_envelope(report):
-    assert report["schema_version"] == 4
+    assert report["schema_version"] == 5
     assert report["timing_source"] == "repro.obs"
     assert report["smoke"] is True
     assert report["has_stage_profiler"] is True
@@ -49,11 +49,28 @@ def test_report_envelope(report):
 
 
 def test_full_matrix_present(report):
-    # 4 bases x qp on/off on the smoke grid (no parallel row in smoke mode)
-    combos = {(r["base"], r["qp"]) for r in report["results"]}
+    # 4 bases x qp on/off on the smoke grid (no parallel row in smoke mode),
+    # plus one auto-tuned row per base (schema v5)
+    fixed = [r for r in report["results"] if not r.get("auto")]
+    auto = [r for r in report["results"] if r.get("auto")]
+    combos = {(r["base"], r["qp"]) for r in fixed}
     assert combos == {
         (base, qp) for base in ("sz3", "qoz", "hpez", "mgard") for qp in (False, True)
     }
+    assert {r["base"] for r in auto} == {"sz3", "qoz", "hpez", "mgard"}
+
+
+def test_auto_rows_record_tuner_decisions(report):
+    for row in report["results"]:
+        if not row.get("auto"):
+            continue
+        assert 0.0 <= row["adaptive_fraction"] <= 1.0
+        tuning = row["tuning"]
+        assert tuning is not None
+        assert {"interp", "structure", "axis_order", "alpha", "beta",
+                "adaptive_bits", "adaptive_threshold", "qp", "score",
+                "adaptive_fraction", "n_blocks", "block_side"} <= set(tuning)
+        assert tuning["n_blocks"] >= 1
 
 
 def test_row_schema(report):
@@ -66,7 +83,7 @@ def test_row_schema(report):
     for row in report["results"]:
         assert required <= set(row)
         assert set(row["kernel_backends"]) == {
-            "huffman", "interp", "lorenzo", "qp"
+            "adaptive_quantize", "huffman", "interp", "lorenzo", "qp"
         }
         assert row["compressed_bytes"] > 0
         assert row["ratio"] > 1.0
@@ -122,6 +139,8 @@ def test_compare_reports_counts_stage_metrics(bench_mod, report):
     assert all(v >= 0 for v in flat.values())
     # numpy rows keep unsuffixed keys, so a v3 baseline compares cleanly
     assert not any("/backend=numpy" in k for k in flat)
+    # auto rows are suffixed so they never collide with the fixed rows
+    assert any("/auto:" in k for k in flat)
 
 
 def test_flatten_suffixes_compiled_backend_rows(bench_mod, report):

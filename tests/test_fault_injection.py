@@ -23,13 +23,17 @@ import pytest
 from repro.codecs import fixed as fixed_codec
 from repro.codecs import huffman, lossless
 from repro.compressors import decompress_any, get_compressor, supports_qp
-from repro.core.config import QPConfig
+from repro.core.config import AdaptiveConfig, QPConfig
 from repro.errors import CorruptBlobError, ReproError, TruncatedStreamError
 from repro.testing import INJECTORS, run_corruption_matrix
 
 pytestmark = pytest.mark.faults
 
 ALL_COMPRESSORS = ("mgard", "sz3", "qoz", "hpez", "zfp", "tthresh", "sperr")
+#: engine compressors whose quantize stage has the adaptive spec variant —
+#: its reserved-index wire format and adaptive header block are extra
+#: decode surface, so each gets its own matrix rows
+ADAPTIVE_COMPRESSORS = ("mgard", "sz3", "qoz", "hpez")
 SEEDS = range(3)
 DEADLINE_S = 10.0
 
@@ -46,24 +50,28 @@ def _compressor_configs():
     for name in ALL_COMPRESSORS:
         qp_modes = (False, True) if supports_qp(name) else (False,)
         for qp_on in qp_modes:
-            yield name, qp_on
+            yield name, qp_on, False
+    for name in ADAPTIVE_COMPRESSORS:
+        yield name, True, True
 
 
-def _build(name, qp_on, checksum):
+def _build(name, qp_on, adaptive_on, checksum):
     data = _make_data()
     kwargs = {}
     if supports_qp(name):
         kwargs["qp"] = QPConfig() if qp_on else QPConfig.disabled()
+    if adaptive_on:
+        kwargs["adaptive"] = AdaptiveConfig(bits=2, threshold=3)
     comp = get_compressor(name, 1e-2, **kwargs)
     return data, comp.compress(data, checksum=checksum)
 
 
 @pytest.mark.parametrize(
-    "name,qp_on", list(_compressor_configs()), ids=lambda v: str(v)
+    "name,qp_on,adaptive_on", list(_compressor_configs()), ids=lambda v: str(v)
 )
-def test_sealed_blobs_all_injectors_typed(name, qp_on):
+def test_sealed_blobs_all_injectors_typed(name, qp_on, adaptive_on):
     """With the v1 envelope, every injector must yield a typed error."""
-    data, sealed = _build(name, qp_on, checksum=True)
+    data, sealed = _build(name, qp_on, adaptive_on, checksum=True)
 
     def decode(blob):
         return decompress_any(blob)
@@ -77,12 +85,12 @@ def test_sealed_blobs_all_injectors_typed(name, qp_on):
 
 
 @pytest.mark.parametrize(
-    "name,qp_on", list(_compressor_configs()), ids=lambda v: str(v)
+    "name,qp_on,adaptive_on", list(_compressor_configs()), ids=lambda v: str(v)
 )
-def test_unsealed_blobs_never_untyped_never_misshapen(name, qp_on):
+def test_unsealed_blobs_never_untyped_never_misshapen(name, qp_on, adaptive_on):
     """Without a checksum a flip may silently decode — but any decode that
     returns must produce the declared shape/dtype, and failures stay typed."""
-    data, blob = _build(name, qp_on, checksum=False)
+    data, blob = _build(name, qp_on, adaptive_on, checksum=False)
 
     def decode(b):
         out = decompress_any(b)

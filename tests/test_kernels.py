@@ -31,7 +31,9 @@ BACKENDS = ("numpy", "numba")
 
 
 def test_all_stages_registered():
-    assert set(kernels.kernel_stages()) == {"huffman", "interp", "lorenzo", "qp"}
+    assert set(kernels.kernel_stages()) == {
+        "adaptive_quantize", "huffman", "interp", "lorenzo", "qp"
+    }
     for stage in kernels.kernel_stages():
         assert "numpy" in kernels.registered_backends(stage)
         assert "numpy" in kernels.available_backends(stage)

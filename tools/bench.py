@@ -22,6 +22,15 @@ metric keys stay unsuffixed for the numpy rows and gain ``/backend=<name>``
 otherwise, so ``--compare`` still accepts a v3 baseline: compiled-backend
 keys show up as ``new`` and are never counted as regressions.
 
+Schema v5: each base additionally gets one ``auto`` row per dataset — the
+compressor is replaced by its sampling-tuned copy (``_tuned_for``) before
+timing, and the row records the full tuner decision (``tuning``, the
+``TuningDecision.to_dict()`` payload) plus the measured
+``adaptive_fraction`` (share of points coded through reserved adaptive
+indices).  Flat metric keys for these rows gain an ``/auto`` suffix, so
+``--compare`` still accepts a v4 baseline: auto keys show up as ``new``
+and are never counted as regressions.
+
 Every future performance PR reruns this harness and compares against the
 committed JSON, so regressions in any stage are visible immediately.
 
@@ -52,7 +61,7 @@ from repro.compressors import get_compressor
 from repro.parallel import ParallelCompressor
 from repro.obs import throughput_mbs
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: benchmark matrix: the four interpolation-based compressors QP integrates with
 BASES = ("sz3", "qoz", "hpez", "mgard")
@@ -131,6 +140,50 @@ def bench_one(
         "decompress_mbs": throughput_mbs(data.nbytes, d_s),
         "max_error": err,
         "stages": _stage_profile(comp, data, blob, repeats),
+    }
+
+
+def bench_auto(
+    base: str,
+    data: np.ndarray,
+    eb: float,
+    repeats: int,
+) -> dict[str, Any]:
+    """One auto-tuned row: tune once, then time the tuned compressor.
+
+    Tuning cost is deliberately excluded from the timed region — the row
+    measures what the tuner *chose*, while its decision (and the adaptive
+    fraction it produced) is recorded alongside so ratio changes can be
+    traced to specific knobs.
+    """
+    comp = get_compressor(base, eb)
+    tuned = comp._tuned_for(data)
+    decision = tuned.tuning_decision
+    blob = tuned.compress(data)
+    out = tuned.decompress(blob)
+    err = float(np.abs(out.astype(np.float64) - data.astype(np.float64)).max())
+    if err > eb * (1 + 1e-9):
+        raise RuntimeError(f"{base}+auto: error bound violated ({err} > {eb})")
+    c_s = _time_best(lambda: tuned.compress(data), repeats)
+    d_s = _time_best(lambda: tuned.decompress(blob), repeats)
+    qp_cfg = getattr(tuned, "qp", None)
+    return {
+        "base": base,
+        "auto": True,
+        "qp": bool(qp_cfg is not None and qp_cfg.enabled),
+        "error_bound": eb,
+        "compressed_bytes": len(blob),
+        "ratio": data.nbytes / len(blob),
+        "compress_s": c_s,
+        "decompress_s": d_s,
+        "compress_mbs": throughput_mbs(data.nbytes, c_s),
+        "decompress_mbs": throughput_mbs(data.nbytes, d_s),
+        "max_error": err,
+        "tuning": decision.to_dict() if decision is not None else None,
+        "adaptive_fraction": (
+            float(decision.adaptive_fraction) if decision is not None else 0.0
+        ),
+        "stages": _stage_profile(tuned, data, blob, repeats),
     }
 
 
@@ -226,6 +279,23 @@ def run(
                             f"{tag}",
                             flush=True,
                         )
+                    row = bench_auto(base, data, eb, repeats)
+                    row.update({
+                        "dataset": dataset,
+                        "shape": list(shape),
+                        "kernel_backend": backend,
+                        "kernel_backends": resolved,
+                    })
+                    results.append(row)
+                    print(
+                        f"{dataset} {base:5s} auto  "
+                        f"  CR={row['ratio']:7.2f}"
+                        f"  comp={row['compress_mbs']:8.2f} MB/s"
+                        f"  decomp={row['decompress_mbs']:8.2f} MB/s"
+                        f"  adaptive={row['adaptive_fraction']:.1%}"
+                        f"{tag}",
+                        flush=True,
+                    )
                 if workers > 1:
                     row = bench_parallel(data, eb, QPConfig(), workers, repeats)
                     row.update({
@@ -319,6 +389,8 @@ def _flatten_timings(report: dict[str, Any]) -> dict[str, float]:
             f"{row.get('dataset', '?')}/{row.get('base', '?')}"
             f"/qp={'on' if row.get('qp') else 'off'}"
         )
+        if row.get("auto"):
+            key += "/auto"
         kb = row.get("kernel_backend")
         if kb and kb != "numpy":
             key += f"/backend={kb}"

@@ -268,6 +268,108 @@ def check_kernels() -> dict[str, list[str]]:
     }
 
 
+def check_adaptive_stage() -> list[str]:
+    """Contract violations for the adaptive-quantize stage (empty = ok).
+
+    Four families of checks:
+
+    * ``AdaptiveConfig`` encoding round-trips, and malformed untrusted
+      headers (out-of-range bits, non-int fields, unknown keys) raise the
+      typed :class:`~repro.errors.CorruptBlobError` — never a silent parse.
+    * The adaptive spec *variant* (an engine pipeline re-derived with an
+      ``adaptive`` header block) swaps exactly the quantize stage id and
+      still honours the version-bump rule.
+    * The stage constructor validates its reserved-index parameters up
+      front, so a bad header fails at build time, not mid-decode.
+    * A small numeric encode/decode round-trip: the global bound holds and
+      reserved-index (hard) points meet the tightened bound.
+    """
+    import numpy as np
+
+    from repro.core.config import ADAPTIVE_MAX_BITS, AdaptiveConfig
+    from repro.errors import CorruptBlobError, VersionError
+    from repro.pipeline import PipelineSpec
+    from repro.pipeline.builders import sz3_pipeline
+    from repro.pipeline.spec import SPEC_HEADER_VERSION
+    from repro.quantize import AdaptiveLinearQuantizer
+
+    problems: list[str] = []
+
+    # -- config encoding round-trip + typed rejection -------------------------
+    cfg = AdaptiveConfig(bits=3, threshold=2)
+    if AdaptiveConfig.from_dict(cfg.to_dict()) != cfg:
+        problems.append("AdaptiveConfig to_dict/from_dict round-trip changed it")
+    for bad in (
+        {"bits": 0, "threshold": 4},
+        {"bits": ADAPTIVE_MAX_BITS + 1, "threshold": 4},
+        {"bits": 2, "threshold": 0},
+        {"bits": "2", "threshold": 4},
+        {"bits": 2, "threshold": 4, "mystery": 1},
+        "not-a-dict",
+    ):
+        try:
+            AdaptiveConfig.from_dict(bad)
+            problems.append(f"from_dict accepted malformed header {bad!r}")
+        except CorruptBlobError:
+            pass
+
+    # -- spec variant: only the quantize stage id changes, versioning holds ---
+    base = sz3_pipeline()
+    variant = sz3_pipeline(adaptive=cfg.to_dict())
+    base_ids = [s.stage for s in base.stages]
+    var_ids = [s.stage for s in variant.stages]
+    swapped = [
+        (a, b) for a, b in zip(base_ids, var_ids) if a != b
+    ]
+    if swapped != [("quantize", "adaptive_quantize")] or len(base_ids) != len(var_ids):
+        problems.append(
+            f"adaptive variant changed stages {swapped} (expected exactly "
+            "quantize -> adaptive_quantize)"
+        )
+    q = variant.stage("adaptive_quantize")
+    if q.params.get("adaptive_bits") != cfg.bits or q.params.get("threshold") != cfg.threshold:
+        problems.append(f"adaptive stage params {q.params} do not carry the config")
+    encoded = variant.to_header()
+    try:
+        if PipelineSpec.from_header(encoded) != variant:
+            problems.append("adaptive spec to_header/from_header changed the spec")
+    except Exception as exc:  # noqa: BLE001
+        problems.append(f"adaptive spec from_header rejected its encoding: {exc!r}")
+    try:
+        PipelineSpec.from_header(dict(encoded, version=SPEC_HEADER_VERSION + 1))
+        problems.append("adaptive spec from_header accepted an unsupported version")
+    except VersionError:
+        pass
+
+    # -- constructor validates reserved-index parameters up front -------------
+    for kwargs in ({"bits": 0}, {"bits": ADAPTIVE_MAX_BITS + 1}, {"threshold": 0}):
+        try:
+            AdaptiveLinearQuantizer(1e-3, **kwargs)
+            problems.append(f"AdaptiveLinearQuantizer accepted {kwargs}")
+        except ValueError:
+            pass
+
+    # -- numeric round-trip: global + tightened bounds ------------------------
+    rng = np.random.default_rng(7)
+    values = rng.normal(size=257).astype(np.float32)
+    preds = values + rng.normal(scale=2e-2, size=values.size).astype(np.float32)
+    eb = 1e-3
+    quant = AdaptiveLinearQuantizer(eb, bits=cfg.bits, threshold=cfg.threshold)
+    res = quant.quantize(values, preds)
+    recon = quant.dequantize(res.indices, preds, literals=res.literals)
+    err = np.abs(recon.astype(np.float64) - values.astype(np.float64))
+    if not np.all(err <= eb * (1 + 1e-12)):
+        problems.append(f"roundtrip global bound violated: max err {err.max():.3e}")
+    hard = (np.abs(res.indices) >= cfg.threshold) & (res.indices != quant.sentinel)
+    if hard.any() and not np.all(err[hard] <= quant.tight_bound * (1 + 1e-12)):
+        problems.append(
+            f"hard points exceed tightened bound {quant.tight_bound:.3e}"
+        )
+    if not np.array_equal(recon, res.decoded):
+        problems.append("dequantize(indices) != encode-side decoded (bit drift)")
+    return problems
+
+
 def check_pipelines() -> dict[str, list[str]]:
     """``pipeline[name]`` -> violations for every registered pipeline."""
     from repro.pipeline import registered_pipelines
@@ -283,6 +385,7 @@ def check_all() -> dict[str, list[str]]:
     out = {name: check_codec(obj) for name, obj in _candidates().items()}
     out.update(check_pipelines())
     out.update(check_kernels())
+    out["stage[adaptive_quantize]"] = check_adaptive_stage()
     return out
 
 

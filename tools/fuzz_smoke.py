@@ -25,7 +25,7 @@ import numpy as np
 from repro.codecs import fixed as fixed_codec
 from repro.codecs import lossless
 from repro.compressors import decompress_any, get_compressor, supports_qp
-from repro.core.config import QPConfig
+from repro.core.config import AdaptiveConfig, QPConfig
 from repro.errors import ReproError
 from repro.pipeline.stages import ENTROPY_STAGES, StageContext
 from repro.testing import INJECTORS
@@ -48,6 +48,16 @@ def _build_targets(seed: int):
             blob = comp.compress(data, checksum=sealed)
             label = f"{name}{'+crc' if sealed else ''}"
             targets.append((label, blob, decompress_any))
+    # adaptive-quantize spec variant: the reserved-index wire format plus
+    # its header block ("adaptive": {bits, threshold}) are extra decode
+    # surface, so every engine compressor gets a fuzzed adaptive blob too
+    for name in ("mgard", "sz3", "qoz", "hpez"):
+        comp = get_compressor(
+            name, 1e-2, qp=QPConfig(),
+            adaptive=AdaptiveConfig(bits=2, threshold=3),
+        )
+        blob = comp.compress(data)
+        targets.append((f"{name}+adaptive", blob, decompress_any))
     symbols = rng.integers(0, 40, size=3000).astype(np.int64)
     # every registered entropy stage, enumerated from the pipeline registry
     # so new wire formats (e.g. ans) are fuzzed without touching this list
