@@ -55,6 +55,7 @@ from .metrics import EvalResult, evaluate, psnr
 from .core.autotune import autotune_qp
 from .modes import PointwiseRelativeCompressor, relative_bound
 from .parallel import ParallelCompressor
+from .streaming import StreamResult, stream_compress, stream_decompress
 from .temporal import TemporalCompressor
 
 __version__ = "1.0.0"

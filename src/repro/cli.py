@@ -103,6 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="interpret --eb relative to the value range")
     p.add_argument("--checksum", action="store_true",
                    help="seal the blob in the v1 integrity envelope (CRC32)")
+    p.add_argument("--stream", action="store_true",
+                   help="streaming out-of-core mode: memory-map the input, "
+                        "walk it in bounded slabs, and flush per-slab "
+                        "segments to the output incrementally (peak memory "
+                        "O(slab), not O(volume))")
+    p.add_argument("--slab-mb", type=float, default=None,
+                   help="streaming slab budget in MiB (default ~12)")
     _add_qp_args(p)
     _add_adaptive_args(p)
 
@@ -217,6 +224,8 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _cmd_compress(args) -> int:
+    if getattr(args, "stream", False):
+        return _cmd_compress_stream(args)
     data = np.load(args.input)
     comp = _make_compressor(args, data)
     blob = comp.compress(
@@ -234,12 +243,43 @@ def _cmd_compress(args) -> int:
     return 0
 
 
+def _cmd_compress_stream(args) -> int:
+    if getattr(args, "auto", False):
+        raise SystemExit("--auto samples the full volume; not available "
+                         "with --stream")
+    # memory-map the source: slabs page in as the pipeline reaches them,
+    # so a volume much larger than RAM still compresses
+    data = np.load(args.input, mmap_mode="r")
+    comp = _make_compressor(args, data)
+    slab_mb = getattr(args, "slab_mb", None)
+    slab_bytes = int(slab_mb * (1 << 20)) if slab_mb else None
+    with open(args.output, "wb") as f:
+        res = comp.compress_stream(
+            data, f,
+            slab_bytes=slab_bytes,
+            checksum=getattr(args, "checksum", False),
+        )
+    print(f"{args.input}: {res.input_bytes} -> {res.total_bytes} bytes "
+          f"(CR {res.ratio:.2f}) with {comp.name}"
+          f"{'+QP' if getattr(args, 'qp', False) else ''} "
+          f"[streamed: {res.segments} slabs]")
+    return 0
+
+
 def _cmd_decompress(args) -> int:
     from .compressors import decompress_any
+    from .io.container import is_streamed_container
 
     with open(args.input, "rb") as f:
-        blob = f.read()
-    out = decompress_any(blob)
+        head = f.read(4)
+    if is_streamed_container(head):
+        from .streaming import stream_decompress
+
+        out = stream_decompress(args.input)
+    else:
+        with open(args.input, "rb") as f:
+            blob = f.read()
+        out = decompress_any(blob)
     np.save(args.output, out)
     print(f"{args.input} -> {args.output}: {out.shape} {out.dtype}")
     return 0
@@ -467,7 +507,8 @@ def _cmd_stats(args) -> int:
         info = decode_table_cache_info()
         print(f"huffman decode-table cache: {hits} hits / {misses} misses "
               f"this run (process totals: {info['hits']}/{info['misses']}, "
-              f"{info['size']} tables resident)")
+              f"{info['evictions']} evicted, {info['size']}/"
+              f"{info['max_entries']} tables resident)")
     if args.jsonl:
         records = JsonlExporter(args.jsonl).export(
             ob, command="stats", dataset=args.dataset,

@@ -29,17 +29,18 @@ from typing import Any
 
 import numpy as np
 
-from ..codecs import compress as lossless_compress, decompress as lossless_decompress
+from ..codecs import decompress as lossless_decompress
 from ..core.config import AdaptiveConfig, QPConfig
-from ..pipeline.driver import decode_engine_blob, spec_for_blob
+from ..pipeline.driver import decode_engine_blob, encode_engine_sections, spec_for_blob
 from ..utils.blocks import iter_blocks
 from ..utils.levels import num_levels
+from ..utils.validation import check_ndarray
 from .base import (
     Blob,
     CompressionState,
     Compressor,
+    EngineFront,
     decode_index_stream,
-    encode_index_stream,
 )
 from .interp_engine import (
     EngineConfig,
@@ -176,14 +177,29 @@ class HPEZ(Compressor):
         meta, stream, literals, anchors = compress_volume(data, cfg, state)
         if state is not None:
             state.extras["level_schemes"] = dict(cfg.level_schemes)
-        sections = {
-            "indices": encode_index_stream(
-                stream, self.lossless_backend, entropy=self.entropy
-            ),
-            "literals": lossless_compress(literals.tobytes(), self.lossless_backend),
-            "anchors": anchors.tobytes(),
-        }
+        sections = encode_engine_sections(
+            stream, literals, anchors,
+            lossless_backend=self.lossless_backend, entropy=self.entropy,
+        )
         return {"mode": "global", "engine": meta}, sections
+
+    def _stream_front(self, slab: np.ndarray):
+        """Streaming front split for the global mode; block-wise layouts
+        concatenate per-block streams with no clean entropy seam, so they
+        fall back to the whole-blob default."""
+        if self.block_side is not None:
+            return self.compress(slab)
+        slab = check_ndarray(slab)
+        cfg = self._engine_config(slab, with_selector=True)
+        meta, stream, literals, anchors = compress_volume(slab, cfg, None)
+        return EngineFront(
+            slab.shape,
+            slab.dtype,
+            {"mode": "global", "engine": meta},
+            stream,
+            literals,
+            anchors,
+        )
 
     def _compress_blocks(
         self, data: np.ndarray, state: CompressionState | None
@@ -221,13 +237,10 @@ class HPEZ(Compressor):
             "block_side": self.block_side,
             "block_metas": metas,
         }
-        sections = {
-            "indices": encode_index_stream(
-                index_stream, self.lossless_backend, entropy=self.entropy
-            ),
-            "literals": lossless_compress(literals.tobytes(), self.lossless_backend),
-            "anchors": anchors.tobytes(),
-        }
+        sections = encode_engine_sections(
+            index_stream, literals, anchors,
+            lossless_backend=self.lossless_backend, entropy=self.entropy,
+        )
         return header, sections
 
     # -- decompression ----------------------------------------------------------

@@ -20,12 +20,12 @@ from typing import Any
 
 import numpy as np
 
-from ..codecs import compress as lossless_compress
 from ..core.config import AdaptiveConfig, QPConfig
 from ..errors import CorruptBlobError, ReproError
-from ..pipeline.driver import decode_engine_blob
+from ..pipeline.driver import decode_engine_blob, encode_engine_sections
 from ..utils.levels import num_levels
-from .base import Blob, CompressionState, Compressor, encode_index_stream
+from ..utils.validation import check_ndarray
+from .base import Blob, CompressionState, Compressor, EngineFront
 from .interp_engine import EngineConfig, compress_volume
 
 __all__ = ["MGARD"]
@@ -104,14 +104,21 @@ class MGARD(Compressor):
     ) -> tuple[dict[str, Any], dict[str, bytes]]:
         cfg = self._engine_config(data.shape)
         meta, stream, literals, anchors = compress_volume(data, cfg, state)
-        sections = {
-            "indices": encode_index_stream(
-                stream, self.lossless_backend, entropy=self.entropy
-            ),
-            "literals": lossless_compress(literals.tobytes(), self.lossless_backend),
-            "anchors": anchors.tobytes(),
-        }
+        sections = encode_engine_sections(
+            stream, literals, anchors,
+            lossless_backend=self.lossless_backend, entropy=self.entropy,
+        )
         return {"engine": meta}, sections
+
+    def _stream_front(self, slab: np.ndarray):
+        """Streaming front split: the multilevel walk always has the
+        engine's entropy seam, so every slab streams through it."""
+        slab = check_ndarray(slab)
+        cfg = self._engine_config(slab.shape)
+        meta, stream, literals, anchors = compress_volume(slab, cfg, None)
+        return EngineFront(
+            slab.shape, slab.dtype, {"engine": meta}, stream, literals, anchors
+        )
 
     def _decompress(self, blob: Blob) -> np.ndarray:
         return self._reconstruct(blob, stop_level=0)

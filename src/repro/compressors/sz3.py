@@ -18,12 +18,19 @@ from ..codecs import compress as lossless_compress, decompress as lossless_decom
 from ..codecs.fixed import decode_fixed, encode_fixed
 from ..core.characterize import shannon_entropy
 from ..core.config import AdaptiveConfig, QPConfig
-from ..pipeline.driver import decode_engine_blob, engine_decode_item, spec_for_blob
+from ..pipeline.driver import (
+    decode_engine_blob,
+    encode_engine_sections,
+    engine_decode_item,
+    spec_for_blob,
+)
 from ..predictors.lorenzo import LorenzoResult, lorenzo_decode, lorenzo_encode
+from ..utils.validation import check_ndarray
 from .base import (
     Blob,
     CompressionState,
     Compressor,
+    EngineFront,
     decode_index_stream,
     decode_index_streams,
     encode_index_stream,
@@ -211,18 +218,32 @@ class SZ3(Compressor):
     ) -> tuple[dict[str, Any], dict[str, bytes]]:
         cfg = self._engine_config(data)
         meta, stream, literals, anchors = compress_volume(data, cfg, state)
-        sections = {
-            "indices": encode_index_stream(
-                stream, self.lossless_backend, entropy=self.entropy,
-                block_size=self.huffman_block_size,
-            ),
-            "literals": lossless_compress(literals.tobytes(), self.lossless_backend),
-            "anchors": anchors.tobytes(),
-        }
+        sections = encode_engine_sections(
+            stream, literals, anchors,
+            lossless_backend=self.lossless_backend, entropy=self.entropy,
+            block_size=self.huffman_block_size,
+        )
         header: dict[str, Any] = {"predictor": "interp", "engine": meta}
         if self.entropy != "huffman":  # default stays off-header: bytes frozen
             header["entropy"] = self.entropy
         return header, sections
+
+    def _stream_front(self, slab: np.ndarray):
+        """Streaming front split: interp slabs stop before entropy coding.
+
+        Lorenzo/regression wins have no separable entropy seam, so those
+        slabs fall back to the whole-blob default (still byte-identical
+        to ``compress(slab)``)."""
+        slab = check_ndarray(slab)
+        predictor, _trial = self._select_predictor_with_trial(slab)
+        if predictor != "interp":
+            return self.compress(slab)
+        cfg = self._engine_config(slab)
+        meta, stream, literals, anchors = compress_volume(slab, cfg, None)
+        header: dict[str, Any] = {"predictor": "interp", "engine": meta}
+        if self.entropy != "huffman":
+            header["entropy"] = self.entropy
+        return EngineFront(slab.shape, slab.dtype, header, stream, literals, anchors)
 
     def _compress_lorenzo(
         self, data: np.ndarray, state: CompressionState | None, trial=None

@@ -1,5 +1,15 @@
-"""File I/O: raw/npy arrays and multi-field compressed archives."""
+"""File I/O: raw/npy arrays, multi-field compressed archives, and the
+streamed slab container."""
 from .arrays import infer_dtype, load_array, parse_dims, save_array
-from .container import Archive
+from .container import Archive, ContainerReader, ContainerWriter, is_streamed_container
 
-__all__ = ["load_array", "save_array", "infer_dtype", "parse_dims", "Archive"]
+__all__ = [
+    "load_array",
+    "save_array",
+    "infer_dtype",
+    "parse_dims",
+    "Archive",
+    "ContainerWriter",
+    "ContainerReader",
+    "is_streamed_container",
+]

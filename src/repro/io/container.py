@@ -21,23 +21,58 @@ touched, the new index is written and fsynced *before* the footer is
 published, and the journal is removed only after the footer hits the disk.
 :meth:`Archive.recover` (run automatically when a journal is present) either
 confirms the completed append or rolls the file back to its pre-append state.
+
+Streamed slab container (v1)
+----------------------------
+:class:`ContainerWriter` / :class:`ContainerReader` implement the
+incremental variant used by ``compress_stream``: per-slab blob segments are
+flushed to an append-only file-like sink as they finish, and a trailing
+index records per-slab byte offsets so a reader can decode any slab (or
+byte range of slabs) without touching the rest — the seam ROADMAP item 2's
+range-request decode plugs into.  Layout::
+
+    RSTR | u8 ver=1 | u8 axis | u16 reserved | segments... |
+        index JSON | u64 idx_off | u32 idx_crc | RST1
+
+The index is ``{"v": 1, "axis": a, "segments": [[offset, size, crc32],
+...], "meta": {...}}``; segment offsets are absolute, strictly increasing
+and contiguous (validated on open), and ``meta`` carries the volume
+geometry (``compressor``/``dtype``/``shape``/``error_bound``) so decode can
+preallocate the output.  This framing is additive: in-memory blobs
+(``RPRC``/``RPR1``) and the slab-parallel container (``RPAR``) are
+untouched, so all golden digests stay frozen.
 """
 from __future__ import annotations
 
+import io
 import json
 import os
 import pathlib
 import struct
 import zlib
+from typing import Any, BinaryIO, Iterator
 
-from ..errors import CorruptArchiveError, IntegrityError, TruncatedStreamError
+from ..errors import (
+    CorruptArchiveError,
+    CorruptBlobError,
+    IntegrityError,
+    TruncatedStreamError,
+    VersionError,
+)
 
-__all__ = ["Archive"]
+__all__ = ["Archive", "ContainerWriter", "ContainerReader", "is_streamed_container"]
 
 _MAGIC = b"RARC"
 _FOOT_V0 = b"CRAR"
 _FOOT_V1 = b"RAR1"
 _JOURNAL_MAGIC = b"RJNL"
+
+_STREAM_MAGIC = b"RSTR"
+_STREAM_FOOT = b"RST1"
+#: streamed slab-container format revision written by this module
+STREAM_FORMAT_VERSION = 1
+_STREAM_HEADER_LEN = 8
+_STREAM_FOOTER_LEN = 16
 
 #: on-disk archive format revision written by this module
 ARCHIVE_FORMAT_VERSION = 1
@@ -331,3 +366,271 @@ class Archive:
 
 class _SimulatedCrash(RuntimeError):
     """Raised by the ``_crash_point`` fault-injection hooks in append."""
+
+
+# -- streamed slab container -------------------------------------------------
+
+
+def is_streamed_container(head: bytes) -> bool:
+    """True when ``head`` (>= 4 bytes) starts a streamed slab container."""
+    return head[:4] == _STREAM_MAGIC
+
+
+class ContainerWriter:
+    """Incremental writer for the streamed slab container.
+
+    Segments (complete per-slab blobs) are written to ``sink`` the moment
+    they are appended — the writer never buffers more than the index — so
+    a huge volume streams through O(slab) memory.  ``sink`` only needs a
+    ``write`` method (regular file, socket wrapper, ``BytesIO``); the
+    offset index is tracked writer-side and published by :meth:`finalize`
+    as the trailing index + footer.  Usable as a context manager
+    (finalizes on clean exit).
+    """
+
+    def __init__(
+        self,
+        sink: BinaryIO,
+        *,
+        axis: int = 0,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        if not 0 <= int(axis) < 256:
+            raise ValueError(f"slab axis {axis!r} out of range")
+        self._sink = sink
+        self.axis = int(axis)
+        self.meta = dict(meta) if meta else {}
+        self._segments: list[list[int]] = []
+        self._pos = 0
+        self._finalized = False
+        self._write(
+            _STREAM_MAGIC
+            + struct.pack("<BBH", STREAM_FORMAT_VERSION, self.axis, 0)
+        )
+
+    def _write(self, data: bytes) -> None:
+        self._sink.write(data)
+        self._pos += len(data)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def bytes_written(self) -> int:
+        return self._pos
+
+    def offsets(self) -> list[tuple[int, int]]:
+        """Per-segment ``(offset, size)`` pairs written so far."""
+        return [(off, size) for off, size, _crc in self._segments]
+
+    def append(self, segment: bytes) -> int:
+        """Flush one complete segment to the sink; returns its index."""
+        if self._finalized:
+            raise ValueError("ContainerWriter is finalized")
+        segment = bytes(segment)
+        if not segment:
+            raise ValueError("empty segment")
+        self._segments.append([self._pos, len(segment), _crc32(segment)])
+        self._write(segment)
+        return len(self._segments) - 1
+
+    def finalize(self) -> dict[str, Any]:
+        """Publish the trailing index + footer; returns a summary dict."""
+        if self._finalized:
+            raise ValueError("ContainerWriter is already finalized")
+        index = {
+            "v": STREAM_FORMAT_VERSION,
+            "axis": self.axis,
+            "segments": self._segments,
+        }
+        if self.meta:
+            index["meta"] = self.meta
+        raw = json.dumps(index, separators=(",", ":")).encode()
+        idx_off = self._pos
+        self._write(raw)
+        self._write(struct.pack("<QI", idx_off, _crc32(raw)) + _STREAM_FOOT)
+        self._finalized = True
+        flush = getattr(self._sink, "flush", None)
+        if flush is not None:
+            flush()
+        return {
+            "segments": len(self._segments),
+            "payload_bytes": sum(s[1] for s in self._segments),
+            "total_bytes": self._pos,
+            "axis": self.axis,
+        }
+
+    def __enter__(self) -> "ContainerWriter":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is None and not self._finalized:
+            self.finalize()
+
+
+class _ByteSource:
+    """Random-access byte reads over bytes / a seekable file / a path."""
+
+    def __init__(self, src: Any) -> None:
+        self._file: BinaryIO | None = None
+        self._buf: bytes | None = None
+        if isinstance(src, (bytes, bytearray, memoryview)):
+            self._buf = bytes(src)
+            self._size = len(self._buf)
+        elif isinstance(src, (str, pathlib.Path)):
+            self._file = open(src, "rb")
+            self._size = os.fstat(self._file.fileno()).st_size
+        elif hasattr(src, "read") and hasattr(src, "seek"):
+            self._file = src
+            pos = src.tell()
+            self._size = src.seek(0, io.SEEK_END)
+            src.seek(pos)
+        else:
+            raise TypeError(
+                "streamed container source must be bytes, a path, or a "
+                f"seekable binary file, not {type(src).__name__}"
+            )
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def read_at(self, offset: int, n: int) -> bytes:
+        if self._buf is not None:
+            return self._buf[offset : offset + n]
+        assert self._file is not None
+        self._file.seek(offset)
+        return self._file.read(n)
+
+
+class ContainerReader:
+    """Reader for the streamed slab container written by
+    :class:`ContainerWriter`.
+
+    ``source`` may be raw bytes, a filesystem path, or a seekable binary
+    file object.  Segments are fetched on demand (:meth:`segment` /
+    iteration) so decoding stays O(slab); :meth:`segment` is random-access
+    by design — a range request needs only the trailing index plus the
+    requested slabs' byte ranges.
+    """
+
+    def __init__(self, source: Any) -> None:
+        self._src = _ByteSource(source)
+        size = self._src.size
+        if size < _STREAM_HEADER_LEN:
+            raise TruncatedStreamError(
+                f"streamed container: {size} bytes is shorter than the header"
+            )
+        head = self._src.read_at(0, _STREAM_HEADER_LEN)
+        if head[:4] != _STREAM_MAGIC:
+            raise CorruptBlobError(
+                f"not a streamed container (magic {head[:4]!r})"
+            )
+        version, axis, _reserved = struct.unpack("<BBH", head[4:8])
+        if version != STREAM_FORMAT_VERSION:
+            raise VersionError(
+                f"streamed container version {version} is not supported "
+                f"(this build reads v{STREAM_FORMAT_VERSION})"
+            )
+        if size < _STREAM_HEADER_LEN + _STREAM_FOOTER_LEN:
+            raise TruncatedStreamError(
+                "streamed container: footer missing (stream truncated or "
+                "never finalized)"
+            )
+        foot = self._src.read_at(size - _STREAM_FOOTER_LEN, _STREAM_FOOTER_LEN)
+        if foot[12:] != _STREAM_FOOT:
+            raise TruncatedStreamError(
+                "streamed container: footer magic missing (stream truncated "
+                "or never finalized)"
+            )
+        idx_off, idx_crc = struct.unpack("<QI", foot[:12])
+        idx_end = size - _STREAM_FOOTER_LEN
+        if not _STREAM_HEADER_LEN <= idx_off <= idx_end:
+            raise CorruptBlobError(
+                f"streamed container: index offset {idx_off} outside file"
+            )
+        raw = self._src.read_at(idx_off, idx_end - idx_off)
+        if _crc32(raw) != idx_crc:
+            raise IntegrityError("streamed container: index failed its CRC32")
+        self._idx_off = idx_off
+        index = self._parse_index(raw)
+        self.axis = int(index["axis"])
+        if self.axis != axis:
+            raise CorruptBlobError(
+                f"streamed container: header axis {axis} != index axis {self.axis}"
+            )
+        self.meta: dict[str, Any] = index.get("meta") or {}
+        self._segments: list[list[int]] = index["segments"]
+
+    def _parse_index(self, raw: bytes) -> dict[str, Any]:
+        try:
+            index = json.loads(raw.decode())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CorruptBlobError(
+                f"streamed container: index unreadable: {exc}"
+            ) from None
+        if not isinstance(index, dict):
+            raise CorruptBlobError("streamed container: index is not an object")
+        if index.get("v") != STREAM_FORMAT_VERSION:
+            raise VersionError(
+                f"streamed container: index version {index.get('v')!r} is "
+                f"not supported"
+            )
+        segments = index.get("segments")
+        axis = index.get("axis")
+        if not isinstance(axis, int) or not 0 <= axis < 256:
+            raise CorruptBlobError("streamed container: bad index axis")
+        if not isinstance(segments, list) or not all(
+            isinstance(s, list)
+            and len(s) == 3
+            and all(isinstance(x, int) and x >= 0 for x in s)
+            for s in segments
+        ):
+            raise CorruptBlobError("streamed container: malformed segment table")
+        meta = index.get("meta", {})
+        if not isinstance(meta, dict):
+            raise CorruptBlobError("streamed container: malformed meta block")
+        # offsets must be strictly increasing AND contiguous: segment k+1
+        # starts exactly where segment k ended, and the payload region is
+        # [header, idx_off) with no gaps for bytes to hide in
+        pos = _STREAM_HEADER_LEN
+        for i, (off, size, _crc) in enumerate(segments):
+            if off != pos or size <= 0:
+                raise CorruptBlobError(
+                    f"streamed container: segment {i} spans [{off}, "
+                    f"{off + size}) but the payload cursor is at {pos}"
+                )
+            pos += size
+        if pos != self._idx_off:
+            raise CorruptBlobError(
+                f"streamed container: segments end at {pos} but the index "
+                f"starts at {self._idx_off}"
+            )
+        return index
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def offsets(self) -> list[tuple[int, int]]:
+        """Per-segment ``(offset, size)`` pairs from the index."""
+        return [(off, size) for off, size, _crc in self._segments]
+
+    def segment(self, i: int, verify: bool = True) -> bytes:
+        """Random-access read of segment ``i`` (CRC-checked by default)."""
+        off, size, crc = self._segments[i]
+        raw = self._src.read_at(off, size)
+        if len(raw) != size:
+            raise TruncatedStreamError(
+                f"streamed container: segment {i} declares {size} bytes, "
+                f"read {len(raw)}"
+            )
+        if verify and _crc32(raw) != crc:
+            raise IntegrityError(
+                f"streamed container: segment {i} failed its CRC32 check"
+            )
+        return raw
+
+    def __iter__(self) -> Iterator[bytes]:
+        for i in range(len(self._segments)):
+            yield self.segment(i)

@@ -41,6 +41,8 @@ __all__ = [
     "available_backends",
     "kernel_stages",
     "active_backends",
+    "suppress_fallback_warnings",
+    "fallback_warnings_suppressed",
     "mark_backend_broken",
     "load_compiled_backends",
     "numba_available",
@@ -69,6 +71,10 @@ class KernelBackend:
 
 _REGISTRY: dict[str, dict[str, KernelBackend]] = {}
 _WARNED: set[tuple[str, str]] = set()
+#: process-wide gate on the one-time fallback warning; fork-pool workers
+#: set it via :func:`suppress_fallback_warnings` so a parallel run warns
+#: once (in the parent), not once per worker
+_WARNINGS_SUPPRESSED = False
 _COMPILED_LOADED = False
 # select_backend sits on per-pass hot paths (one resolution per interp fill),
 # so the auto winner and the per-stage env key strings are cached.  Env
@@ -185,15 +191,38 @@ def select_backend(stage: str, name: str | None = None) -> KernelBackend:
     key = (stage, requested)
     if key not in _WARNED:
         _WARNED.add(key)
-        reason = "not registered" if picked is None else "unavailable"
-        warnings.warn(
-            f"kernel backend {requested!r} for stage {stage!r} is {reason}; "
-            f"falling back to {DEFAULT_BACKEND_NAME!r}",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+        if not _WARNINGS_SUPPRESSED:
+            reason = "not registered" if picked is None else "unavailable"
+            warnings.warn(
+                f"kernel backend {requested!r} for stage {stage!r} is {reason}; "
+                f"falling back to {DEFAULT_BACKEND_NAME!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     metric_count("kernel.fallback", stage=stage, requested=requested)
     return fallback
+
+
+def suppress_fallback_warnings(suppress: bool = True) -> bool:
+    """Silence (or restore) the one-time backend-fallback warning in this
+    process; returns the previous setting.
+
+    The ``kernel.fallback`` obs counter still counts every fallback — only
+    the ``warnings.warn`` side effect is gated.  Fork-pool workers call
+    this from their initializer (the parent resolves all stages up front
+    and warns exactly once for the whole run), so a parallel run no longer
+    repeats the warning once per worker process.
+    """
+    global _WARNINGS_SUPPRESSED
+    prev = _WARNINGS_SUPPRESSED
+    _WARNINGS_SUPPRESSED = bool(suppress)
+    return prev
+
+
+def fallback_warnings_suppressed() -> bool:
+    """Whether the fallback warning is currently suppressed (see
+    :func:`suppress_fallback_warnings`)."""
+    return _WARNINGS_SUPPRESSED
 
 
 def mark_backend_broken(stage: str, name: str) -> None:

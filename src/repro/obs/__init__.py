@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import functools
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, Iterator
 
 from .metrics import (
@@ -182,33 +183,37 @@ class _NullHandle:
 
 _NULL = _NullHandle()
 
-#: the active observation (None = observability off, every hook is a no-op)
-_ACTIVE: Observation | None = None
+#: the active observation (None = observability off, every hook is a no-op).
+#: A :class:`~contextvars.ContextVar` rather than a module global so the
+#: streaming thread pipeline can give each slab worker its own Observation
+#: without racing the main thread's tracer ``_stack`` (new threads start
+#: with a fresh context, i.e. observability off until the worker activates
+#: its per-slab observation — see ``repro.streaming``).
+_ACTIVE: ContextVar[Observation | None] = ContextVar("repro_obs_active", default=None)
 
 
 def current() -> Observation | None:
-    return _ACTIVE
+    return _ACTIVE.get()
 
 
 @contextmanager
 def observe(observation: Observation | None = None) -> Iterator[Observation]:
     """Activate ``observation`` (or a fresh one) for the duration of the
     block.  Re-entrant: the previous observation is restored on exit."""
-    global _ACTIVE
     ob = observation if observation is not None else Observation()
-    prev = _ACTIVE
-    _ACTIVE = ob
+    token = _ACTIVE.set(ob)
     try:
         yield ob
     finally:
-        _ACTIVE = prev
+        _ACTIVE.reset(token)
 
 
 def span(name: str, **labels: Any):
     """Hot-path hook: time the enclosed block as a nested span.
 
-    Free when no observation is active (one global read, shared no-op)."""
-    ob = _ACTIVE
+    Free when no observation is active (one context-var read, shared
+    no-op)."""
+    ob = _ACTIVE.get()
     if ob is None:
         return _NULL
     return ob.tracer.span(name, **labels)
@@ -216,28 +221,28 @@ def span(name: str, **labels: Any):
 
 def event(name: str, **labels: Any) -> None:
     """Record a point event (retry fired, slice quarantined, ...)."""
-    ob = _ACTIVE
+    ob = _ACTIVE.get()
     if ob is not None:
         ob.tracer.event(name, **labels)
 
 
 def add_bytes(stage: str, nbytes: int) -> None:
     """Record ``nbytes`` flowing through ``stage`` (no-op when off)."""
-    ob = _ACTIVE
+    ob = _ACTIVE.get()
     if ob is not None:
         ob.add_bytes(stage, nbytes)
 
 
 def metric_count(name: str, n: int = 1, **labels: Any) -> None:
     """Bump a labelled counter by ``n`` (no-op when off)."""
-    ob = _ACTIVE
+    ob = _ACTIVE.get()
     if ob is not None:
         ob.metrics.counter(name, **labels).inc(n)
 
 
 def metric_seconds(name: str, seconds: float, **labels: Any) -> None:
     """Record a duration into a labelled seconds-histogram (no-op when off)."""
-    ob = _ACTIVE
+    ob = _ACTIVE.get()
     if ob is not None:
         ob.metrics.histogram(name, SECONDS_BUCKETS, **labels).observe(seconds)
 
@@ -250,7 +255,7 @@ def traced(name: str | None = None, **labels: Any):
 
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            ob = _ACTIVE
+            ob = _ACTIVE.get()
             if ob is None:
                 return fn(*args, **kwargs)
             with ob.tracer.span(span_name, **labels):

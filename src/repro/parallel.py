@@ -35,6 +35,7 @@ import numpy as np
 from . import obs
 from .core.config import QPConfig
 from .io.integrity import is_sealed, seal, unseal
+from .streaming import slab_slices
 
 __all__ = ["ParallelCompressor"]
 
@@ -140,6 +141,20 @@ def _observed_job(args) -> tuple:
     with obs.observe(ob):
         result = _JOB_FNS[kind](inner)
     return result, ob.to_payload()
+
+
+def _pool_worker_init(suppress_kernel_warnings: bool) -> None:
+    """Initializer run in every fork-pool worker.
+
+    Carries the parent's warning-dedupe decision into the worker: the
+    parent resolves every kernel stage (and warns, once) before the pool
+    exists, so workers re-deriving the same fallback must not re-fire the
+    warning N times.  The ``kernel.fallback`` counter still counts per
+    worker."""
+    if suppress_kernel_warnings:
+        from . import kernels
+
+        kernels.suppress_fallback_warnings(True)
 
 
 def _effective_cores() -> int:
@@ -264,13 +279,19 @@ class ParallelCompressor:
     def _get_pool(self) -> ProcessPoolExecutor:
         """Lazily created pool, reused across compress/decompress calls."""
         if self._pool is None:
+            # resolve every kernel stage in the parent first: any fallback
+            # warning fires here, exactly once for the whole parallel run
+            from . import kernels
+
+            kernels.active_backends()
             ctx = None
             if "fork" in multiprocessing.get_all_start_methods():
                 # fork workers inherit the imported modules — far cheaper
                 # startup than spawn, and required for cheap SHM attach
                 ctx = multiprocessing.get_context("fork")
             self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=ctx
+                max_workers=self.workers, mp_context=ctx,
+                initializer=_pool_worker_init, initargs=(True,),
             )
             self._pool_finalizer = weakref.finalize(
                 self, _shutdown_pool, self._pool
@@ -320,9 +341,7 @@ class ParallelCompressor:
         if shape[0] // 8 >= min(n, shape[axis] // 8 or 1):
             axis = 0
         n = max(1, min(n, shape[axis] // 8 or 1))
-        edges = np.linspace(0, shape[axis], n + 1, dtype=int)
-        return axis, [slice(int(a), int(b)) for a, b in zip(edges[:-1], edges[1:])
-                      if b > a]
+        return axis, slab_slices(shape[axis], n)
 
     # -- compression --------------------------------------------------------
 

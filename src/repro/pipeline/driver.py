@@ -24,9 +24,39 @@ from .stages import entropy_stage_for_wire_id
 
 __all__ = [
     "spec_for_blob",
+    "encode_engine_sections",
     "decode_engine_blob",
     "engine_decode_item",
 ]
+
+
+def encode_engine_sections(
+    stream: np.ndarray,
+    literals: np.ndarray,
+    anchors: np.ndarray,
+    *,
+    lossless_backend: str,
+    entropy: str = "huffman",
+    block_size: int | None = None,
+) -> dict[str, bytes]:
+    """Encode ``compress_volume`` output into the canonical engine blob
+    sections (the inverse of :func:`_engine_sections`).
+
+    One encode point shared by the in-memory ``_compress`` paths of SZ3,
+    HPEZ and MGARD and by the streaming entropy stage
+    (``Compressor._stream_entropy``), which is what makes streamed
+    segments byte-identical to in-memory blobs.
+    """
+    from ..codecs import compress as lossless_compress
+    from ..compressors.base import encode_index_stream
+
+    return {
+        "indices": encode_index_stream(
+            stream, lossless_backend, entropy=entropy, block_size=block_size
+        ),
+        "literals": lossless_compress(literals.tobytes(), lossless_backend),
+        "anchors": anchors.tobytes(),
+    }
 
 
 def spec_for_blob(

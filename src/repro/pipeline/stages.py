@@ -50,6 +50,7 @@ __all__ = [
     "TuckerFactorize",
     "CDF97Transform",
     "ENTROPY_STAGES",
+    "STREAM_STAGE_GROUPS",
     "entropy_stage",
     "entropy_stage_for_wire_id",
 ]
@@ -523,6 +524,33 @@ def entropy_stage_for_wire_id(wire_id: int) -> type | None:
         if cls.wire_id == wire_id:
             return cls
     return None
+
+
+#: how the fine-grained stage graph partitions onto the streaming thread
+#: pipeline (``repro.streaming``): *front* stages run per slab in the
+#: producer threads (predict + quantize + index transforms, i.e. everything
+#: up to the engine's ``(stream, literals, anchors)`` seam), *entropy*
+#: stages run in the dedicated coder thread that overlaps the next slab's
+#: front work.  Every registered stage that appears in a compressor
+#: pipeline must be claimed by exactly one group — the streaming-surface
+#: lint (``tools/check_api.py::check_streaming``) enforces this, so adding
+#: a stage forces a decision about where it executes in streaming mode.
+STREAM_STAGE_GROUPS: dict[str, frozenset[str]] = {
+    "front": frozenset(
+        {
+            "interp_predict",
+            "lorenzo_predict",
+            "regression_predict",
+            "quantize",
+            "adaptive_quantize",
+            "qp",
+            "zfp_transform",
+            "tucker",
+            "cdf97",
+        }
+    ),
+    "entropy": frozenset({"huffman", "range", "ans", "lossless"}),
+}
 
 
 # -- byte-stream backend ------------------------------------------------------

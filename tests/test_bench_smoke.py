@@ -37,7 +37,7 @@ def report(report_path):
 
 
 def test_report_envelope(report):
-    assert report["schema_version"] == 5
+    assert report["schema_version"] == 6
     assert report["timing_source"] == "repro.obs"
     assert report["smoke"] is True
     assert report["has_stage_profiler"] is True
@@ -46,12 +46,16 @@ def test_report_envelope(report):
     assert isinstance(report["kernel_backends_run"], list)
     assert "numpy" in report["kernel_backends_run"]
     assert isinstance(report["numba_available"], bool)
+    assert isinstance(report["has_rss_sampler"], bool)
+    assert "stream_summary" in report
 
 
 def test_full_matrix_present(report):
     # 4 bases x qp on/off on the smoke grid (no parallel row in smoke mode),
-    # plus one auto-tuned row per base (schema v5)
-    fixed = [r for r in report["results"] if not r.get("auto")]
+    # plus one auto-tuned row per base (schema v5); the v6 streamed pair
+    # rows carry a "stream" key and are checked separately
+    fixed = [r for r in report["results"]
+             if not r.get("auto") and "stream" not in r]
     auto = [r for r in report["results"] if r.get("auto")]
     combos = {(r["base"], r["qp"]) for r in fixed}
     assert combos == {
@@ -77,22 +81,39 @@ def test_row_schema(report):
     required = {
         "base", "qp", "dataset", "shape", "error_bound", "compressed_bytes",
         "ratio", "compress_s", "decompress_s", "compress_mbs",
-        "decompress_mbs", "max_error", "stages", "kernel_backend",
-        "kernel_backends",
+        "decompress_mbs", "max_error",
     }
     for row in report["results"]:
         assert required <= set(row)
-        assert set(row["kernel_backends"]) == {
-            "adaptive_quantize", "huffman", "interp", "lorenzo", "qp"
-        }
+        assert "peak_rss_mb" in row and "peak_rss_delta_mb" in row
+        if "stream" not in row:  # matrix rows run in-process with profiles
+            assert {"stages", "kernel_backend", "kernel_backends"} <= set(row)
+            assert set(row["kernel_backends"]) == {
+                "adaptive_quantize", "huffman", "interp", "lorenzo", "qp"
+            }
         assert row["compressed_bytes"] > 0
         assert row["ratio"] > 1.0
         assert row["compress_mbs"] > 0 and row["decompress_mbs"] > 0
         assert row["max_error"] <= row["error_bound"] * (1 + 1e-9)
 
 
+def test_stream_pair_rows_and_summary(report):
+    pair = [r for r in report["results"] if "stream" in r]
+    assert {r["stream"] for r in pair} == {False, True}
+    streamed = next(r for r in pair if r["stream"])
+    assert streamed["segments"] >= 1
+    assert streamed["slab_bytes"] > 0
+    assert streamed["isolated_subprocess"] is True
+    summary = report["stream_summary"]
+    assert summary["dataset"] == streamed["dataset"]
+    assert summary["compress_throughput_ratio"] > 0
+    assert set(summary["gates"]) == {"throughput_ok", "rss_ok"}
+
+
 def test_stage_profiles_recorded(report):
     for row in report["results"]:
+        if "stream" in row:  # subprocess pair rows carry no span profiles
+            continue
         stages = row["stages"]
         assert set(stages) == {"compress", "decompress"}
         for direction in ("compress", "decompress"):
@@ -160,3 +181,27 @@ def test_resolve_backends(bench_mod):
     assert bench_mod.resolve_backends("numpy") == ["numpy"]
     # unavailable names are skipped, never silently benchmarked via fallback
     assert bench_mod.resolve_backends("no-such-backend") == ["numpy"]
+
+
+def test_flatten_suffixes_stream_rows(bench_mod, report):
+    flat = bench_mod._flatten_timings(report)
+    assert any("/stream:" in k for k in flat)
+    mem = bench_mod._flatten_memory(report)
+    assert any(k.endswith("/stream") for k in mem)
+
+
+def test_compare_flags_memory_regression(bench_mod):
+    def rep(delta):
+        row = {"dataset": "d", "base": "b", "qp": True, "compress_s": 1.0}
+        if delta is not None:
+            row["peak_rss_delta_mb"] = delta
+        return {"results": [row]}
+
+    # +50% growth on a 100 MB delta fails the 15% gate
+    assert bench_mod.compare_reports(rep(100.0), rep(150.0)) == 1
+    # the same relative move below the ~16 MB noise floor is ignored
+    assert bench_mod.compare_reports(rep(10.0), rep(15.0)) == 0
+    # shrinking memory is never a regression
+    assert bench_mod.compare_reports(rep(150.0), rep(100.0)) == 0
+    # a pre-v6 baseline has no memory keys: rows compare as new, exit clean
+    assert bench_mod.compare_reports(rep(None), rep(150.0)) == 0

@@ -1,0 +1,425 @@
+"""Streaming execution mode: slab planner, buffer pool, incremental
+container, compress_stream/decompress_stream equivalence, and torn-stream
+fault behaviour.
+
+The load-bearing property is byte-identity: a streamed container's
+segments are exactly the blobs ``compress`` would produce for the same
+slabs, so every existing decode path (and every golden digest) keeps
+working on streamed output.
+"""
+import io
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro import obs
+from repro.compressors import get_compressor
+from repro.core.config import AdaptiveConfig, QPConfig
+from repro.errors import (
+    CorruptBlobError,
+    IntegrityError,
+    ReproError,
+    TruncatedStreamError,
+    VersionError,
+)
+from repro.io import ContainerReader, ContainerWriter, is_streamed_container
+from repro.streaming import (
+    BufferPool,
+    plan_slabs,
+    slab_slices,
+    stream_compress,
+    stream_decompress,
+)
+from repro.testing import run_corruption_matrix
+
+pytestmark = pytest.mark.streaming
+
+ENGINES = ("sz3", "qoz", "hpez", "mgard")
+
+
+def _small_field(shape=(24, 20, 16), seed=11):
+    rng = np.random.default_rng(seed)
+    coords = np.meshgrid(*(np.linspace(0, 2.5, s) for s in shape),
+                         indexing="ij")
+    return (sum(np.sin(c) for c in coords)
+            + 0.05 * rng.standard_normal(shape)).astype(np.float32)
+
+
+def _slab_bytes_for(data, n_slabs):
+    rows = max(1, data.shape[0] // n_slabs)
+    return rows * int(np.prod(data.shape[1:])) * data.dtype.itemsize
+
+
+# -- slab planner -------------------------------------------------------------
+
+
+def test_slab_slices_cover_contiguously():
+    slices = slab_slices(100, 7)
+    assert slices[0].start == 0 and slices[-1].stop == 100
+    for a, b in zip(slices, slices[1:]):
+        assert a.stop == b.start
+    assert sum(s.stop - s.start for s in slices) == 100
+
+
+def test_slab_slices_more_parts_than_rows():
+    slices = slab_slices(3, 8)
+    assert sum(s.stop - s.start for s in slices) == 3
+    assert all(s.stop > s.start for s in slices)
+
+
+def test_plan_slabs_respects_min_rows_and_budget():
+    shape, dtype = (64, 32, 32), np.dtype(np.float32)
+    row_bytes = 32 * 32 * 4
+    slices = plan_slabs(shape, dtype, slab_bytes=8 * row_bytes, min_rows=8)
+    assert slices[0].start == 0 and slices[-1].stop == 64
+    assert all(s.stop - s.start >= 8 for s in slices)
+
+
+def test_plan_slabs_single_slab_when_budget_exceeds_volume():
+    slices = plan_slabs((16, 8, 8), np.dtype(np.float32), slab_bytes=1 << 30)
+    assert len(slices) == 1
+    assert slices[0] == slice(0, 16)
+
+
+# -- buffer pool --------------------------------------------------------------
+
+
+def test_buffer_pool_reuses_released_buffers():
+    pool = BufferPool()
+    a = pool.acquire((8, 4), np.dtype(np.float32))
+    pool.release(a)
+    b = pool.acquire((8, 4), np.dtype(np.float32))
+    assert b is a
+    stats = pool.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+def test_buffer_pool_keys_on_shape_and_dtype():
+    pool = BufferPool()
+    a = pool.acquire((8, 4), np.dtype(np.float32))
+    pool.release(a)
+    b = pool.acquire((8, 4), np.dtype(np.float64))
+    assert b is not a
+    assert pool.stats()["misses"] == 2
+
+
+def test_buffer_pool_caps_retained_buffers():
+    pool = BufferPool(max_per_key=2)
+    bufs = [pool.acquire((4,), np.dtype(np.float32)) for _ in range(5)]
+    for b in bufs:
+        pool.release(b)
+    # only two survive the cap; the next three acquires are 2 hits + 1 miss
+    hits0 = pool.stats()["hits"]
+    got = [pool.acquire((4,), np.dtype(np.float32)) for _ in range(3)]
+    stats = pool.stats()
+    assert stats["hits"] - hits0 == 2
+    assert len(got) == 3
+
+
+# -- incremental container ----------------------------------------------------
+
+
+def test_container_round_trip_bytesio():
+    segments = [b"alpha", b"bravo-bravo", b"c" * 100]
+    sink = io.BytesIO()
+    with ContainerWriter(sink, axis=0, meta={"k": 1}) as w:
+        for seg in segments:
+            w.append(seg)
+    raw = sink.getvalue()
+    assert is_streamed_container(raw[:4])
+    r = ContainerReader(raw)
+    assert len(r) == len(segments)
+    assert list(r) == segments
+    assert r.meta == {"k": 1}
+    assert r.axis == 0
+    # random access re-reads with CRC verification
+    assert r.segment(1) == segments[1]
+
+
+def test_container_offsets_monotone_and_contiguous():
+    sink = io.BytesIO()
+    with ContainerWriter(sink) as w:
+        for seg in (b"x" * 10, b"y" * 33, b"z" * 7):
+            w.append(seg)
+    offsets = ContainerReader(sink.getvalue()).offsets()
+    cursor = offsets[0][0]
+    for off, size in offsets:
+        assert off == cursor
+        cursor = off + size
+
+
+def test_container_writer_rejects_empty_segment_and_reuse():
+    sink = io.BytesIO()
+    w = ContainerWriter(sink)
+    with pytest.raises(ValueError):
+        w.append(b"")
+    w.append(b"data")
+    w.finalize()
+    with pytest.raises(ValueError):
+        w.append(b"more")
+    with pytest.raises(ValueError):
+        w.finalize()
+
+
+def test_container_writer_file_sink(tmp_path):
+    path = tmp_path / "field.rstr"
+    with open(path, "wb") as fh, ContainerWriter(fh, meta={"n": 2}) as w:
+        w.append(b"one")
+        w.append(b"two")
+    r = ContainerReader(str(path))
+    assert list(r) == [b"one", b"two"]
+
+
+def _sealed_container(meta=None):
+    sink = io.BytesIO()
+    with ContainerWriter(sink, meta=meta) as w:
+        w.append(b"segment-zero" * 20)
+        w.append(b"segment-one" * 17)
+    return sink.getvalue()
+
+
+def test_container_truncation_is_typed():
+    raw = _sealed_container()
+    for cut in (2, 6, len(raw) // 2, len(raw) - 1):
+        with pytest.raises((TruncatedStreamError, CorruptBlobError)):
+            ContainerReader(raw[:cut])
+
+
+def test_container_bad_magic_and_version():
+    raw = _sealed_container()
+    with pytest.raises(CorruptBlobError):
+        ContainerReader(b"XXXX" + raw[4:])
+    bad_ver = raw[:4] + bytes([250]) + raw[5:]
+    with pytest.raises(VersionError):
+        ContainerReader(bad_ver)
+
+
+def test_container_segment_corruption_fails_crc():
+    raw = bytearray(_sealed_container())
+    r = ContainerReader(bytes(raw))
+    off, size = r.offsets()[0]
+    raw[off + size // 2] ^= 0x40
+    with pytest.raises(IntegrityError):
+        ContainerReader(bytes(raw)).segment(0)
+
+
+def test_container_index_corruption_fails_crc():
+    raw = bytearray(_sealed_container())
+    # the index JSON sits between the last segment and the 16-byte footer
+    off, size = ContainerReader(bytes(raw)).offsets()[-1]
+    raw[off + size + 2] ^= 0x01
+    with pytest.raises((IntegrityError, CorruptBlobError)):
+        ContainerReader(bytes(raw))
+
+
+@pytest.mark.faults
+def test_streamed_container_corruption_matrix():
+    comp = get_compressor("sz3", 1e-2, qp=QPConfig())
+    data = _small_field()
+    sink = io.BytesIO()
+    comp.compress_stream(data, sink,
+                         slab_bytes=_slab_bytes_for(data, 3))
+    results = run_corruption_matrix(sink.getvalue(), stream_decompress,
+                                    seeds=range(4))
+    bad = [r for r in results if r.outcome == "untyped"]
+    assert not bad, bad
+    assert not any("deadline" in r.detail for r in results)
+
+
+# -- compress_stream equivalence ---------------------------------------------
+
+
+@pytest.mark.parametrize("name", ENGINES)
+@pytest.mark.parametrize("qp", [False, True])
+def test_stream_segments_match_per_slab_compress(name, qp):
+    data = _small_field()
+    kwargs = {"qp": QPConfig() if qp else QPConfig.disabled()}
+    comp = get_compressor(name, 1e-2, **kwargs)
+    slab_bytes = _slab_bytes_for(data, 3)
+    sink = io.BytesIO()
+    res = comp.compress_stream(data, sink, slab_bytes=slab_bytes)
+    slices = plan_slabs(data.shape, data.dtype, slab_bytes=slab_bytes)
+    reader = ContainerReader(sink.getvalue())
+    assert res.segments == len(slices) == len(reader)
+    expected_parts = []
+    for seg, sl in zip(reader, slices):
+        blob = comp.compress(np.ascontiguousarray(data[sl]))
+        assert seg == blob
+        expected_parts.append(comp.decompress(blob))
+    out = stream_decompress(sink.getvalue())
+    np.testing.assert_array_equal(out, np.concatenate(expected_parts, axis=0))
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_stream_adaptive_segments_match(name):
+    data = _small_field()
+    comp = get_compressor(name, 1e-2, qp=QPConfig(),
+                          adaptive=AdaptiveConfig(bits=2, threshold=3))
+    slab_bytes = _slab_bytes_for(data, 2)
+    sink = io.BytesIO()
+    comp.compress_stream(data, sink, slab_bytes=slab_bytes)
+    slices = plan_slabs(data.shape, data.dtype, slab_bytes=slab_bytes)
+    for seg, sl in zip(ContainerReader(sink.getvalue()), slices):
+        assert seg == comp.compress(np.ascontiguousarray(data[sl]))
+
+
+@pytest.mark.parametrize("name", ENGINES)
+def test_single_slab_stream_is_bit_identical_to_compress(name):
+    data = _small_field(shape=(16, 12, 10))
+    comp = get_compressor(name, 1e-2, qp=QPConfig())
+    sink = io.BytesIO()
+    res = comp.compress_stream(data, sink, slab_bytes=1 << 30)
+    assert res.segments == 1
+    blob = comp.compress(data)
+    assert ContainerReader(sink.getvalue()).segment(0) == blob
+    np.testing.assert_array_equal(stream_decompress(sink.getvalue()),
+                                  comp.decompress(blob))
+
+
+def test_stream_checksum_mode_round_trips():
+    data = _small_field()
+    comp = get_compressor("sz3", 1e-2, qp=QPConfig())
+    sink = io.BytesIO()
+    comp.compress_stream(data, sink, slab_bytes=_slab_bytes_for(data, 2),
+                         checksum=True)
+    out = stream_decompress(sink.getvalue())
+    assert out.shape == data.shape
+    assert float(np.abs(out - data).max()) <= 1e-2 * 1.0000001
+
+
+def test_generic_compressor_streams_via_whole_blob_fallback():
+    data = _small_field(shape=(16, 12, 10))
+    comp = get_compressor("zfp", 1e-2)
+    sink = io.BytesIO()
+    res = comp.compress_stream(data, sink, slab_bytes=_slab_bytes_for(data, 2))
+    assert res.segments >= 2
+    out = comp.decompress_stream(sink.getvalue())
+    assert out.shape == data.shape
+    assert out.dtype == data.dtype
+
+
+def test_stream_decompress_without_compressor_uses_registry():
+    data = _small_field()
+    comp = get_compressor("hpez", 1e-2, qp=QPConfig())
+    sink = io.BytesIO()
+    comp.compress_stream(data, sink, slab_bytes=_slab_bytes_for(data, 2))
+    out = stream_decompress(sink.getvalue())
+    np.testing.assert_array_equal(out, comp.decompress_stream(sink.getvalue()))
+
+
+def test_stream_accepts_memmap_input(tmp_path):
+    data = _small_field(shape=(32, 16, 12))
+    npy = tmp_path / "field.npy"
+    np.save(npy, data)
+    mm = np.load(npy, mmap_mode="r")
+    comp = get_compressor("sz3", 1e-2, qp=QPConfig())
+    slab_bytes = _slab_bytes_for(data, 4)
+    sink_mm = io.BytesIO()
+    comp.compress_stream(mm, sink_mm, slab_bytes=slab_bytes)
+    sink_arr = io.BytesIO()
+    comp.compress_stream(data, sink_arr, slab_bytes=slab_bytes)
+    assert sink_mm.getvalue() == sink_arr.getvalue()
+
+
+def test_stream_file_round_trip(tmp_path):
+    data = _small_field()
+    comp = get_compressor("mgard", 1e-2, qp=QPConfig())
+    path = tmp_path / "field.rstr"
+    with open(path, "wb") as fh:
+        comp.compress_stream(data, fh, slab_bytes=_slab_bytes_for(data, 3))
+    out = stream_decompress(str(path))
+    assert out.shape == data.shape
+    assert float(np.abs(out.astype(np.float64)
+                        - data.astype(np.float64)).max()) <= 1e-2 * 1.0000001
+
+
+def test_torn_stream_decode_is_typed(tmp_path):
+    data = _small_field()
+    comp = get_compressor("sz3", 1e-2, qp=QPConfig())
+    sink = io.BytesIO()
+    comp.compress_stream(data, sink, slab_bytes=_slab_bytes_for(data, 3))
+    raw = sink.getvalue()
+    # tear the stream at several points: mid-header, mid-payload, mid-footer
+    for cut in (3, len(raw) // 3, len(raw) - 5):
+        with pytest.raises(ReproError):
+            stream_decompress(raw[:cut])
+
+
+def test_stream_result_accounting():
+    data = _small_field()
+    comp = get_compressor("sz3", 1e-2, qp=QPConfig())
+    sink = io.BytesIO()
+    res = comp.compress_stream(data, sink, slab_bytes=_slab_bytes_for(data, 3))
+    assert res.input_bytes == data.nbytes
+    assert res.total_bytes == len(sink.getvalue())
+    assert res.payload_bytes < res.total_bytes
+    assert res.ratio > 1.0
+    assert res.backpressure_wait_s >= 0.0
+    assert set(res.buffer_reuse) >= {"hits", "misses"}
+
+
+def test_stream_observability_spans_and_metrics():
+    data = _small_field()
+    comp = get_compressor("sz3", 1e-2, qp=QPConfig())
+    ob = obs.Observation()
+    with obs.observe(ob):
+        sink = io.BytesIO()
+        comp.compress_stream(data, sink, slab_bytes=_slab_bytes_for(data, 3))
+    payload = ob.to_payload()
+    names = {s["name"] for s in payload.get("spans", [])}
+    assert {"stream.front", "stream.entropy", "stream.write"} <= names
+    flat = str(payload.get("metrics"))
+    assert "stream.buffer_reuse" in flat
+    assert "stream.backpressure_wait" in flat
+
+
+def test_module_level_stream_compress_matches_method():
+    data = _small_field()
+    comp = get_compressor("qoz", 1e-2, qp=QPConfig())
+    a, b = io.BytesIO(), io.BytesIO()
+    stream_compress(comp, data, a, slab_bytes=_slab_bytes_for(data, 2))
+    comp.compress_stream(data, b, slab_bytes=_slab_bytes_for(data, 2))
+    assert a.getvalue() == b.getvalue()
+
+
+# -- CLI and API-surface lint -------------------------------------------------
+
+
+def test_cli_stream_round_trip(tmp_path):
+    from repro import cli
+
+    data = _small_field(shape=(32, 16, 12))
+    src = tmp_path / "in.npy"
+    np.save(src, data)
+    blob_path = tmp_path / "out.rc"
+    rc = cli.main([
+        "compress", str(src), str(blob_path),
+        "--compressor", "sz3", "--eb", "1e-2",
+        "--stream", "--slab-mb", "0.02",
+    ])
+    assert rc == 0
+    with open(blob_path, "rb") as fh:
+        assert is_streamed_container(fh.read(4))
+    out_path = tmp_path / "roundtrip.npy"
+    rc = cli.main(["decompress", str(blob_path), str(out_path)])
+    assert rc == 0
+    out = np.load(out_path)
+    assert out.shape == data.shape
+    assert float(np.abs(out.astype(np.float64)
+                        - data.astype(np.float64)).max()) <= 1e-2 * 1.0000001
+
+
+def test_check_api_streaming_surface_is_clean():
+    import pathlib
+    import sys
+
+    tools = pathlib.Path(__file__).resolve().parents[1] / "tools"
+    sys.path.insert(0, str(tools))
+    try:
+        import check_api
+
+        assert check_api.check_streaming() == []
+    finally:
+        sys.path.remove(str(tools))

@@ -31,6 +31,22 @@ indices).  Flat metric keys for these rows gain an ``/auto`` suffix, so
 ``--compare`` still accepts a v4 baseline: auto keys show up as ``new``
 and are never counted as regressions.
 
+Schema v6: every row records its peak resident set size — ``peak_rss_mb``
+(absolute, sampled from ``/proc/self/statm`` at ~2 ms while the row runs)
+and ``peak_rss_delta_mb`` (growth over the RSS at row start).  The largest
+synthetic field additionally gets a paired in-memory/streamed measurement
+(``stream_summary``): each path runs in its own subprocess so ``VmHWM``
+isolates true peak memory, the streamed path reads the input through a
+memmap and writes segments through :meth:`compress_stream`, and the summary
+records the throughput and peak-RSS ratios the streaming gate enforces
+(streamed >= 1.2x compress throughput, <= 0.5x peak RSS growth).  Flat
+metric keys for streamed rows gain a ``/stream`` suffix, so ``--compare``
+still accepts a v5 baseline: streamed keys show up as ``new`` and are never
+counted as regressions.  ``--compare`` additionally diffs
+``peak_rss_delta_mb`` per row and treats growth past ``--mem-threshold``
+(default 15%) as a failure alongside the 10% timing gate; rows whose old
+delta is below ~16 MB are allocator noise and never flagged.
+
 Every future performance PR reruns this harness and compares against the
 committed JSON, so regressions in any stage are visible immediately.
 
@@ -48,7 +64,10 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
+import tempfile
+import threading
 import time
 from typing import Any
 
@@ -61,7 +80,7 @@ from repro.compressors import get_compressor
 from repro.parallel import ParallelCompressor
 from repro.obs import throughput_mbs
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: benchmark matrix: the four interpolation-based compressors QP integrates with
 BASES = ("sz3", "qoz", "hpez", "mgard")
@@ -70,7 +89,81 @@ BASES = ("sz3", "qoz", "hpez", "mgard")
 FULL_GRIDS = [("miranda", (64, 96, 96)), ("s3d", (48, 48, 48))]
 SMOKE_GRIDS = [("miranda", (16, 20, 24))]
 
+#: largest synthetic field: the streamed-vs-in-memory pairing runs here.
+#: ~38.5 MB of f32 — big enough that the in-memory path's intermediates
+#: spill the last-level cache while a single slab still fits.
+#: (row label, generator dataset, shape) — the label keeps the flat metric
+#: keys distinct from the regular miranda rows.
+STREAM_GRID = ("miranda-large", "miranda", (192, 224, 224))
+SMOKE_STREAM_GRID = ("miranda-small", "miranda", (24, 24, 32))
+
+#: slab size for the streamed benchmark row; 6-12 MB is the measured
+#: throughput plateau on this field and keeps the resident window small
+STREAM_SLAB_BYTES = 6 << 20
+
 REL_EB = 1e-3
+
+
+class _RssSampler:
+    """Samples ``/proc/self/statm`` on a daemon thread while a row runs.
+
+    ``peak_mb``/``delta_mb`` are ``None`` when ``/proc`` is unavailable
+    (non-Linux), so rows degrade gracefully instead of failing the run.
+    Sampling at ~2 ms can miss very short allocation spikes; the paired
+    streamed benchmark uses per-subprocess ``VmHWM`` where exactness
+    matters.
+    """
+
+    def __init__(self, interval_s: float = 0.002) -> None:
+        self.interval_s = interval_s
+        self.peak_mb: float | None = None
+        self.baseline_mb: float | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @staticmethod
+    def _rss_mb() -> float | None:
+        try:
+            with open("/proc/self/statm") as fh:
+                pages = int(fh.read().split()[1])
+            return pages * os.sysconf("SC_PAGE_SIZE") / 1e6
+        except (OSError, ValueError, IndexError):
+            return None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            rss = self._rss_mb()
+            if rss is not None and (self.peak_mb is None or rss > self.peak_mb):
+                self.peak_mb = rss
+            self._stop.wait(self.interval_s)
+
+    def __enter__(self) -> "_RssSampler":
+        self.baseline_mb = self._rss_mb()
+        if self.baseline_mb is not None:
+            self.peak_mb = self.baseline_mb
+            self._thread = threading.Thread(target=self._run, daemon=True)
+            self._thread.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+        rss = self._rss_mb()
+        if rss is not None and (self.peak_mb is None or rss > self.peak_mb):
+            self.peak_mb = rss
+
+    @property
+    def delta_mb(self) -> float | None:
+        if self.peak_mb is None or self.baseline_mb is None:
+            return None
+        return max(0.0, self.peak_mb - self.baseline_mb)
+
+
+def _attach_rss(row: dict[str, Any], rss: _RssSampler) -> dict[str, Any]:
+    row["peak_rss_mb"] = rss.peak_mb
+    row["peak_rss_delta_mb"] = rss.delta_mb
+    return row
 
 
 def _time_best(fn, repeats: int) -> float:
@@ -214,6 +307,212 @@ def bench_parallel(
     }
 
 
+#: child program for the paired streamed benchmark.  Each path runs in its
+#: own interpreter so VmHWM (the kernel's per-process peak-RSS high-water
+#: mark, reset by exec) cleanly isolates the memory footprint — consecutive
+#: in-process rows contaminate each other through retained allocator arenas.
+_STREAM_CHILD_SRC = r"""
+import json, os, sys, threading, time
+import numpy as np
+
+mode, npy, eb, slab, repeats = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]), int(sys.argv[4]),
+    int(sys.argv[5]),
+)
+from repro import QPConfig
+from repro.compressors import get_compressor
+
+
+def rss_mb():
+    try:
+        with open("/proc/self/statm") as fh:
+            return int(fh.read().split()[1]) * os.sysconf("SC_PAGE_SIZE") / 1e6
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+class Sampler:
+    # peak RSS sampled only while the compress loop runs: the memory gate
+    # is about the compress path, and whole-process VmHWM would fold the
+    # decompress repeats' allocator arenas into the streamed row's peak
+    def __init__(self):
+        self.peak = self.baseline = rss_mb()
+        self._stop = threading.Event()
+        self._t = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        while not self._stop.is_set():
+            r = rss_mb()
+            if r is not None and (self.peak is None or r > self.peak):
+                self.peak = r
+            self._stop.wait(0.002)
+
+    def __enter__(self):
+        if self.baseline is not None:
+            self._t.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        if self._t.is_alive():
+            self._t.join()
+        r = rss_mb()
+        if r is not None and (self.peak is None or r > self.peak):
+            self.peak = r
+
+    @property
+    def delta(self):
+        if self.peak is None or self.baseline is None:
+            return None
+        return max(0.0, self.peak - self.baseline)
+
+
+comp = get_compressor("sz3", eb, qp=QPConfig())
+out = {"mode": mode}
+if mode == "mem":
+    data = np.load(npy)
+    best = float("inf")
+    blob = b""
+    with Sampler() as smp:
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            blob = comp.compress(data)
+            best = min(best, time.perf_counter() - t0)
+    d_best = float("inf")
+    dec = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        dec = comp.decompress(blob)
+        d_best = min(d_best, time.perf_counter() - t0)
+    err = float(np.abs(dec.astype(np.float64) - data.astype(np.float64)).max())
+    out.update(compress_s=best, decompress_s=d_best,
+               compressed_bytes=len(blob), nbytes=int(data.nbytes),
+               max_error=err, segments=None)
+else:
+    data = np.load(npy, mmap_mode="r")
+    sink_path = npy + ".rstr"
+    best = float("inf")
+    res = None
+    with Sampler() as smp:
+        for _ in range(max(1, repeats)):
+            with open(sink_path, "wb") as sink:
+                t0 = time.perf_counter()
+                res = comp.compress_stream(data, sink, slab_bytes=slab)
+                best = min(best, time.perf_counter() - t0)
+    d_best = float("inf")
+    dec = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        dec = comp.decompress_stream(sink_path)
+        d_best = min(d_best, time.perf_counter() - t0)
+    err = float(np.abs(dec.astype(np.float64)
+                       - np.asarray(data).astype(np.float64)).max())
+    out.update(compress_s=best, decompress_s=d_best,
+               compressed_bytes=int(res.total_bytes), nbytes=int(res.input_bytes),
+               max_error=err, segments=int(res.segments),
+               backpressure_wait_s=float(res.backpressure_wait_s),
+               buffer_reuse=dict(res.buffer_reuse))
+    os.unlink(sink_path)
+out["baseline_mb"] = smp.baseline
+out["peak_rss_mb"] = smp.peak
+out["peak_rss_delta_mb"] = smp.delta
+json.dump(out, sys.stdout)
+"""
+
+
+def bench_stream_pair(
+    dataset: str,
+    generator: str,
+    shape: tuple[int, ...],
+    repeats: int,
+    slab_bytes: int = STREAM_SLAB_BYTES,
+) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    """In-memory vs streamed sz3+QP on one field, each in its own process.
+
+    ``dataset`` labels the rows (kept distinct from the regular grid rows
+    so flat metric keys don't collide); ``generator`` names the synthetic
+    field to draw.  Returns the two result rows plus the
+    ``stream_summary`` record holding the throughput and peak-RSS ratios
+    the streaming acceptance gate reads.
+    """
+    data = repro.generate(generator, shape=shape, seed=0)
+    eb = REL_EB * float(data.max() - data.min())
+    fd, npy = tempfile.mkstemp(suffix=".npy")
+    os.close(fd)
+    rows: list[dict[str, Any]] = []
+    child_out: dict[str, dict[str, Any]] = {}
+    try:
+        np.save(npy, data)
+        env = dict(os.environ)
+        src_root = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        for mode in ("mem", "stream"):
+            proc = subprocess.run(
+                [sys.executable, "-c", _STREAM_CHILD_SRC, mode, npy,
+                 repr(eb), str(slab_bytes), str(repeats)],
+                capture_output=True, text=True, env=env,
+            )
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"stream bench child ({mode}) failed:\n{proc.stderr}")
+            child_out[mode] = json.loads(proc.stdout)
+    finally:
+        if os.path.exists(npy):
+            os.unlink(npy)
+    for mode in ("mem", "stream"):
+        r = child_out[mode]
+        if r["max_error"] > eb * (1 + 1e-9):
+            raise RuntimeError(
+                f"stream bench ({mode}): error bound violated "
+                f"({r['max_error']} > {eb})")
+        row = {
+            "dataset": dataset,
+            "shape": list(shape),
+            "base": "sz3",
+            "qp": True,
+            "stream": mode == "stream",
+            "error_bound": eb,
+            "compressed_bytes": r["compressed_bytes"],
+            "ratio": r["nbytes"] / r["compressed_bytes"],
+            "compress_s": r["compress_s"],
+            "decompress_s": r["decompress_s"],
+            "compress_mbs": throughput_mbs(r["nbytes"], r["compress_s"]),
+            "decompress_mbs": throughput_mbs(r["nbytes"], r["decompress_s"]),
+            "max_error": r["max_error"],
+            "peak_rss_mb": r["peak_rss_mb"],
+            "peak_rss_delta_mb": r["peak_rss_delta_mb"],
+            "isolated_subprocess": True,
+        }
+        if mode == "stream":
+            row.update(
+                slab_bytes=slab_bytes,
+                segments=r["segments"],
+                backpressure_wait_s=r.get("backpressure_wait_s"),
+                buffer_reuse=r.get("buffer_reuse"),
+            )
+        rows.append(row)
+    mem, stream = rows
+    t_ratio = (
+        stream["compress_mbs"] / mem["compress_mbs"]
+        if mem["compress_mbs"] else None
+    )
+    m_old, m_new = mem["peak_rss_delta_mb"], stream["peak_rss_delta_mb"]
+    r_ratio = m_new / m_old if m_old and m_new is not None else None
+    summary = {
+        "dataset": dataset,
+        "shape": list(shape),
+        "slab_bytes": slab_bytes,
+        "compress_throughput_ratio": t_ratio,
+        "peak_rss_delta_ratio": r_ratio,
+        "gates": {
+            "throughput_ok": t_ratio is not None and t_ratio >= 1.2,
+            "rss_ok": r_ratio is not None and r_ratio <= 0.5,
+        },
+    }
+    return rows, summary
+
+
 def resolve_backends(requested: str) -> list[str]:
     """Expand ``--backends`` into the list of backend runs to execute.
 
@@ -248,6 +547,7 @@ def run(
     repeats: int,
     workers: int,
     backends: list[str] | None = None,
+    stream_grid: tuple[str, str, tuple[int, ...]] | None = STREAM_GRID,
 ) -> dict[str, Any]:
     backends = backends or ["numpy"]
     results: list[dict[str, Any]] = []
@@ -262,7 +562,9 @@ def run(
                 eb = REL_EB * float(data.max() - data.min())
                 for base in BASES:
                     for qp in (None, QPConfig()):
-                        row = bench_one(base, data, eb, qp, repeats)
+                        with _RssSampler() as rss:
+                            row = bench_one(base, data, eb, qp, repeats)
+                        _attach_rss(row, rss)
                         row.update({
                             "dataset": dataset,
                             "shape": list(shape),
@@ -279,7 +581,9 @@ def run(
                             f"{tag}",
                             flush=True,
                         )
-                    row = bench_auto(base, data, eb, repeats)
+                    with _RssSampler() as rss:
+                        row = bench_auto(base, data, eb, repeats)
+                    _attach_rss(row, rss)
                     row.update({
                         "dataset": dataset,
                         "shape": list(shape),
@@ -297,7 +601,10 @@ def run(
                         flush=True,
                     )
                 if workers > 1:
-                    row = bench_parallel(data, eb, QPConfig(), workers, repeats)
+                    with _RssSampler() as rss:
+                        row = bench_parallel(data, eb, QPConfig(), workers,
+                                             repeats)
+                    _attach_rss(row, rss)
                     row.update({
                         "dataset": dataset,
                         "shape": list(shape),
@@ -318,6 +625,38 @@ def run(
             os.environ.pop(kernels.ENV_GLOBAL, None)
         else:
             os.environ[kernels.ENV_GLOBAL] = saved_env
+    stream_summary = None
+    if stream_grid is not None:
+        dataset, generator, shape = stream_grid
+        # the in-memory half of the pair is slow on the large field, so a
+        # single repeat keeps the harness runtime sane; the subprocess
+        # isolation already removes most scheduler noise from the ratio
+        stream_rows, stream_summary = bench_stream_pair(
+            dataset, generator, shape, repeats=min(repeats, 2))
+        results.extend(stream_rows)
+        for row in stream_rows:
+            label = "stream" if row["stream"] else "in-mem"
+            print(
+                f"{dataset} sz3   qp=on  [{label:7s}]"
+                f"  CR={row['ratio']:7.2f}"
+                f"  comp={row['compress_mbs']:8.2f} MB/s"
+                f"  peakRSS={row['peak_rss_delta_mb'] or 0:7.1f} MB",
+                flush=True,
+            )
+        g = stream_summary["gates"]
+        t_r = stream_summary["compress_throughput_ratio"]
+        r_r = stream_summary["peak_rss_delta_ratio"]
+        print(
+            f"stream gates: throughput x{t_r:.2f}" if t_r is not None
+            else "stream gates: throughput n/a",
+            end="", flush=True,
+        )
+        print(
+            f" ({'ok' if g['throughput_ok'] else 'FAIL'} >=1.2), "
+            + (f"peak-RSS x{r_r:.2f}" if r_r is not None else "peak-RSS n/a")
+            + f" ({'ok' if g['rss_ok'] else 'FAIL'} <=0.5)",
+            flush=True,
+        )
     return {
         "schema_version": SCHEMA_VERSION,
         "rel_error_bound": REL_EB,
@@ -326,8 +665,10 @@ def run(
         "numpy": np.__version__,
         "has_stage_profiler": True,
         "timing_source": "repro.obs",
+        "has_rss_sampler": _RssSampler._rss_mb() is not None,
         "kernel_backends_run": backends,
         "numba_available": kernels.numba_available(),
+        "stream_summary": stream_summary,
         "results": results,
     }
 
@@ -391,6 +732,8 @@ def _flatten_timings(report: dict[str, Any]) -> dict[str, float]:
         )
         if row.get("auto"):
             key += "/auto"
+        if row.get("stream"):
+            key += "/stream"
         kb = row.get("kernel_backend")
         if kb and kb != "numpy":
             key += f"/backend={kb}"
@@ -405,18 +748,56 @@ def _flatten_timings(report: dict[str, Any]) -> dict[str, float]:
     return out
 
 
+def _flatten_memory(report: dict[str, Any]) -> dict[str, float]:
+    """Map ``dataset/base/qp`` row keys -> ``peak_rss_delta_mb``.
+
+    Only the *delta* (growth while the row ran) is compared: the absolute
+    peak carries the interpreter baseline plus whatever earlier rows left
+    in allocator arenas, which says nothing about the row itself.  Rows
+    from pre-v6 baselines simply have no memory keys and compare as
+    ``new``.
+    """
+    out: dict[str, float] = {}
+    for row in report.get("results", []):
+        delta = row.get("peak_rss_delta_mb")
+        if delta is None:
+            continue
+        key = (
+            f"{row.get('dataset', '?')}/{row.get('base', '?')}"
+            f"/qp={'on' if row.get('qp') else 'off'}"
+        )
+        if row.get("auto"):
+            key += "/auto"
+        if row.get("stream"):
+            key += "/stream"
+        kb = row.get("kernel_backend")
+        if kb and kb != "numpy":
+            key += f"/backend={kb}"
+        out[key] = float(delta)
+    return out
+
+
+#: RSS deltas below this are allocator noise (arena growth, page rounding)
+#: and are never flagged as memory regressions, whatever the relative move
+MEM_NOISE_FLOOR_MB = 16.0
+
+
 def compare_reports(
     old: dict[str, Any],
     new: dict[str, Any],
     threshold: float = 0.10,
     min_seconds: float = 1e-3,
+    mem_threshold: float = 0.15,
 ) -> int:
     """Print a per-stage diff table; return the number of regressions.
 
-    A metric regresses when it exists in both reports, the old value is at
-    least ``min_seconds`` (micro-timings are pure noise), and the new value
-    exceeds the old by more than ``threshold`` relative. Metrics present in
-    only one report are listed but never counted as regressions.
+    A timing metric regresses when it exists in both reports, the old value
+    is at least ``min_seconds`` (micro-timings are pure noise), and the new
+    value exceeds the old by more than ``threshold`` relative.  A memory
+    metric (``peak_rss_delta_mb`` per row) regresses when the old delta is
+    at least :data:`MEM_NOISE_FLOOR_MB` and the new delta exceeds it by
+    more than ``mem_threshold`` relative.  Metrics present in only one
+    report are listed but never counted as regressions.
     """
     old_t = _flatten_timings(old)
     new_t = _flatten_timings(new)
@@ -449,7 +830,41 @@ def compare_reports(
         f"compared {len(set(old_t) & set(new_t))} metrics, "
         f"{regressions} regression(s) past {threshold:.0%}"
     )
-    return regressions
+
+    old_m = _flatten_memory(old)
+    new_m = _flatten_memory(new)
+    mem_regressions = 0
+    mem_shown = 0
+    if old_m or new_m:
+        header = f"{'memory (peak RSS delta)':58s} {'old(MB)':>10s} {'new(MB)':>10s} {'delta':>8s}"
+        print()
+        print(header)
+        print("-" * len(header))
+        for key in sorted(set(old_m) | set(new_m)):
+            if key not in old_m:
+                print(f"{key:58s} {'-':>10s} {new_m[key]:10.1f} {'new':>8s}")
+                mem_shown += 1
+                continue
+            if key not in new_m:
+                print(f"{key:58s} {old_m[key]:10.1f} {'-':>10s} {'gone':>8s}")
+                mem_shown += 1
+                continue
+            o, n = old_m[key], new_m[key]
+            rel = (n - o) / o if o > 0 else 0.0
+            flag = ""
+            if o >= MEM_NOISE_FLOOR_MB and rel > mem_threshold:
+                flag = "  REGRESSION"
+                mem_regressions += 1
+            if flag or abs(rel) > mem_threshold:
+                print(f"{key:58s} {o:10.1f} {n:10.1f} {rel:+7.1%}{flag}")
+                mem_shown += 1
+        if mem_shown == 0:
+            print(f"(no row's peak RSS moved more than {mem_threshold:.0%})")
+        print(
+            f"compared {len(set(old_m) & set(new_m))} memory rows, "
+            f"{mem_regressions} regression(s) past {mem_threshold:.0%}"
+        )
+    return regressions + mem_regressions
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -469,6 +884,11 @@ def main(argv: list[str] | None = None) -> int:
                     help="relative slowdown that counts as a regression")
     ap.add_argument("--min-seconds", type=float, default=1e-3,
                     help="ignore metrics whose old timing is below this")
+    ap.add_argument("--mem-threshold", type=float, default=0.15,
+                    help="relative peak-RSS growth that counts as a "
+                         "memory regression in --compare")
+    ap.add_argument("--no-stream", action="store_true",
+                    help="skip the paired in-memory/streamed benchmark")
     ap.add_argument("--overhead", action="store_true",
                     help="measure the enabled-tracer overhead on an SZ3+QP "
                          "roundtrip instead of running the benchmark")
@@ -488,12 +908,16 @@ def main(argv: list[str] | None = None) -> int:
             old = json.load(fh)
         with open(args.compare[1]) as fh:
             new = json.load(fh)
-        return 1 if compare_reports(old, new, args.threshold, args.min_seconds) else 0
+        return 1 if compare_reports(old, new, args.threshold, args.min_seconds,
+                                    args.mem_threshold) else 0
 
     grids = SMOKE_GRIDS if args.smoke else FULL_GRIDS
     repeats = 1 if args.smoke else args.repeats
     workers = 0 if args.smoke else args.workers
-    report = run(grids, repeats, workers, resolve_backends(args.backends))
+    stream_grid = None if args.no_stream else (
+        SMOKE_STREAM_GRID if args.smoke else STREAM_GRID)
+    report = run(grids, repeats, workers, resolve_backends(args.backends),
+                 stream_grid=stream_grid)
     report["smoke"] = args.smoke
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=1)

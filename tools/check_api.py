@@ -380,12 +380,136 @@ def check_pipelines() -> dict[str, list[str]]:
     }
 
 
+def check_streaming() -> list[str]:
+    """Streaming-surface lint (empty = ok).
+
+    Holds the streaming mode to its contracts: the incremental
+    ``ContainerWriter``/``ContainerReader`` round-trip with strictly
+    monotone, contiguous offsets and typed truncation/corruption errors;
+    ``compress_stream``/``decompress_stream`` signature conformance across
+    every registered compressor (mirroring the Codec bar: data+sink
+    positional, extras defaulted); a streamed-vs-in-memory byte-identity
+    spot check; and the stage graph fully partitioned onto the streaming
+    front/entropy thread stages (``STREAM_STAGE_GROUPS``).
+    """
+    import io
+
+    import numpy as np
+
+    from repro.compressors import COMPRESSORS, get_compressor
+    from repro.errors import IntegrityError, TruncatedStreamError
+    from repro.io.container import ContainerReader, ContainerWriter
+    from repro.pipeline.builders import pipeline_spec, registered_pipelines
+    from repro.pipeline.stages import STREAM_STAGE_GROUPS
+
+    problems: list[str] = []
+
+    # -- writer/reader round-trip + offset monotonicity ---------------------
+    segments = [b"alpha-segment", b"bravo!", b"charlie-segment-3"]
+    sink = io.BytesIO()
+    with ContainerWriter(sink, axis=0, meta={"k": "v"}) as w:
+        for seg in segments:
+            w.append(seg)
+    raw = sink.getvalue()
+    try:
+        r = ContainerReader(raw)
+        if [r.segment(i) for i in range(len(r))] != segments:
+            problems.append("container: segments did not round-trip")
+        if r.meta.get("k") != "v":
+            problems.append("container: meta did not round-trip")
+        offs = r.offsets()
+        if offs != sorted(set(offs)) or any(
+            offs[i][0] + offs[i][1] != offs[i + 1][0] for i in range(len(offs) - 1)
+        ):
+            problems.append(f"container: offsets not monotone/contiguous: {offs}")
+    except Exception as exc:  # pragma: no cover - lint reporting
+        problems.append(f"container: round-trip raised {type(exc).__name__}: {exc}")
+    try:
+        ContainerReader(raw[:-9])
+        problems.append("container: truncated stream must raise TruncatedStreamError")
+    except TruncatedStreamError:
+        pass
+    corrupt = bytearray(raw)
+    corrupt[len(segments[0]) // 2 + 8] ^= 0xFF  # flip a payload byte
+    try:
+        ContainerReader(bytes(corrupt)).segment(0)
+        problems.append("container: corrupt segment must raise IntegrityError")
+    except IntegrityError:
+        pass
+
+    # -- compress_stream / decompress_stream signatures ---------------------
+    for name in COMPRESSORS:
+        comp = get_compressor(name, 1e-3)
+        for attr in ("compress_stream", "decompress_stream"):
+            if not callable(getattr(comp, attr, None)):
+                problems.append(f"{name}: missing {attr}")
+                continue
+            sig = inspect.signature(getattr(comp, attr))
+            params = list(sig.parameters.values())
+            positional = [
+                p for p in params
+                if p.kind in (inspect.Parameter.POSITIONAL_ONLY,
+                              inspect.Parameter.POSITIONAL_OR_KEYWORD)
+            ]
+            need = 2 if attr == "compress_stream" else 1
+            if len(positional) < need:
+                problems.append(
+                    f"{name}: {attr} must take {need} positional parameter(s)"
+                )
+            for p in params[need:]:
+                if p.kind in (inspect.Parameter.VAR_KEYWORD,
+                              inspect.Parameter.VAR_POSITIONAL):
+                    continue
+                if p.default is inspect.Parameter.empty:
+                    problems.append(
+                        f"{name}: {attr} extra parameter {p.name!r} must "
+                        f"have a default"
+                    )
+
+    # -- streamed segment byte-identity spot check --------------------------
+    rng = np.random.default_rng(11)
+    data = np.cumsum(rng.normal(size=(24, 10, 8)), axis=0).astype(np.float32)
+    comp = get_compressor("sz3", 1e-3)
+    sink = io.BytesIO()
+    comp.compress_stream(data, sink, slab_bytes=8 * 10 * 8 * 4)
+    r = ContainerReader(sink.getvalue())
+    from repro.streaming import plan_slabs
+
+    slabs = plan_slabs(data.shape, data.dtype, 8 * 10 * 8 * 4)
+    for i, sl in enumerate(slabs):
+        if r.segment(i) != comp.compress(np.ascontiguousarray(data[sl])):
+            problems.append(f"sz3: streamed segment {i} != compress(slab)")
+    if not np.array_equal(
+        comp.decompress_stream(sink.getvalue()),
+        np.concatenate(
+            [comp.decompress(comp.compress(np.ascontiguousarray(data[sl])))
+             for sl in slabs]
+        ),
+    ):
+        problems.append("sz3: decompress_stream != per-slab decompress")
+
+    # -- every pipeline stage claimed by exactly one streaming group --------
+    claimed = STREAM_STAGE_GROUPS["front"] | STREAM_STAGE_GROUPS["entropy"]
+    overlap = STREAM_STAGE_GROUPS["front"] & STREAM_STAGE_GROUPS["entropy"]
+    if overlap:
+        problems.append(f"STREAM_STAGE_GROUPS groups overlap: {sorted(overlap)}")
+    for pname in registered_pipelines():
+        for s in pipeline_spec(pname).stages:
+            if s.stage not in claimed:
+                problems.append(
+                    f"pipeline {pname!r}: stage {s.stage!r} not claimed by "
+                    f"any STREAM_STAGE_GROUPS group"
+                )
+    return problems
+
+
 def check_all() -> dict[str, list[str]]:
     """name -> violations for every candidate (empty dict values = all clean)."""
     out = {name: check_codec(obj) for name, obj in _candidates().items()}
     out.update(check_pipelines())
     out.update(check_kernels())
     out["stage[adaptive_quantize]"] = check_adaptive_stage()
+    out["streaming"] = check_streaming()
     return out
 
 

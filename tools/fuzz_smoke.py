@@ -58,6 +58,18 @@ def _build_targets(seed: int):
         )
         blob = comp.compress(data)
         targets.append((f"{name}+adaptive", blob, decompress_any))
+    # streamed slab container: the offset-framed wire format (header,
+    # segment table, CRC-guarded index/footer) is its own decode surface
+    import io
+
+    from repro.streaming import stream_decompress
+
+    for name in ("sz3", "mgard"):
+        comp = get_compressor(name, 1e-2, qp=QPConfig())
+        sink = io.BytesIO()
+        slab_bytes = (data.shape[0] // 3) * data[0].nbytes
+        comp.compress_stream(data, sink, slab_bytes=slab_bytes)
+        targets.append((f"stream[{name}]", sink.getvalue(), stream_decompress))
     symbols = rng.integers(0, 40, size=3000).astype(np.int64)
     # every registered entropy stage, enumerated from the pipeline registry
     # so new wire formats (e.g. ans) are fuzzed without touching this list
