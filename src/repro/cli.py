@@ -12,6 +12,9 @@ Commands
 ``faults``        seeded fault injection / corruption-matrix sweep on a blob
 ``stats``         per-stage span/metric report for one observed
                   compress → transfer → decompress run (repro.obs)
+``serve``         run the compression gateway over TCP (repro.service):
+                  async multi-tenant front end with batching, admission
+                  control, streamed oversized inputs, archive persistence
 """
 from __future__ import annotations
 
@@ -212,6 +215,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-qp", dest="qp", action="store_false",
                    help="disable quantization index prediction")
     p.set_defaults(qp=True)
+
+    p = sub.add_parser(
+        "serve", help="run the compression gateway over TCP (blocking)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9753)
+    p.add_argument("--workers", type=int, default=2,
+                   help="fork-pool worker processes for batched jobs")
+    p.add_argument("--queue-depth", type=int, default=256,
+                   help="bounded dispatch queue (global backpressure)")
+    p.add_argument("--rate", type=float, default=None,
+                   help="default per-tenant sustained requests/second "
+                        "(unlimited when omitted)")
+    p.add_argument("--burst", type=int, default=64,
+                   help="default per-tenant token-bucket burst")
+    p.add_argument("--max-inflight", type=int, default=32,
+                   help="default per-tenant inflight request quota")
+    p.add_argument("--stream-threshold-mb", type=float, default=32.0,
+                   help="inputs at or above this size take the streamed "
+                        "RSTR route instead of the fork pool")
+    p.add_argument("--archive", default=None,
+                   help="crash-safe RAR1 archive path backing "
+                        "archive-put/archive-get requests")
     return parser
 
 
@@ -518,6 +544,25 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import GatewayConfig, TenantPolicy, serve
+
+    policy = TenantPolicy(
+        rate=args.rate if args.rate else float("inf"),
+        burst=args.burst,
+        max_inflight=args.max_inflight,
+    )
+    config = GatewayConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        stream_threshold_bytes=int(args.stream_threshold_mb * (1 << 20)),
+        archive_path=args.archive,
+        default_policy=policy,
+    )
+    serve(args.host, args.port, config=config)
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -530,6 +575,7 @@ _COMMANDS = {
     "extract": _cmd_extract,
     "faults": _cmd_faults,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
 }
 
 

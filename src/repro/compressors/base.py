@@ -67,11 +67,17 @@ class Codec(Protocol):
     Every compressing object — registry compressors, the slab-parallel /
     temporal / PW_REL / QoI wrappers — satisfies this protocol:
 
-    * ``compress(data, *, checksum=False) -> bytes`` returns a
-      self-describing container; ``checksum=True`` seals it in the v1
-      CRC32 integrity envelope (:mod:`repro.io.integrity`) and
-      ``checksum=False`` (the default) emits the canonical bytes
-      unchanged, so existing golden digests are unaffected.
+    * ``compress(data, *, checksum=False, auto=False, adaptive=None)
+      -> bytes`` returns a self-describing container.  The three knobs
+      are the *uniform keyword-only set* every implementation accepts
+      with the same defaults: ``checksum=True`` seals the canonical
+      bytes in the v1 CRC32 integrity envelope
+      (:mod:`repro.io.integrity`); ``auto=True`` runs the sampling
+      auto-tuner where one exists (a no-op elsewhere); ``adaptive=``
+      applies an :class:`~repro.core.AdaptiveConfig` (or its dict
+      encoding) for this call on codecs whose pipeline supports adaptive
+      quantization — codecs that cannot honor it raise ``ValueError``
+      rather than silently ignoring the request.
     * ``decompress(blob) -> np.ndarray`` accepts both the canonical and
       the sealed framing of its own containers and round-trips the
       geometry without out-of-band arguments.
@@ -79,12 +85,20 @@ class Codec(Protocol):
 
     ``isinstance(obj, Codec)`` checks attribute presence (the runtime
     protocol semantics); ``tools/check_api.py`` additionally lints the
-    signatures of everything registered.
+    signatures of everything registered (keyword-only knobs, consistent
+    defaults, no stray positional parameters).
     """
 
     name: str
 
-    def compress(self, data: np.ndarray, *, checksum: bool = False) -> bytes:
+    def compress(
+        self,
+        data: np.ndarray,
+        *,
+        checksum: bool = False,
+        auto: bool = False,
+        adaptive: Any = None,
+    ) -> bytes:
         ...
 
     def decompress(self, blob: bytes) -> np.ndarray:
@@ -274,6 +288,7 @@ class Compressor(ABC):
         state: CompressionState | None = None,
         checksum: bool = False,
         auto: bool = False,
+        adaptive: Any = None,
     ) -> bytes:
         """Compress ``data`` to a self-describing blob (bytes).
 
@@ -285,10 +300,17 @@ class Compressor(ABC):
         compresses with the tuned configuration; compressors without a
         tuner accept the knob as a no-op.  The chosen
         :class:`~repro.core.autotune.TuningDecision` is left in
-        ``self.last_tuning``.  All three are keyword-only — the
-        :class:`Codec` protocol's surface.
+        ``self.last_tuning``.  ``adaptive=`` overrides the adaptive
+        quantization config for this call (a per-call counterpart of the
+        constructor argument); compressors whose pipeline has no
+        adaptive stage raise ``ValueError``.  All knobs are
+        keyword-only — the :class:`Codec` protocol's surface.
         """
         data = check_ndarray(data)
+        if adaptive is not None:
+            return self._with_adaptive(adaptive).compress(
+                data, state=state, checksum=checksum, auto=auto
+            )
         if auto:
             tuned = self._tuned_for(data)
             self.last_tuning = getattr(tuned, "tuning_decision", None)
@@ -472,6 +494,30 @@ class Compressor(ABC):
         )
 
     # -- subclass hooks -------------------------------------------------------
+
+    def _with_adaptive(self, adaptive: Any) -> "Compressor":
+        """Clone this compressor with ``adaptive`` applied (per-call knob).
+
+        Only compressors whose constructor takes ``adaptive`` (i.e. whose
+        pipeline contains the adaptive quantization stage) can honor the
+        request; everything else rejects it loudly — silently compressing
+        without the asked-for transform would corrupt an accuracy study.
+        """
+        import copy
+        import inspect
+
+        if "adaptive" not in inspect.signature(type(self).__init__).parameters:
+            raise ValueError(
+                f"compressor {self.name!r} does not support adaptive "
+                "quantization; drop the adaptive= argument"
+            )
+        if isinstance(adaptive, dict):
+            from ..core import AdaptiveConfig
+
+            adaptive = AdaptiveConfig.from_dict(adaptive)
+        clone = copy.copy(self)
+        clone.adaptive = adaptive
+        return clone
 
     def _tuned_for(self, data: np.ndarray) -> "Compressor":
         """Return a compressor tuned for ``data`` (``compress(auto=True)``).

@@ -20,6 +20,10 @@ tightening a decoder never breaks an existing ``except ValueError`` site.
 ``TransferError``        the resilient transfer pipeline's failures.
 ``PipelineSpecError``    a serialized pipeline spec fails validation.
 ``UnknownStageError``    a pipeline spec names a stage id no stage type claims.
+``ServiceError``         the compression gateway's request failures; admission
+                         rejections (rate limit, quota, queue full) are the
+                         :class:`AdmissionError` refinements so clients can
+                         back off on exactly those.
 """
 from __future__ import annotations
 
@@ -35,6 +39,13 @@ __all__ = [
     "QuarantinedSliceError",
     "PipelineSpecError",
     "UnknownStageError",
+    "ServiceError",
+    "AdmissionError",
+    "RateLimitedError",
+    "QuotaExceededError",
+    "QueueFullError",
+    "ServiceClosedError",
+    "ServiceRequestError",
 ]
 
 
@@ -86,6 +97,57 @@ class TransferFaultError(TransferError):
 
     Raised by channels to signal a retryable fault; the pipeline converts
     repeated faults into quarantine entries rather than propagating."""
+
+
+class ServiceError(ReproError):
+    """Base class for compression-gateway request failures.
+
+    ``reason`` is a stable machine-readable tag (also the wire-format error
+    code and the ``service.rejected{reason=...}`` metric label), so clients
+    and dashboards never parse the human message."""
+
+    reason = "service"
+
+
+class AdmissionError(ServiceError):
+    """The gateway refused to accept the request (backpressure).
+
+    The request was never queued; retrying after a backoff is safe and
+    side-effect free."""
+
+    reason = "admission"
+
+
+class RateLimitedError(AdmissionError):
+    """The tenant's token bucket is empty (requests arriving faster than
+    the provisioned rate)."""
+
+    reason = "rate_limited"
+
+
+class QuotaExceededError(AdmissionError):
+    """The tenant already has ``max_inflight`` admitted requests."""
+
+    reason = "quota"
+
+
+class QueueFullError(AdmissionError):
+    """The gateway's bounded dispatch queue is full (global backpressure)."""
+
+    reason = "queue_full"
+
+
+class ServiceClosedError(ServiceError):
+    """The gateway is draining or stopped; no new work is accepted."""
+
+    reason = "closed"
+
+
+class ServiceRequestError(ServiceError, ValueError):
+    """The request itself is invalid (unknown archive entry, malformed
+    payload, unsupported spec) — retrying the same request cannot help."""
+
+    reason = "bad_request"
 
 
 class QuarantinedSliceError(TransferError):

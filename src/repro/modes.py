@@ -57,14 +57,32 @@ class PointwiseRelativeCompressor:
         self.qp = qp
         self.kwargs = kwargs
 
-    def _base_compressor(self) -> Compressor:
+    def _base_compressor(self, adaptive=None) -> Compressor:
         eb = float(np.log1p(self.rel))
         kwargs = dict(self.kwargs)
         if supports_qp(self.base):
             kwargs.setdefault("qp", self.qp or QPConfig.disabled())
+        if adaptive is not None:
+            from .compressors import constructor_accepts
+
+            if not constructor_accepts(self.base, "adaptive"):
+                raise ValueError(
+                    f"compressor {self.base!r} does not support adaptive "
+                    "quantization; drop the adaptive= argument"
+                )
+            kwargs["adaptive"] = adaptive
         return get_compressor(self.base, eb, **kwargs)
 
-    def compress(self, data: np.ndarray, *, checksum: bool = False) -> bytes:
+    def compress(
+        self,
+        data: np.ndarray,
+        *,
+        checksum: bool = False,
+        auto: bool = False,
+        adaptive=None,
+    ) -> bytes:
+        """Compress with the uniform Codec knob set; ``auto``/``adaptive``
+        forward to the base compressor running on the log-domain data."""
         data = np.asarray(data)
         if (data <= 0).any():
             raise ValueError(
@@ -72,7 +90,7 @@ class PointwiseRelativeCompressor:
                 "(shift or split by sign first)"
             )
         logd = np.log(data.astype(np.float64))
-        blob = self._base_compressor().compress(logd)
+        blob = self._base_compressor(adaptive).compress(logd, auto=auto)
         # annotate the blob so decompression knows to exponentiate
         b = Blob.from_bytes(blob)
         b.header["pw_rel"] = self.rel

@@ -29,6 +29,7 @@ import os
 import struct
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from typing import Any
 
 import numpy as np
 
@@ -37,7 +38,7 @@ from .core.config import QPConfig
 from .io.integrity import is_sealed, seal, unseal
 from .streaming import slab_slices
 
-__all__ = ["ParallelCompressor"]
+__all__ = ["ParallelCompressor", "create_fork_pool"]
 
 _MAGIC = b"RPAR"
 
@@ -73,17 +74,17 @@ def _attach_shm(name: str):
 
 
 def _compress_one(args) -> bytes:
-    data, name, eb, qp_dict, kwargs = args
+    data, name, eb, qp_dict, kwargs, auto = args
     from .compressors import get_compressor
 
     kw = dict(kwargs)
     if qp_dict is not None:
         kw["qp"] = QPConfig.from_dict(qp_dict)
-    return get_compressor(name, eb, **kw).compress(data)
+    return get_compressor(name, eb, **kw).compress(data, auto=auto)
 
 
 def _compress_one_shm(args) -> bytes:
-    shm_name, dtype_str, shape, axis, lo, hi, name, eb, qp_dict, kwargs = args
+    shm_name, dtype_str, shape, axis, lo, hi, name, eb, qp_dict, kwargs, auto = args
     seg = _attach_shm(shm_name)
     try:
         full = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=seg.buf)
@@ -95,7 +96,7 @@ def _compress_one_shm(args) -> bytes:
         del full
     finally:
         seg.close()
-    return _compress_one((slab, name, eb, qp_dict, kwargs))
+    return _compress_one((slab, name, eb, qp_dict, kwargs, auto))
 
 
 def _decompress_one(blob: bytes) -> np.ndarray:
@@ -155,6 +156,30 @@ def _pool_worker_init(suppress_kernel_warnings: bool) -> None:
         from . import kernels
 
         kernels.suppress_fallback_warnings(True)
+
+
+def create_fork_pool(workers: int) -> ProcessPoolExecutor:
+    """Build the persistent fork-based worker pool the stack shares.
+
+    One construction point for every fork-pool user (the slab-parallel
+    compressor and the service gateway): kernel backends are resolved in
+    the parent first so any fallback warning fires exactly once, workers
+    inherit the warning-dedupe flag through :func:`_pool_worker_init`, and
+    the fork start method is preferred for cheap startup + shared-memory
+    attach (spawn is the automatic fallback where fork is unavailable).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    from . import kernels
+
+    kernels.active_backends()
+    ctx = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("fork")
+    return ProcessPoolExecutor(
+        max_workers=workers, mp_context=ctx,
+        initializer=_pool_worker_init, initargs=(True,),
+    )
 
 
 def _effective_cores() -> int:
@@ -279,20 +304,7 @@ class ParallelCompressor:
     def _get_pool(self) -> ProcessPoolExecutor:
         """Lazily created pool, reused across compress/decompress calls."""
         if self._pool is None:
-            # resolve every kernel stage in the parent first: any fallback
-            # warning fires here, exactly once for the whole parallel run
-            from . import kernels
-
-            kernels.active_backends()
-            ctx = None
-            if "fork" in multiprocessing.get_all_start_methods():
-                # fork workers inherit the imported modules — far cheaper
-                # startup than spawn, and required for cheap SHM attach
-                ctx = multiprocessing.get_context("fork")
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=ctx,
-                initializer=_pool_worker_init, initargs=(True,),
-            )
+            self._pool = create_fork_pool(self.workers)
             self._pool_finalizer = weakref.finalize(
                 self, _shutdown_pool, self._pool
             )
@@ -345,8 +357,24 @@ class ParallelCompressor:
 
     # -- compression --------------------------------------------------------
 
-    def compress(self, data: np.ndarray, *, checksum: bool = False) -> bytes:
+    def compress(
+        self,
+        data: np.ndarray,
+        *,
+        checksum: bool = False,
+        auto: bool = False,
+        adaptive: Any = None,
+    ) -> bytes:
+        """Compress slab-parallel; the standard keyword knob set applies.
+
+        ``auto`` runs the sampling tuner inside each slab job (each slab is
+        tuned independently); ``adaptive`` forwards an
+        :class:`~repro.core.config.AdaptiveConfig` (or its dict form) to
+        every slab's base compressor and raises ``ValueError`` when the
+        base does not take one.
+        """
         data = np.asarray(data)
+        kwargs = self._job_kwargs(adaptive)
         axis, slabs = self._slabs(data.shape)
         parallel = self.workers > 1 and len(slabs) > 1
         with obs.span(
@@ -354,7 +382,7 @@ class ParallelCompressor:
         ):
             blobs: list[bytes] | None = None
             if parallel and _shm is not None:
-                blobs = self._compress_shm(data, axis, slabs)
+                blobs = self._compress_shm(data, axis, slabs, kwargs, auto)
             if blobs is None:
                 jobs = []
                 for sl in slabs:
@@ -362,7 +390,8 @@ class ParallelCompressor:
                     idx[axis] = sl
                     jobs.append((
                         np.ascontiguousarray(data[tuple(idx)]),
-                        self.base, self.error_bound, self._qp_dict, self.kwargs,
+                        self.base, self.error_bound, self._qp_dict, kwargs,
+                        auto,
                     ))
                 blobs = self._run_jobs("compress", _compress_one, jobs, parallel)
             head = _MAGIC + struct.pack("<BI", axis, len(blobs))
@@ -370,8 +399,24 @@ class ParallelCompressor:
         out = head + body
         return seal(out) if checksum else out
 
+    def _job_kwargs(self, adaptive: Any) -> dict:
+        """Per-call constructor kwargs for the slab jobs (adaptive merge)."""
+        if adaptive is None:
+            return self.kwargs
+        from .compressors import constructor_accepts
+
+        if not constructor_accepts(self.base, "adaptive"):
+            raise ValueError(
+                f"compressor {self.base!r} does not support adaptive "
+                "quantization; drop the adaptive argument"
+            )
+        if hasattr(adaptive, "to_dict"):
+            adaptive = adaptive.to_dict()
+        return dict(self.kwargs, adaptive=adaptive)
+
     def _compress_shm(
-        self, data: np.ndarray, axis: int, slabs: list[slice]
+        self, data: np.ndarray, axis: int, slabs: list[slice],
+        kwargs: dict, auto: bool,
     ) -> list[bytes] | None:
         """Compress via a shared input segment; None → caller falls back."""
         try:
@@ -382,7 +427,7 @@ class ParallelCompressor:
             np.ndarray(data.shape, dtype=data.dtype, buffer=seg.buf)[...] = data
             jobs = [(
                 seg.name, data.dtype.str, data.shape, axis, sl.start, sl.stop,
-                self.base, self.error_bound, self._qp_dict, self.kwargs,
+                self.base, self.error_bound, self._qp_dict, kwargs, auto,
             ) for sl in slabs]
             return self._run_jobs("compress_shm", _compress_one_shm, jobs, True)
         finally:

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..compressors import decompress_any, get_compressor, supports_qp
 from ..core.config import QPConfig
+from ..errors import CorruptBlobError
 from ..io.integrity import is_sealed, seal, unseal
 from ..obs import span
 from ..utils.blocks import iter_blocks
@@ -39,8 +40,9 @@ class QoIPreservingCompressor:
     container header carries the array geometry, so
     ``decompress(blob)`` needs no out-of-band ``shape`` (passing one is
     deprecated); ``compress(..., checksum=True)`` seals the container in
-    the v1 integrity envelope.  Legacy shape-less ``RQOI`` containers
-    still decode when ``shape`` is supplied.
+    the v1 integrity envelope.  The legacy shape-less ``RQOI`` format is
+    retired: those bytes now raise a typed
+    :class:`~repro.errors.CorruptBlobError` with a migration hint.
 
     Parameters
     ----------
@@ -78,13 +80,37 @@ class QoIPreservingCompressor:
     def name(self) -> str:
         return f"qoi[{self.base}]"
 
-    def _block_compressor(self, eb: float):
+    def _block_compressor(self, eb: float, adaptive=None):
         kwargs = {}
         if supports_qp(self.base):
             kwargs["qp"] = self.qp or QPConfig.disabled()
+        if adaptive is not None:
+            from ..compressors import constructor_accepts
+
+            if not constructor_accepts(self.base, "adaptive"):
+                raise ValueError(
+                    f"compressor {self.base!r} does not support adaptive "
+                    "quantization; drop the adaptive= argument"
+                )
+            kwargs["adaptive"] = adaptive
         return get_compressor(self.base, eb, **kwargs)
 
-    def compress(self, data: np.ndarray, *, checksum: bool = False) -> bytes:
+    def compress(
+        self,
+        data: np.ndarray,
+        *,
+        checksum: bool = False,
+        auto: bool = False,
+        adaptive=None,
+    ) -> bytes:
+        """Compress with the uniform Codec knob set.
+
+        ``auto`` is accepted for conformance but is a no-op here: block
+        bounds are already derived per block from the QoI, so there is no
+        scalar configuration left for the sampling tuner to choose.
+        ``adaptive=`` forwards to each block's base compressor when its
+        pipeline supports adaptive quantization.
+        """
         data = np.asarray(data)
         bounds = self.qoi.pointwise_bound(data, self.tau)
         blobs: list[bytes] = []
@@ -97,7 +123,7 @@ class QoIPreservingCompressor:
                 # arithmetic; shrink on the rare violation from stacked
                 # rounding
                 for _ in range(8):
-                    blob = self._block_compressor(eb).compress(block)
+                    blob = self._block_compressor(eb, adaptive).compress(block)
                     out = decompress_any(blob)
                     if self._block_ok(block, out):
                         break
@@ -131,7 +157,7 @@ class QoIPreservingCompressor:
         return self.qoi.error(block, out) <= self.tau * (1 + 1e-9)
 
     def decompress(
-        self, blob: bytes, shape: tuple[int, ...] | None = None
+        self, blob: bytes, *, shape: tuple[int, ...] | None = None
     ) -> np.ndarray:
         if is_sealed(blob):
             blob = unseal(blob)
@@ -156,24 +182,15 @@ class QoIPreservingCompressor:
             n_blocks = int(header["n_blocks"])
             off = 8 + hlen
         elif blob[:4] == _MAGIC_V1:
-            if shape is None:
-                raise ValueError(
-                    "legacy RQOI container carries no geometry; pass "
-                    "shape= (and re-compress to get the self-describing "
-                    "v2 format)"
-                )
-            warnings.warn(
-                "decoding the legacy shape-less RQOI container is "
-                "deprecated; re-compress to the self-describing v2 format",
-                DeprecationWarning,
-                stacklevel=2,
+            # the shape-less v1 path warned via DeprecationWarning for two
+            # releases; it is now a typed rejection (see docs/api.md)
+            raise CorruptBlobError(
+                "the legacy shape-less RQOI container format has been "
+                "retired; decode it with a pre-service release and "
+                "re-compress to the self-describing RQO2 format"
             )
-            out_shape = tuple(shape)
-            block_side = self.block_side
-            (n_blocks,) = struct.unpack_from("<I", blob, 4)
-            off = 8
         else:
-            raise ValueError("not a QoI container")
+            raise CorruptBlobError("not a QoI container")
         out: np.ndarray | None = None
         with span("qoi.decompress", base=self.base, blocks=n_blocks):
             for i, bslice in enumerate(iter_blocks(out_shape, block_side)):

@@ -1,0 +1,61 @@
+"""Compression-as-a-service: the async multi-tenant gateway.
+
+Layers, bottom-up:
+
+``messages``   typed dataclass requests/replies + the versioned ``RSV1``
+               wire encoding (JSON header + binary payload).
+``admission``  per-tenant token buckets and inflight quotas; rejections
+               are typed :class:`~repro.errors.AdmissionError` subclasses.
+``gateway``    the asyncio core — bounded queue, same-spec fork-pool
+               batching, streamed route for huge volumes, crash-safe
+               archive persistence, obs span/counter merge, drain.
+``net``        length-prefixed TCP transport + :class:`ServiceClient`.
+
+Quick start (in-process)::
+
+    from repro.service import Gateway, GatewayConfig, CompressRequest
+
+    async with Gateway(GatewayConfig(workers=2)) as gw:
+        reply = await gw.submit(CompressRequest.from_array("acme", arr))
+        blob = reply.result
+
+Over TCP, ``repro serve --port 9753`` on one side and
+:class:`ServiceClient` (or ``tools/loadgen.py``) on the other speak the
+same frames.
+"""
+from __future__ import annotations
+
+from .admission import AdmissionController, TenantPolicy, TokenBucket
+from .gateway import Gateway, GatewayConfig
+from .messages import (
+    SCHEMA_VERSION,
+    ArchiveGetRequest,
+    ArchivePutRequest,
+    CompressRequest,
+    DecompressRequest,
+    JobSpec,
+    ServiceReply,
+    decode_message,
+    encode_message,
+)
+from .net import ServiceClient, serve, start_server
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AdmissionController",
+    "ArchiveGetRequest",
+    "ArchivePutRequest",
+    "CompressRequest",
+    "DecompressRequest",
+    "Gateway",
+    "GatewayConfig",
+    "JobSpec",
+    "ServiceClient",
+    "ServiceReply",
+    "TenantPolicy",
+    "TokenBucket",
+    "decode_message",
+    "encode_message",
+    "serve",
+    "start_server",
+]

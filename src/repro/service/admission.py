@@ -1,0 +1,165 @@
+"""Per-tenant admission control: token buckets + inflight quotas.
+
+The gateway admits a request *before* queueing it.  Admission is two
+checks in order — the tenant's inflight quota, then its token bucket —
+and each failure mode is a distinct typed error
+(:class:`~repro.errors.QuotaExceededError`,
+:class:`~repro.errors.RateLimitedError`), so clients can distinguish
+"you have too much outstanding" (wait for your own replies) from "you
+are sending too fast" (back off on wall-clock time).
+
+Both the bucket and the controller take an injectable monotonic clock so
+tests can drive time deterministically; production uses
+``time.monotonic``.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..errors import QuotaExceededError, RateLimitedError
+
+__all__ = ["TenantPolicy", "TokenBucket", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission limits for one tenant.
+
+    ``rate`` is sustained requests/second refilled into the bucket
+    (``inf`` disables rate limiting), ``burst`` is the bucket capacity
+    (peak back-to-back requests), ``max_inflight`` caps requests admitted
+    but not yet answered.
+    """
+
+    rate: float = float("inf")
+    burst: int = 64
+    max_inflight: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.rate > 0:
+            raise ValueError(f"rate must be > 0, got {self.rate!r}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst!r}")
+        if self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight!r}"
+            )
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` capacity."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        self._last = now
+        if elapsed > 0 and self.rate != float("inf"):
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        elif self.rate == float("inf"):
+            self._tokens = self.burst
+
+    def try_take(self) -> bool:
+        """Take one token if available; never blocks."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class AdmissionController:
+    """Tracks per-tenant buckets and inflight counts for the gateway.
+
+    Single-threaded by design: the gateway calls :meth:`admit` and
+    :meth:`finished` from the event-loop thread only, so no locking is
+    needed (and none is taken).
+    """
+
+    def __init__(
+        self,
+        default_policy: TenantPolicy | None = None,
+        policies: Mapping[str, TenantPolicy] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.default_policy = default_policy or TenantPolicy()
+        self.policies = dict(policies or {})
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight: dict[str, int] = {}
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.policies.get(tenant, self.default_policy)
+
+    def _bucket_for(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            policy = self.policy_for(tenant)
+            bucket = TokenBucket(policy.rate, policy.burst, self._clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str) -> None:
+        """Admit one request or raise a typed admission error.
+
+        Quota is checked before the rate limit so a tenant saturating its
+        inflight allowance is not also charged bucket tokens for the
+        rejected attempt.
+        """
+        policy = self.policy_for(tenant)
+        inflight = self._inflight.get(tenant, 0)
+        if inflight >= policy.max_inflight:
+            raise QuotaExceededError(
+                f"tenant {tenant!r} has {inflight} requests in flight "
+                f"(max_inflight={policy.max_inflight}); wait for replies "
+                "before submitting more"
+            )
+        if not self._bucket_for(tenant).try_take():
+            raise RateLimitedError(
+                f"tenant {tenant!r} exceeded {policy.rate:g} req/s "
+                f"(burst {policy.burst}); back off and retry"
+            )
+        self._inflight[tenant] = inflight + 1
+
+    def finished(self, tenant: str) -> None:
+        """Release one inflight slot (called once per admitted request)."""
+        inflight = self._inflight.get(tenant, 0)
+        if inflight <= 1:
+            self._inflight.pop(tenant, None)
+        else:
+            self._inflight[tenant] = inflight - 1
+
+    def inflight(self, tenant: str) -> int:
+        return self._inflight.get(tenant, 0)
+
+    def snapshot(self) -> dict:
+        """Introspection view: inflight counts and bucket levels."""
+        return {
+            tenant: {
+                "inflight": self._inflight.get(tenant, 0),
+                "tokens": round(bucket.tokens, 3),
+            }
+            for tenant, bucket in sorted(self._buckets.items())
+        } | {
+            tenant: {"inflight": count, "tokens": None}
+            for tenant, count in sorted(self._inflight.items())
+            if tenant not in self._buckets
+        }

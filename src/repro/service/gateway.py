@@ -1,0 +1,616 @@
+"""The asyncio compression gateway: batching, backpressure, persistence.
+
+One :class:`Gateway` owns the whole serving path:
+
+1. :meth:`Gateway.submit` admits a typed request (per-tenant token
+   bucket + inflight quota, then a bounded global queue — each rejection
+   a distinct :class:`~repro.errors.AdmissionError` subclass and a
+   ``service.rejected{reason=...}`` counter tick), then parks an
+   ``asyncio.Future`` for the reply.
+2. A dispatcher task drains the queue in micro-batches, groups jobs by
+   ``(op, JobSpec.batch_key)``, and runs each group as *one* fork-pool
+   job — the worker builds the compressor once and processes every array
+   in the group, amortizing construction and schedule-cache warmup
+   exactly like the slab-parallel path.
+3. Oversized compress requests (``nbytes >= stream_threshold_bytes``)
+   bypass the fork pool: they run ``stream_compress`` on a worker thread
+   so one huge volume cannot occupy the pool while small slices queue.
+4. ``archive_put`` / ``archive_get`` persist through the crash-safe
+   :class:`~repro.io.container.Archive` (journaled appends), serialized
+   by an asyncio lock so concurrent puts cannot interleave writes.
+5. Fork-pool workers run under their own :class:`~repro.obs.Observation`
+   and ship the payload back; the gateway merges it into its own
+   observation in job order, so ``gateway.observation`` holds the full
+   request-scoped span/counter picture across process boundaries.
+
+:meth:`Gateway.stop` drains: new submits fail with
+:class:`~repro.errors.ServiceClosedError` while queued and inflight work
+runs to completion, then the dispatcher exits and the pool shuts down —
+no torn archive entries, every parked future resolved.
+"""
+from __future__ import annotations
+
+import asyncio
+import io
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .. import obs
+from ..errors import (
+    QueueFullError,
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceRequestError,
+)
+from ..io.container import Archive, is_streamed_container
+from ..parallel import create_fork_pool
+from ..streaming import stream_compress, stream_decompress
+from .admission import AdmissionController, TenantPolicy
+from .messages import (
+    ArchiveGetRequest,
+    ArchivePutRequest,
+    CompressRequest,
+    DecompressRequest,
+    JobSpec,
+    ServiceReply,
+    decode_message,
+    encode_message,
+)
+
+__all__ = ["GatewayConfig", "Gateway"]
+
+_REQUEST_KINDS = (
+    CompressRequest,
+    DecompressRequest,
+    ArchivePutRequest,
+    ArchiveGetRequest,
+)
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Gateway tuning knobs; defaults favor small deployments and tests."""
+
+    workers: int = 2
+    batch_window_ms: float = 2.0
+    max_batch: int = 32
+    stream_threshold_bytes: int = 32 << 20
+    queue_depth: int = 256
+    archive_path: str | None = None
+    default_policy: TenantPolicy = field(default_factory=TenantPolicy)
+    policies: dict[str, TenantPolicy] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+
+
+@dataclass
+class _Job:
+    request: Any
+    future: asyncio.Future
+    submitted: float
+
+
+def _compressor_from_spec(spec_dict: dict) -> Any:
+    """Build the compressor a :class:`JobSpec` dict describes.
+
+    Runs in fork-pool workers (and the parent for streamed jobs), so it
+    imports lazily and validates spec fields against what the registry
+    says the named compressor actually supports."""
+    from ..compressors import constructor_accepts, get_compressor, supports_qp
+
+    spec = JobSpec.from_dict(spec_dict)
+    kwargs: dict[str, Any] = {}
+    if spec.qp is not None:
+        if not supports_qp(spec.compressor):
+            raise ServiceRequestError(
+                f"compressor {spec.compressor!r} does not support qp"
+            )
+        from ..quantize import QPConfig
+
+        kwargs["qp"] = QPConfig.from_dict(spec.qp)
+    if spec.adaptive is not None:
+        if not constructor_accepts(spec.compressor, "adaptive"):
+            raise ServiceRequestError(
+                f"compressor {spec.compressor!r} does not support adaptive "
+                "quantization"
+            )
+        kwargs["adaptive"] = spec.adaptive
+    try:
+        return get_compressor(spec.compressor, spec.error_bound, **kwargs)
+    except KeyError as exc:
+        raise ServiceRequestError(f"unknown compressor {spec.compressor!r}") from exc
+
+
+def _run_batch(
+    kind: str, spec_dict: dict | None, items: list
+) -> tuple[list, dict | None]:
+    """Fork-pool worker entry: process one same-spec batch.
+
+    ``items`` is a list of job payloads — ``(shape, dtype, bytes)`` for
+    compress, raw blobs for decompress.  The compressor is built once per
+    batch; the worker's observation payload rides back for parent merge.
+    """
+    ob = obs.Observation()
+    with obs.observe(ob):
+        with obs.span(f"service.batch.{kind}", jobs=len(items)):
+            if kind == "compress":
+                comp = _compressor_from_spec(spec_dict)
+                spec = JobSpec.from_dict(spec_dict)
+                results = []
+                for shape, dtype, raw in items:
+                    arr = np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape)
+                    results.append(
+                        comp.compress(arr, checksum=spec.checksum, auto=spec.auto)
+                    )
+            elif kind == "decompress":
+                from ..compressors.registry import decompress_many
+
+                arrays = decompress_many(list(items))
+                results = [
+                    (tuple(a.shape), a.dtype.str, np.ascontiguousarray(a).tobytes())
+                    for a in arrays
+                ]
+            else:  # pragma: no cover - dispatcher only sends the two kinds
+                raise ValueError(f"unknown batch kind {kind!r}")
+    return results, ob.to_payload()
+
+
+class Gateway:
+    """Async multi-tenant front end over the compression stack.
+
+    Construct, :meth:`start`, :meth:`submit` typed requests (or feed raw
+    wire frames through :meth:`handle`), then :meth:`stop` to drain.
+    Also usable as an async context manager.
+    """
+
+    def __init__(self, config: GatewayConfig | None = None) -> None:
+        self.config = config or GatewayConfig()
+        self.observation = obs.Observation()
+        self.admission = AdmissionController(
+            self.config.default_policy, self.config.policies
+        )
+        self._queue: asyncio.Queue[_Job] = asyncio.Queue(
+            maxsize=self.config.queue_depth
+        )
+        self._pool = None
+        self._dispatcher: asyncio.Task | None = None
+        self._closed = False
+        self._inflight: set[asyncio.Future] = set()
+        self._archive: Archive | None = None
+        self._archive_lock = asyncio.Lock()
+        self._batches = 0
+        self._jobs = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spin up the fork pool and the dispatcher task (idempotent)."""
+        if self._closed:
+            raise ServiceClosedError("gateway is stopped")
+        if self._pool is None:
+            self._pool = create_fork_pool(self.config.workers)
+        if self._dispatcher is None or self._dispatcher.done():
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop()
+            )
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting work; optionally run queued+inflight jobs dry.
+
+        With ``drain=True`` (the default) every already-admitted request
+        completes and its future resolves before the pool shuts down;
+        with ``drain=False`` queued jobs are failed fast with
+        :class:`ServiceClosedError`.
+        """
+        self._closed = True
+        if not drain or self._dispatcher is None:
+            # without a dispatcher nothing will ever drain the queue
+            while not self._queue.empty():
+                job = self._queue.get_nowait()
+                self._finish_job(
+                    job, error=ServiceClosedError("gateway stopped before dispatch")
+                )
+        # wait for the queue to empty and inflight futures to settle
+        while not self._queue.empty() or self._inflight:
+            await asyncio.gather(*tuple(self._inflight), return_exceptions=True)
+            if not self._queue.empty():
+                await asyncio.sleep(0)
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def __aenter__(self) -> "Gateway":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    @property
+    def archive(self) -> Archive:
+        if self._archive is None:
+            if self.config.archive_path is None:
+                raise ServiceRequestError(
+                    "gateway has no archive (set GatewayConfig.archive_path)"
+                )
+            path = self.config.archive_path
+            import os
+
+            if os.path.exists(path):
+                self._archive = Archive(path)
+                self._archive.recover()
+            else:
+                self._archive = Archive.create(path)
+        return self._archive
+
+    # -- submission --------------------------------------------------------
+
+    async def submit(self, request: Any) -> ServiceReply:
+        """Admit, queue, and await one typed request; returns the reply.
+
+        Admission failures raise the typed error (they are *not* folded
+        into an error reply — :meth:`handle` does that translation for
+        wire clients); execution failures come back as ``ok=False``
+        replies via :meth:`ServiceReply.raise_for_status`.
+        """
+        if not isinstance(request, _REQUEST_KINDS):
+            raise ServiceRequestError(
+                f"cannot submit {type(request).__name__}; expected one of "
+                + ", ".join(c.__name__ for c in _REQUEST_KINDS)
+            )
+        tenant = request.tenant
+        with obs.observe(self.observation):
+            obs.metric_count(
+                "service.requests", op=request.kind, tenant=tenant
+            )
+            if self._closed:
+                obs.metric_count(
+                    "service.rejected", reason=ServiceClosedError.reason,
+                    tenant=tenant,
+                )
+                raise ServiceClosedError("gateway is draining; request refused")
+            try:
+                self.admission.admit(tenant)
+            except ServiceError as exc:
+                obs.metric_count(
+                    "service.rejected", reason=exc.reason, tenant=tenant
+                )
+                raise
+            loop = asyncio.get_running_loop()
+            job = _Job(request, loop.create_future(), time.monotonic())
+            try:
+                self._queue.put_nowait(job)
+            except asyncio.QueueFull:
+                self.admission.finished(tenant)
+                obs.metric_count(
+                    "service.rejected", reason=QueueFullError.reason,
+                    tenant=tenant,
+                )
+                raise QueueFullError(
+                    f"gateway queue is full ({self.config.queue_depth} "
+                    "pending); retry after a backoff"
+                ) from None
+        self._inflight.add(job.future)
+        job.future.add_done_callback(self._inflight.discard)
+        try:
+            return await asyncio.shield(job.future)
+        finally:
+            # released exactly once per admitted job, even if the awaiting
+            # client was cancelled (the shielded future still completes)
+            if job.future.done():
+                self.admission.finished(tenant)
+            else:
+                job.future.add_done_callback(
+                    lambda _f, t=tenant: self.admission.finished(t)
+                )
+
+    async def handle(self, frame: bytes) -> bytes:
+        """Wire entry point: decode one frame, serve it, encode the reply.
+
+        Every failure — malformed frame, admission rejection, execution
+        error — becomes an ``ok=False`` reply with the typed ``reason``
+        code, so a wire client never sees a raw traceback or a hang.
+        """
+        request_id = ""
+        op = ""
+        try:
+            request = decode_message(frame)
+            if isinstance(request, ServiceReply):
+                raise ServiceRequestError("a reply is not a servable request")
+            request_id = request.request_id
+            op = request.kind
+            reply = await self.submit(request)
+            return encode_message(reply)
+        except ServiceError as exc:
+            reply = ServiceReply(
+                request_id=request_id, op=op, ok=False,
+                error=exc.reason, message=str(exc),
+            )
+            return encode_message(reply)
+        except ReproError as exc:
+            with obs.observe(self.observation):
+                obs.metric_count(
+                    "service.rejected",
+                    reason=ServiceRequestError.reason, tenant="?",
+                )
+            reply = ServiceReply(
+                request_id=request_id, op=op, ok=False,
+                error=ServiceRequestError.reason, message=str(exc),
+            )
+            return encode_message(reply)
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            job = await self._queue.get()
+            batch = [job]
+            deadline = time.monotonic() + self.config.batch_window_ms / 1000.0
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            self._launch_batches(batch)
+
+    def _launch_batches(self, jobs: list[_Job]) -> None:
+        """Group a drained micro-batch and launch each group concurrently."""
+        groups: dict[tuple, list[_Job]] = {}
+        for job in jobs:
+            req = job.request
+            if isinstance(req, CompressRequest) and (
+                len(req.data) >= self.config.stream_threshold_bytes
+            ):
+                key: tuple = ("stream", id(job))
+            elif isinstance(req, (CompressRequest, ArchivePutRequest)):
+                key = ("compress", req.spec.batch_key)
+            elif isinstance(req, DecompressRequest):
+                if is_streamed_container(req.blob[:8]):
+                    key = ("destream", id(job))
+                else:
+                    key = ("decompress", "")
+            else:
+                key = ("archive_get", id(job))
+            groups.setdefault(key, []).append(job)
+        loop = asyncio.get_running_loop()
+        for (kind, _), group in groups.items():
+            task = loop.create_task(self._run_group(kind, group))
+            # keep a handle so drain waits for execution, not just futures
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    async def _run_group(self, kind: str, jobs: list[_Job]) -> None:
+        try:
+            if kind == "compress":
+                await self._run_pool_compress(jobs)
+            elif kind == "decompress":
+                await self._run_pool_decompress(jobs)
+            elif kind == "stream":
+                await self._run_streamed(jobs[0])
+            elif kind == "destream":
+                await self._run_destream(jobs[0])
+            else:
+                await self._run_archive_get(jobs[0])
+        except Exception as exc:  # noqa: BLE001 - folded into typed replies
+            for job in jobs:
+                self._finish_job(job, error=exc)
+
+    async def _run_pool_compress(self, jobs: list[_Job]) -> None:
+        spec = jobs[0].request.spec
+        items = [
+            (job.request.shape, job.request.dtype, job.request.data)
+            for job in jobs
+        ]
+        loop = asyncio.get_running_loop()
+        self._batches += 1
+        self._jobs += len(jobs)
+        results, payload = await loop.run_in_executor(
+            self._pool, _run_batch, "compress", spec.to_dict(), items
+        )
+        self.observation.merge_payload(payload, worker=f"batch{self._batches}")
+        for job, blob in zip(jobs, results):
+            req = job.request
+            if isinstance(req, ArchivePutRequest):
+                await self._archive_append(job, req.name, blob)
+            else:
+                self._finish_job(
+                    job,
+                    reply=ServiceReply(
+                        request_id=req.request_id, op=req.kind,
+                        result=blob,
+                        meta={
+                            "compressed_bytes": len(blob),
+                            "input_bytes": len(req.data),
+                            "batched": len(jobs),
+                        },
+                    ),
+                )
+
+    async def _run_pool_decompress(self, jobs: list[_Job]) -> None:
+        items = [job.request.blob for job in jobs]
+        loop = asyncio.get_running_loop()
+        self._batches += 1
+        self._jobs += len(jobs)
+        results, payload = await loop.run_in_executor(
+            self._pool, _run_batch, "decompress", None, items
+        )
+        self.observation.merge_payload(payload, worker=f"batch{self._batches}")
+        for job, (shape, dtype, raw) in zip(jobs, results):
+            req = job.request
+            self._finish_job(
+                job,
+                reply=ServiceReply(
+                    request_id=req.request_id, op=req.kind, result=raw,
+                    meta={"shape": list(shape), "dtype": dtype},
+                ),
+            )
+
+    async def _run_streamed(self, job: _Job) -> None:
+        """Huge compress request: thread + ``stream_compress`` (RSTR)."""
+        req = job.request
+        spec = req.spec
+
+        def _work() -> tuple[bytes, Any, dict | None]:
+            ob = obs.Observation()
+            with obs.observe(ob):
+                comp = _compressor_from_spec(spec.to_dict())
+                arr = req.array()
+                sink = io.BytesIO()
+                result = stream_compress(
+                    comp, arr, sink, checksum=spec.checksum
+                )
+            return sink.getvalue(), result, ob.to_payload()
+
+        self._jobs += 1
+        blob, result, payload = await asyncio.get_running_loop().run_in_executor(
+            None, _work
+        )
+        self.observation.merge_payload(payload, worker="stream")
+        self._finish_job(
+            job,
+            reply=ServiceReply(
+                request_id=req.request_id, op=req.kind, result=blob,
+                meta={
+                    "compressed_bytes": len(blob),
+                    "input_bytes": len(req.data),
+                    "streamed": True,
+                    "segments": result.segments,
+                },
+            ),
+        )
+
+    async def _run_destream(self, job: _Job) -> None:
+        req = job.request
+
+        def _work() -> tuple[np.ndarray, dict | None]:
+            ob = obs.Observation()
+            with obs.observe(ob):
+                arr = stream_decompress(req.blob)
+            return arr, ob.to_payload()
+
+        self._jobs += 1
+        arr, payload = await asyncio.get_running_loop().run_in_executor(None, _work)
+        self.observation.merge_payload(payload, worker="destream")
+        self._finish_job(
+            job,
+            reply=ServiceReply(
+                request_id=req.request_id, op=req.kind,
+                result=np.ascontiguousarray(arr).tobytes(),
+                meta={
+                    "shape": list(arr.shape), "dtype": arr.dtype.str,
+                    "streamed": True,
+                },
+            ),
+        )
+
+    async def _archive_append(self, job: _Job, name: str, blob: bytes) -> None:
+        req = job.request
+        async with self._archive_lock:
+            archive = self.archive
+            if name in archive.names():
+                raise ServiceRequestError(
+                    f"archive entry {name!r} already exists"
+                )
+            await asyncio.get_running_loop().run_in_executor(
+                None, archive.append, name, blob
+            )
+        self._finish_job(
+            job,
+            reply=ServiceReply(
+                request_id=req.request_id, op=req.kind,
+                meta={"name": name, "compressed_bytes": len(blob)},
+            ),
+        )
+
+    async def _run_archive_get(self, job: _Job) -> None:
+        req = job.request
+        async with self._archive_lock:
+            archive = self.archive
+            if req.name not in archive.names():
+                raise ServiceRequestError(
+                    f"archive entry {req.name!r} does not exist"
+                )
+            blob = await asyncio.get_running_loop().run_in_executor(
+                None, archive.read, req.name
+            )
+        self._jobs += 1
+        self._finish_job(
+            job,
+            reply=ServiceReply(
+                request_id=req.request_id, op=req.kind, result=blob,
+                meta={"name": req.name, "compressed_bytes": len(blob)},
+            ),
+        )
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _finish_job(
+        self,
+        job: _Job,
+        reply: ServiceReply | None = None,
+        error: Exception | None = None,
+    ) -> None:
+        if job.future.done():
+            return
+        latency = time.monotonic() - job.submitted
+        req = job.request
+        with obs.observe(self.observation):
+            obs.metric_seconds(
+                "service.latency", latency, op=req.kind, tenant=req.tenant
+            )
+        if error is None:
+            with obs.observe(self.observation):
+                obs.metric_count(
+                    "service.completed", op=req.kind, tenant=req.tenant
+                )
+            job.future.set_result(reply)
+            return
+        with obs.observe(self.observation):
+            obs.metric_count(
+                "service.failed", op=req.kind, tenant=req.tenant
+            )
+        if isinstance(error, ReproError) and not isinstance(error, ServiceError):
+            # corrupt payloads etc. are the client's fault: bad_request
+            error = ServiceRequestError(str(error))
+        if isinstance(error, ServiceError):
+            job.future.set_result(
+                ServiceReply(
+                    request_id=req.request_id, op=req.kind, ok=False,
+                    error=error.reason, message=str(error),
+                )
+            )
+        else:
+            job.future.set_exception(error)
+
+    def stats(self) -> dict:
+        """Lightweight operational snapshot (queue, batching, admission)."""
+        return {
+            "queued": self._queue.qsize(),
+            "inflight": len(self._inflight),
+            "batches": self._batches,
+            "jobs": self._jobs,
+            "closed": self._closed,
+            "admission": self.admission.snapshot(),
+        }

@@ -1,0 +1,485 @@
+"""Typed service messages with a versioned wire encoding.
+
+Every request the gateway accepts — and every reply it produces — is one
+of the frozen dataclasses below.  Each message encodes to::
+
+    RSV1 | u32 header_len | JSON header (utf-8) | payload bytes
+
+where the JSON header carries ``schema`` (the wire-format revision),
+``kind`` (the message type tag), the message's scalar fields, and
+``payload_len``; the binary payload (array bytes, compressed blobs) rides
+behind the header untouched.  The same encoding is the in-process message
+schema and the TCP wire format, so a client library, the load generator,
+and the gateway's own tests all speak one contract.
+
+Decoding is strict and typed: a wrong magic or malformed header raises
+:class:`~repro.errors.CorruptBlobError`, a schema revision this reader
+does not understand raises :class:`~repro.errors.VersionError`, and a
+payload shorter than ``payload_len`` raises
+:class:`~repro.errors.TruncatedStreamError` — never a bare ``KeyError``
+or a silent partial parse.  Bumping :data:`SCHEMA_VERSION` therefore
+*must* accompany any change to the header fields (the
+``tools/check_api.py`` service lint pins this).
+"""
+from __future__ import annotations
+
+import json
+import struct
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+import numpy as np
+
+from ..errors import CorruptBlobError, TruncatedStreamError, VersionError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "WIRE_MAGIC",
+    "JobSpec",
+    "CompressRequest",
+    "DecompressRequest",
+    "ArchivePutRequest",
+    "ArchiveGetRequest",
+    "ServiceReply",
+    "encode_message",
+    "decode_message",
+]
+
+#: wire-format revision; bump on any header-field change
+SCHEMA_VERSION = 1
+WIRE_MAGIC = b"RSV1"
+
+_SPEC_FIELDS = {"compressor", "error_bound", "checksum", "auto", "qp", "adaptive"}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """How to compress: the per-request slice of a pipeline configuration.
+
+    Requests carrying an equal ``JobSpec`` are batched onto one fork-pool
+    job (one compressor construction, one schedule-cache warmup) — the
+    gateway's batching key is :attr:`batch_key`.  ``qp`` and ``adaptive``
+    travel as their dict encodings (``QPConfig.to_dict`` /
+    ``AdaptiveConfig.to_dict``) so the spec stays JSON-native.
+    """
+
+    compressor: str = "sz3"
+    error_bound: float = 1e-3
+    checksum: bool = False
+    auto: bool = False
+    qp: dict | None = None
+    adaptive: dict | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.compressor, str) or not self.compressor:
+            raise CorruptBlobError(
+                f"spec compressor must be a non-empty string, got "
+                f"{self.compressor!r}"
+            )
+        eb = self.error_bound
+        if isinstance(eb, bool) or not isinstance(eb, (int, float)) or not eb > 0:
+            raise CorruptBlobError(f"spec error_bound must be > 0, got {eb!r}")
+        for name in ("checksum", "auto"):
+            if not isinstance(getattr(self, name), bool):
+                raise CorruptBlobError(
+                    f"spec {name} must be a bool, got {getattr(self, name)!r}"
+                )
+        for name in ("qp", "adaptive"):
+            val = getattr(self, name)
+            if val is not None and not isinstance(val, dict):
+                raise CorruptBlobError(
+                    f"spec {name} must be a dict or null, got {val!r}"
+                )
+
+    @property
+    def batch_key(self) -> str:
+        """Canonical string key: equal specs batch together."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def to_dict(self) -> dict:
+        return {
+            "compressor": self.compressor,
+            "error_bound": float(self.error_bound),
+            "checksum": self.checksum,
+            "auto": self.auto,
+            "qp": self.qp,
+            "adaptive": self.adaptive,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Any) -> "JobSpec":
+        if not isinstance(d, dict):
+            raise CorruptBlobError(f"job spec must be a dict, got {type(d).__name__}")
+        unknown = set(d) - _SPEC_FIELDS
+        if unknown:
+            raise CorruptBlobError(f"job spec has unknown fields {sorted(unknown)}")
+        return cls(**d)
+
+
+def _new_request_id() -> str:
+    return uuid.uuid4().hex
+
+
+@dataclass
+class _Message:
+    """Shared encode scaffolding; every concrete message sets ``kind``."""
+
+    kind: ClassVar[str] = ""
+
+    def header_fields(self) -> dict:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @property
+    def payload(self) -> bytes:
+        return b""
+
+    def encode(self) -> bytes:
+        return encode_message(self)
+
+
+@dataclass
+class CompressRequest(_Message):
+    """Compress a raw array (C-order bytes + geometry) under ``spec``."""
+
+    kind: ClassVar[str] = "compress"
+
+    tenant: str
+    spec: JobSpec
+    shape: tuple[int, ...]
+    dtype: str
+    data: bytes
+    request_id: str = field(default_factory=_new_request_id)
+
+    @classmethod
+    def from_array(
+        cls,
+        tenant: str,
+        array: np.ndarray,
+        spec: JobSpec | None = None,
+        request_id: str | None = None,
+    ) -> "CompressRequest":
+        array = np.ascontiguousarray(array)
+        return cls(
+            tenant=tenant,
+            spec=spec or JobSpec(),
+            shape=tuple(int(s) for s in array.shape),
+            dtype=array.dtype.str,
+            data=array.tobytes(),
+            request_id=request_id or _new_request_id(),
+        )
+
+    def array(self) -> np.ndarray:
+        """Reconstruct the request's array view (zero-copy, read-only)."""
+        dtype = np.dtype(self.dtype)
+        expect = int(np.prod(self.shape, dtype=np.int64)) * dtype.itemsize
+        if len(self.data) != expect:
+            raise CorruptBlobError(
+                f"compress payload is {len(self.data)} bytes, geometry "
+                f"{self.shape}/{self.dtype} needs {expect}"
+            )
+        return np.frombuffer(self.data, dtype=dtype).reshape(self.shape)
+
+    def header_fields(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "request_id": self.request_id,
+            "spec": self.spec.to_dict(),
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+        }
+
+    @property
+    def payload(self) -> bytes:
+        return self.data
+
+
+@dataclass
+class DecompressRequest(_Message):
+    """Decode a blob (canonical, sealed, or streamed-container bytes)."""
+
+    kind: ClassVar[str] = "decompress"
+
+    tenant: str
+    blob: bytes
+    request_id: str = field(default_factory=_new_request_id)
+
+    def header_fields(self) -> dict:
+        return {"tenant": self.tenant, "request_id": self.request_id}
+
+    @property
+    def payload(self) -> bytes:
+        return self.blob
+
+
+@dataclass
+class ArchivePutRequest(_Message):
+    """Compress an array under ``spec`` and persist it as ``name``."""
+
+    kind: ClassVar[str] = "archive_put"
+
+    tenant: str
+    name: str
+    spec: JobSpec
+    shape: tuple[int, ...]
+    dtype: str
+    data: bytes
+    request_id: str = field(default_factory=_new_request_id)
+
+    @classmethod
+    def from_array(
+        cls,
+        tenant: str,
+        name: str,
+        array: np.ndarray,
+        spec: JobSpec | None = None,
+        request_id: str | None = None,
+    ) -> "ArchivePutRequest":
+        array = np.ascontiguousarray(array)
+        return cls(
+            tenant=tenant,
+            name=name,
+            spec=spec or JobSpec(),
+            shape=tuple(int(s) for s in array.shape),
+            dtype=array.dtype.str,
+            data=array.tobytes(),
+            request_id=request_id or _new_request_id(),
+        )
+
+    array = CompressRequest.array
+
+    def header_fields(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "request_id": self.request_id,
+            "name": self.name,
+            "spec": self.spec.to_dict(),
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+        }
+
+    @property
+    def payload(self) -> bytes:
+        return self.data
+
+
+@dataclass
+class ArchiveGetRequest(_Message):
+    """Fetch the stored blob for archive entry ``name``."""
+
+    kind: ClassVar[str] = "archive_get"
+
+    tenant: str
+    name: str
+    request_id: str = field(default_factory=_new_request_id)
+
+    def header_fields(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "request_id": self.request_id,
+            "name": self.name,
+        }
+
+
+@dataclass
+class ServiceReply(_Message):
+    """The gateway's answer: result payload or a typed error.
+
+    ``ok=True`` carries the result bytes in ``payload`` plus JSON-native
+    ``meta`` (shape/dtype for decompress results, compressed size, the
+    streamed-route flag).  ``ok=False`` carries the machine-readable
+    ``error`` code (a :class:`~repro.errors.ServiceError` ``reason`` tag)
+    and the human ``message``; :meth:`raise_for_status` re-raises the
+    matching typed exception client-side.
+    """
+
+    kind: ClassVar[str] = "reply"
+
+    request_id: str
+    op: str
+    ok: bool = True
+    result: bytes = b""
+    meta: dict = field(default_factory=dict)
+    error: str = ""
+    message: str = ""
+
+    def header_fields(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "op": self.op,
+            "ok": self.ok,
+            "meta": self.meta,
+            "error": self.error,
+            "message": self.message,
+        }
+
+    @property
+    def payload(self) -> bytes:
+        return self.result
+
+    def array(self) -> np.ndarray:
+        """Decode a decompress-result payload back into its array."""
+        if "shape" not in self.meta or "dtype" not in self.meta:
+            raise CorruptBlobError("reply carries no array geometry")
+        dtype = np.dtype(self.meta["dtype"])
+        return np.frombuffer(self.result, dtype=dtype).reshape(
+            tuple(int(s) for s in self.meta["shape"])
+        )
+
+    def raise_for_status(self) -> "ServiceReply":
+        if self.ok:
+            return self
+        from ..errors import ServiceError
+
+        exc_type = _ERROR_TYPES.get(self.error, ServiceError)
+        raise exc_type(self.message or f"request failed ({self.error})")
+
+
+def _error_types() -> dict:
+    from .. import errors
+
+    return {
+        cls.reason: cls
+        for cls in (
+            errors.ServiceError,
+            errors.AdmissionError,
+            errors.RateLimitedError,
+            errors.QuotaExceededError,
+            errors.QueueFullError,
+            errors.ServiceClosedError,
+            errors.ServiceRequestError,
+        )
+    }
+
+
+_ERROR_TYPES = _error_types()
+
+_REQUEST_TYPES = {
+    cls.kind: cls
+    for cls in (
+        CompressRequest,
+        DecompressRequest,
+        ArchivePutRequest,
+        ArchiveGetRequest,
+        ServiceReply,
+    )
+}
+
+
+def encode_message(msg: _Message) -> bytes:
+    """Frame a message as ``RSV1 | u32 hlen | JSON | payload``."""
+    payload = msg.payload
+    header = dict(msg.header_fields())
+    header["schema"] = SCHEMA_VERSION
+    header["kind"] = msg.kind
+    header["payload_len"] = len(payload)
+    hbytes = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+    return WIRE_MAGIC + struct.pack("<I", len(hbytes)) + hbytes + payload
+
+
+def _decode_header(data: bytes) -> tuple[dict, bytes]:
+    if len(data) < 8:
+        raise TruncatedStreamError(
+            f"service message is {len(data)} bytes; the 8-byte frame "
+            "prelude does not fit"
+        )
+    if data[:4] != WIRE_MAGIC:
+        raise CorruptBlobError(
+            f"not a service message (magic {data[:4]!r}, expected "
+            f"{WIRE_MAGIC!r})"
+        )
+    (hlen,) = struct.unpack_from("<I", data, 4)
+    if len(data) < 8 + hlen:
+        raise TruncatedStreamError(
+            f"service header declares {hlen} bytes, {len(data) - 8} present"
+        )
+    try:
+        header = json.loads(data[8:8 + hlen].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptBlobError(f"service header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict):
+        raise CorruptBlobError("service header must be a JSON object")
+    schema = header.get("schema")
+    if not isinstance(schema, int) or isinstance(schema, bool):
+        raise CorruptBlobError(f"service header schema {schema!r} is not an int")
+    if schema != SCHEMA_VERSION:
+        raise VersionError(
+            f"service message schema {schema} is not supported "
+            f"(this reader speaks {SCHEMA_VERSION})"
+        )
+    plen = header.get("payload_len")
+    if not isinstance(plen, int) or isinstance(plen, bool) or plen < 0:
+        raise CorruptBlobError(f"service header payload_len {plen!r} invalid")
+    payload = data[8 + hlen:]
+    if len(payload) < plen:
+        raise TruncatedStreamError(
+            f"service payload declares {plen} bytes, {len(payload)} present"
+        )
+    if len(payload) > plen:
+        raise CorruptBlobError(
+            f"service message carries {len(payload) - plen} trailing bytes"
+        )
+    return header, payload
+
+
+def decode_message(data: bytes) -> _Message:
+    """Decode one framed message back into its typed dataclass."""
+    header, payload = _decode_header(data)
+    kind = header.get("kind")
+    cls = _REQUEST_TYPES.get(kind)
+    if cls is None:
+        raise CorruptBlobError(f"unknown service message kind {kind!r}")
+    try:
+        if cls is CompressRequest:
+            return CompressRequest(
+                tenant=_req_str(header, "tenant"),
+                spec=JobSpec.from_dict(header.get("spec")),
+                shape=tuple(int(s) for s in header.get("shape", ())),
+                dtype=_req_str(header, "dtype"),
+                data=payload,
+                request_id=_req_str(header, "request_id"),
+            )
+        if cls is DecompressRequest:
+            return DecompressRequest(
+                tenant=_req_str(header, "tenant"),
+                blob=payload,
+                request_id=_req_str(header, "request_id"),
+            )
+        if cls is ArchivePutRequest:
+            return ArchivePutRequest(
+                tenant=_req_str(header, "tenant"),
+                name=_req_str(header, "name"),
+                spec=JobSpec.from_dict(header.get("spec")),
+                shape=tuple(int(s) for s in header.get("shape", ())),
+                dtype=_req_str(header, "dtype"),
+                data=payload,
+                request_id=_req_str(header, "request_id"),
+            )
+        if cls is ArchiveGetRequest:
+            return ArchiveGetRequest(
+                tenant=_req_str(header, "tenant"),
+                name=_req_str(header, "name"),
+                request_id=_req_str(header, "request_id"),
+            )
+        return ServiceReply(
+            request_id=_req_str(header, "request_id"),
+            op=_req_str(header, "op"),
+            ok=bool(header.get("ok")),
+            result=payload,
+            meta=header.get("meta") or {},
+            error=str(header.get("error") or ""),
+            message=str(header.get("message") or ""),
+        )
+    except CorruptBlobError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise CorruptBlobError(
+            f"malformed {kind!r} message fields: {exc}"
+        ) from exc
+
+
+def _req_str(header: dict, key: str) -> str:
+    val = header.get(key)
+    if not isinstance(val, str):
+        raise CorruptBlobError(f"service header field {key!r} must be a string")
+    return val

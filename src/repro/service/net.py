@@ -1,0 +1,225 @@
+"""TCP transport for the gateway: length-prefixed RSV1 frames.
+
+The wire protocol is deliberately minimal — each direction carries a
+stream of ``u64-le length | RSV1 frame`` records, where the frame bytes
+are exactly what :func:`~repro.service.messages.encode_message`
+produces.  The server is one ``asyncio.start_server`` accept loop; every
+connection runs requests through :meth:`Gateway.handle`, so all error
+handling (admission rejections, malformed frames) already comes back as
+typed ``ok=False`` replies and a protocol error only ever means the
+*framing* itself broke.
+
+:class:`ServiceClient` is the matching minimal client used by the load
+generator and the tests; it pipelines naturally (send N frames, read N
+replies) because the gateway answers in completion order per connection
+request id, and the client matches replies by ``request_id``.
+"""
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import numpy as np
+
+from ..errors import TruncatedStreamError
+from .gateway import Gateway
+from .messages import (
+    ArchiveGetRequest,
+    ArchivePutRequest,
+    CompressRequest,
+    DecompressRequest,
+    JobSpec,
+    ServiceReply,
+    decode_message,
+    encode_message,
+)
+
+__all__ = ["start_server", "serve", "ServiceClient", "MAX_FRAME_BYTES"]
+
+#: refuse frames larger than this (defense against a corrupt length word)
+MAX_FRAME_BYTES = 4 << 30
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one length-prefixed frame; None on clean EOF between frames."""
+    try:
+        head = await reader.readexactly(8)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TruncatedStreamError(
+            f"connection closed mid-length-prefix ({len(exc.partial)}/8 bytes)"
+        ) from exc
+    (length,) = struct.unpack("<Q", head)
+    if length > MAX_FRAME_BYTES:
+        raise TruncatedStreamError(
+            f"frame declares {length} bytes (limit {MAX_FRAME_BYTES})"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedStreamError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+
+
+async def _write_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
+    writer.write(struct.pack("<Q", len(frame)) + frame)
+    await writer.drain()
+
+
+async def start_server(
+    gateway: Gateway, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Serve ``gateway`` over TCP; returns the listening server.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.sockets[0].getsockname()[1]`` (the tests and the CLI's
+    startup banner both do).
+    """
+
+    async def _serve_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                frame = await _read_frame(reader)
+                if frame is None:
+                    break
+                reply = await gateway.handle(frame)
+                await _write_frame(writer, reply)
+        except (TruncatedStreamError, ConnectionError):
+            pass  # client went away; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    return await asyncio.start_server(_serve_connection, host, port)
+
+
+def serve(host: str = "127.0.0.1", port: int = 9753, *, config=None) -> None:
+    """Run a gateway over TCP until interrupted (blocking).
+
+    The convenience entry behind ``repro.serve()`` and ``repro serve``:
+    builds a :class:`Gateway` from ``config`` (a
+    :class:`~repro.service.gateway.GatewayConfig`, default settings when
+    omitted), binds the TCP transport, and serves until ``SIGINT`` —
+    then drains gracefully so inflight work and archive appends finish.
+    """
+
+    async def _main() -> None:
+        gateway = Gateway(config)
+        gateway.start()
+        server = await start_server(gateway, host, port)
+        addr = server.sockets[0].getsockname()
+        print(f"repro gateway listening on {addr[0]}:{addr[1]}", flush=True)
+        try:
+            async with server:
+                await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await gateway.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServiceClient:
+    """Minimal async client for one gateway connection.
+
+    Each call sends one request frame and awaits its reply;
+    ``raise_for_status=True`` (default) re-raises typed service errors
+    client-side so callers interact with the remote gateway exactly as
+    they would with an in-process one.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    async def request(self, message, *, raise_for_status: bool = True) -> ServiceReply:
+        """Send one typed request, await and decode its reply."""
+        if self._writer is None or self._reader is None:
+            raise ConnectionError("client is not connected")
+        await _write_frame(self._writer, encode_message(message))
+        frame = await _read_frame(self._reader)
+        if frame is None:
+            raise TruncatedStreamError("server closed before replying")
+        reply = decode_message(frame)
+        if not isinstance(reply, ServiceReply):
+            raise TruncatedStreamError(
+                f"expected a reply frame, got {type(reply).__name__}"
+            )
+        if raise_for_status:
+            reply.raise_for_status()
+        return reply
+
+    # -- convenience wrappers (what loadgen and notebooks actually call) --
+
+    @staticmethod
+    def _spec(spec: JobSpec | None, fields: dict) -> JobSpec | None:
+        if fields and spec is not None:
+            raise TypeError("pass either spec= or JobSpec fields, not both")
+        return JobSpec(**fields) if fields else spec
+
+    async def compress(
+        self,
+        tenant: str,
+        array: np.ndarray,
+        spec: JobSpec | None = None,
+        **spec_fields,
+    ) -> ServiceReply:
+        """Compress ``array``; spec knobs may be passed directly
+        (``error_bound=1e-3, compressor="qoz"``) or as a ``JobSpec``."""
+        spec = self._spec(spec, spec_fields)
+        return await self.request(CompressRequest.from_array(tenant, array, spec))
+
+    async def decompress(self, tenant: str, blob: bytes) -> np.ndarray:
+        reply = await self.request(DecompressRequest(tenant=tenant, blob=blob))
+        return reply.array()
+
+    async def archive_put(
+        self,
+        tenant: str,
+        name: str,
+        array: np.ndarray,
+        spec: JobSpec | None = None,
+        **spec_fields,
+    ) -> ServiceReply:
+        spec = self._spec(spec, spec_fields)
+        return await self.request(
+            ArchivePutRequest.from_array(tenant, name, array, spec)
+        )
+
+    async def archive_get(self, tenant: str, name: str) -> bytes:
+        reply = await self.request(ArchiveGetRequest(tenant=tenant, name=name))
+        return reply.result

@@ -55,17 +55,43 @@ class TemporalCompressor:
         self.qp = qp or QPConfig.disabled()
         self.kwargs = kwargs
 
-    def _compressor(self):
+    def _compressor(self, adaptive=None):
         kwargs = dict(self.kwargs)
         if supports_qp(self.base):
             kwargs["qp"] = self.qp
+        if adaptive is not None:
+            from .compressors import constructor_accepts
+
+            if not constructor_accepts(self.base, "adaptive"):
+                raise ValueError(
+                    f"compressor {self.base!r} does not support adaptive "
+                    "quantization; drop the adaptive= argument"
+                )
+            kwargs["adaptive"] = adaptive
         return get_compressor(self.base, self.error_bound, **kwargs)
 
-    def compress(self, data: np.ndarray, *, checksum: bool = False) -> bytes:
+    def compress(
+        self,
+        data: np.ndarray,
+        *,
+        checksum: bool = False,
+        auto: bool = False,
+        adaptive=None,
+    ) -> bytes:
+        """Compress with the uniform Codec knob set.
+
+        ``auto=True`` tunes the base compressor on the *first keyframe*
+        and reuses that configuration for every subsequent frame —
+        per-frame retuning would dominate the inter-frame savings.
+        ``adaptive=`` forwards to the base compressor's constructor when
+        its pipeline supports adaptive quantization.
+        """
         data = np.asarray(data)
         if data.ndim < 2:
             raise ValueError("temporal compression needs a time axis plus space")
-        comp = self._compressor()
+        comp = self._compressor(adaptive)
+        if auto:
+            comp = comp._tuned_for(np.ascontiguousarray(data[0]))
         blobs: list[bytes] = []
         prev_decoded: np.ndarray | None = None
         with span("temporal.compress", base=self.base, frames=data.shape[0]):

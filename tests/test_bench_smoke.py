@@ -37,7 +37,7 @@ def report(report_path):
 
 
 def test_report_envelope(report):
-    assert report["schema_version"] == 6
+    assert report["schema_version"] == 7
     assert report["timing_source"] == "repro.obs"
     assert report["smoke"] is True
     assert report["has_stage_profiler"] is True

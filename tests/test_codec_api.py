@@ -134,7 +134,7 @@ def test_compress_rejects_positional_extras(field):
         comp.compress(field, True)  # checksum must be passed by keyword
 
 
-# -- QoI: self-describing v2 container + legacy shim --------------------------
+# -- QoI: self-describing v2 container + retired legacy format ----------------
 
 
 @pytest.fixture(scope="module")
@@ -176,13 +176,22 @@ def _as_legacy_rqoi(v2_blob: bytes) -> bytes:
     return b"RQOI" + struct.pack("<I", header["n_blocks"]) + body
 
 
-def test_qoi_legacy_container_needs_shape_and_warns(qoi_comp, field):
+def test_qoi_legacy_container_typed_rejection(qoi_comp, field):
+    """The shape-less RQOI format is retired: typed error, migration hint."""
+    from repro.errors import CorruptBlobError
+
     legacy = _as_legacy_rqoi(qoi_comp.compress(field))
-    with pytest.raises(ValueError):
-        qoi_comp.decompress(legacy)  # no geometry without shape
-    with pytest.warns(DeprecationWarning):
-        out = qoi_comp.decompress(legacy, shape=field.shape)
-    assert np.array_equal(out, qoi_comp.decompress(qoi_comp.compress(field)))
+    with pytest.raises(CorruptBlobError, match="RQOI.*retired"):
+        qoi_comp.decompress(legacy)
+    # the shape= escape hatch is gone too — same typed rejection
+    with pytest.raises(CorruptBlobError, match="re-compress"):
+        qoi_comp.decompress(legacy, shape=field.shape)
+
+
+def test_qoi_decompress_shape_is_keyword_only(qoi_comp, field):
+    blob = qoi_comp.compress(field)
+    with pytest.raises(TypeError):
+        qoi_comp.decompress(blob, field.shape)  # positional shape retired
 
 
 # -- mgard partial resolution honours the envelope ----------------------------

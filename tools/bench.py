@@ -47,6 +47,15 @@ counted as regressions.  ``--compare`` additionally diffs
 (default 15%) as a failure alongside the 10% timing gate; rows whose old
 delta is below ~16 MB are allocator noise and never flagged.
 
+Schema v7: reports may additionally carry a ``service_summary`` block —
+the per-tenant latency/throughput digest ``tools/loadgen.py`` emits after
+replaying seeded mixed traffic against a live gateway
+(``{tenant: {p50_s, p99_s, throughput_mb_s, requests, rejected}}`` plus a
+``_total`` roll-up).  ``--compare`` flattens these as
+``service/<tenant>:p50_s``-style keys and diffs them with the same 10%
+gate; a v6 baseline has no service keys, so they show up as ``new`` and
+are never counted as regressions — v6→v7 comparisons stay green.
+
 Every future performance PR reruns this harness and compares against the
 committed JSON, so regressions in any stage are visible immediately.
 
@@ -80,7 +89,7 @@ from repro.compressors import get_compressor
 from repro.parallel import ParallelCompressor
 from repro.obs import throughput_mbs
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: benchmark matrix: the four interpolation-based compressors QP integrates with
 BASES = ("sz3", "qoz", "hpez", "mgard")
@@ -745,6 +754,14 @@ def _flatten_timings(report: dict[str, Any]) -> dict[str, float]:
                 sec = st.get("seconds")
                 if sec is not None:
                     out[f"{key}:{direction}.{stage}"] = float(sec)
+    # v7 service rows: per-tenant latency quantiles from the loadgen replay.
+    # Reports without the block (all pre-v7 baselines) simply contribute no
+    # service keys, so they compare as ``new`` and never regress.
+    for tenant, digest in (report.get("service_summary") or {}).items():
+        for metric in ("p50_s", "p99_s"):
+            val = (digest or {}).get(metric)
+            if val is not None:
+                out[f"service/{tenant}:{metric}"] = float(val)
     return out
 
 

@@ -4,7 +4,7 @@
 The :class:`repro.compressors.Codec` protocol pins the unified surface
 
     name: str
-    compress(data, *, checksum=False) -> bytes
+    compress(data, *, checksum=False, auto=False, adaptive=None) -> bytes
     decompress(blob) -> np.ndarray
 
 ``isinstance`` against a ``runtime_checkable`` Protocol only proves the
@@ -94,19 +94,25 @@ def _check_compress_sig(obj: Any) -> list[str]:
     ):
         problems.append("compress: first parameter must accept data positionally")
         return problems
-    checksum = sig.parameters.get("checksum")
-    if checksum is None:
-        problems.append("compress: missing keyword-only 'checksum' parameter")
-    else:
-        if checksum.kind is not inspect.Parameter.KEYWORD_ONLY:
-            problems.append("compress: 'checksum' must be keyword-only")
-        if checksum.default is not False:
+    # the uniform knob set: same names, same kinds, same defaults everywhere
+    for knob, default in (("checksum", False), ("auto", False), ("adaptive", None)):
+        p = sig.parameters.get(knob)
+        if p is None:
+            problems.append(f"compress: missing keyword-only {knob!r} parameter")
+            continue
+        if p.kind is not inspect.Parameter.KEYWORD_ONLY:
+            problems.append(f"compress: {knob!r} must be keyword-only")
+        if p.default is not default:
             problems.append(
-                f"compress: 'checksum' must default to False, got {checksum.default!r}"
+                f"compress: {knob!r} must default to {default!r}, got {p.default!r}"
             )
     for p in params[1:]:
         if p.kind in (inspect.Parameter.VAR_KEYWORD, inspect.Parameter.VAR_POSITIONAL):
             continue
+        if p.kind is not inspect.Parameter.KEYWORD_ONLY:
+            problems.append(
+                f"compress: extra parameter {p.name!r} must be keyword-only"
+            )
         if p.default is inspect.Parameter.empty:
             problems.append(f"compress: extra parameter {p.name!r} must have a default")
     return problems
@@ -503,6 +509,158 @@ def check_streaming() -> list[str]:
     return problems
 
 
+def check_public_api() -> list[str]:
+    """Frozen top-level surface lint (empty = ok).
+
+    ``repro.__all__`` is a contract: exactly the promoted names, each
+    present and of the promised kind.  Anything else reaching the top
+    level is private-by-convention and must *not* creep into ``__all__``
+    without a deliberate API-freeze change here.
+    """
+    import repro
+
+    problems: list[str] = []
+    frozen = [
+        "AdaptiveConfig", "Codec", "PipelineSpec",
+        "compress", "decompress", "open_archive", "serve", "__version__",
+    ]
+    if sorted(repro.__all__) != sorted(frozen):
+        problems.append(
+            f"repro.__all__ changed: {sorted(repro.__all__)} != {sorted(frozen)}"
+        )
+    for name in frozen:
+        if not hasattr(repro, name):
+            problems.append(f"repro.{name} is promised by __all__ but missing")
+    for fn in ("compress", "decompress", "open_archive", "serve"):
+        if hasattr(repro, fn) and not callable(getattr(repro, fn)):
+            problems.append(f"repro.{fn} must be callable")
+    # the one-call compress exposes the same knob set as the Codec protocol
+    if hasattr(repro, "compress"):
+        sig = inspect.signature(repro.compress)
+        for knob, default in (("checksum", False), ("auto", False),
+                              ("adaptive", None)):
+            p = sig.parameters.get(knob)
+            if p is None or p.kind is not inspect.Parameter.KEYWORD_ONLY \
+                    or p.default is not default:
+                problems.append(
+                    f"repro.compress: keyword-only {knob}={default!r} required"
+                )
+    return problems
+
+
+def check_service() -> list[str]:
+    """Service wire-schema lint (empty = ok).
+
+    Pins the gateway's request/reply contract so it cannot silently
+    drift: every message kind encode/decode round-trips through the
+    ``RSV1`` framing; a bumped schema revision is a typed
+    :class:`~repro.errors.VersionError`; truncated and trailing-byte
+    frames are typed rejections; and the error taxonomy's ``reason``
+    tags (the wire error codes) are unique and frozen.
+    """
+    import numpy as np
+
+    from repro import errors
+    from repro.service import (
+        SCHEMA_VERSION,
+        ArchiveGetRequest,
+        ArchivePutRequest,
+        CompressRequest,
+        DecompressRequest,
+        JobSpec,
+        ServiceReply,
+        decode_message,
+        encode_message,
+    )
+
+    problems: list[str] = []
+    arr = np.arange(24, dtype=np.float32).reshape(4, 6)
+    spec = JobSpec(compressor="sz3", error_bound=1e-3, auto=True)
+    messages = [
+        CompressRequest.from_array("t", arr, spec),
+        DecompressRequest(tenant="t", blob=b"\x01\x02"),
+        ArchivePutRequest.from_array("t", "entry", arr, spec),
+        ArchiveGetRequest(tenant="t", name="entry"),
+        ServiceReply(request_id="r", op="compress", result=b"xyz",
+                     meta={"n": 1}),
+        ServiceReply(request_id="r", op="compress", ok=False,
+                     error="quota", message="over quota"),
+    ]
+    for msg in messages:
+        frame = encode_message(msg)
+        try:
+            back = decode_message(frame)
+        except Exception as exc:  # noqa: BLE001 - lint reports, never crashes
+            problems.append(f"{type(msg).__name__}: decode raised {exc!r}")
+            continue
+        if type(back) is not type(msg):
+            problems.append(
+                f"{type(msg).__name__}: decoded as {type(back).__name__}"
+            )
+            continue
+        if encode_message(back) != frame:
+            problems.append(
+                f"{type(msg).__name__}: re-encode is not byte-identical"
+            )
+
+    # spec round-trip + batch-key stability
+    if JobSpec.from_dict(spec.to_dict()) != spec:
+        problems.append("JobSpec to_dict/from_dict round-trip changed it")
+    if spec.batch_key != JobSpec.from_dict(spec.to_dict()).batch_key:
+        problems.append("JobSpec batch_key is not stable across round-trip")
+
+    # schema pinning and framing rejections are typed
+    frame = encode_message(messages[0])
+    import json as _json
+    import struct as _struct
+
+    (hlen,) = _struct.unpack_from("<I", frame, 4)
+    header = _json.loads(frame[8:8 + hlen].decode())
+    header["schema"] = SCHEMA_VERSION + 1
+    hb = _json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+    bumped = frame[:4] + _struct.pack("<I", len(hb)) + hb + frame[8 + hlen:]
+    try:
+        decode_message(bumped)
+        problems.append("decode accepted an unsupported schema revision")
+    except errors.VersionError:
+        pass
+    try:
+        decode_message(frame[:-1])
+        problems.append("decode accepted a truncated payload")
+    except errors.TruncatedStreamError:
+        pass
+    try:
+        decode_message(frame + b"x")
+        problems.append("decode accepted trailing bytes")
+    except errors.CorruptBlobError:
+        pass
+    try:
+        decode_message(b"NOPE" + frame[4:])
+        problems.append("decode accepted a wrong magic")
+    except errors.CorruptBlobError:
+        pass
+
+    # the error taxonomy's wire codes are unique and frozen
+    taxonomy = {
+        errors.ServiceError: "service",
+        errors.AdmissionError: "admission",
+        errors.RateLimitedError: "rate_limited",
+        errors.QuotaExceededError: "quota",
+        errors.QueueFullError: "queue_full",
+        errors.ServiceClosedError: "closed",
+        errors.ServiceRequestError: "bad_request",
+    }
+    for cls, reason in taxonomy.items():
+        if cls.reason != reason:
+            problems.append(
+                f"{cls.__name__}.reason changed: {cls.reason!r} != {reason!r}"
+            )
+    reasons = [cls.reason for cls in taxonomy]
+    if len(set(reasons)) != len(reasons):
+        problems.append(f"duplicate error reason tags: {sorted(reasons)}")
+    return problems
+
+
 def check_all() -> dict[str, list[str]]:
     """name -> violations for every candidate (empty dict values = all clean)."""
     out = {name: check_codec(obj) for name, obj in _candidates().items()}
@@ -510,6 +668,8 @@ def check_all() -> dict[str, list[str]]:
     out.update(check_kernels())
     out["stage[adaptive_quantize]"] = check_adaptive_stage()
     out["streaming"] = check_streaming()
+    out["public-api"] = check_public_api()
+    out["service"] = check_service()
     return out
 
 

@@ -1,0 +1,321 @@
+#!/usr/bin/env python
+"""Mixed-traffic load generator for the compression gateway.
+
+Replays a *seeded* request mix against a live gateway — many small
+compress/decompress slices, a few huge volumes that exercise the
+streamed route, and a sprinkle of archive put/get — from several
+tenants concurrently, then reports per-tenant latency quantiles and
+throughput.
+
+The replay is deterministic: one ``numpy`` generator seeds the request
+schedule (sizes, tenants, op mix, interleaving), so two runs with the
+same ``--seed`` issue byte-identical traffic and the latency digest is
+comparable run over run.  The output is a bench **schema v7** report
+carrying a ``service_summary`` block
+(``{tenant: {p50_s, p99_s, throughput_mb_s, requests, rejected}}``)
+that ``tools/bench.py --compare`` diffs against any baseline — v6
+baselines have no service keys, so the comparison stays green across
+the schema bump.
+
+By default the gateway runs in-process (fork pool and all), so the tool
+doubles as an end-to-end integration check; ``--connect HOST:PORT``
+replays the same schedule against a remote ``repro serve`` instance
+over TCP instead.
+
+Usage::
+
+    PYTHONPATH=src python tools/loadgen.py --smoke          # seconds
+    PYTHONPATH=src python tools/loadgen.py --out LOAD.json
+    PYTHONPATH=src python tools/loadgen.py --connect 127.0.0.1:9753
+    PYTHONPATH=src python tools/bench.py --compare BENCH_pipeline.json LOAD.json
+"""
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import Any
+
+import numpy as np
+
+sys.path.insert(0, "src")
+
+from repro.errors import ServiceError  # noqa: E402
+from repro.service import (  # noqa: E402
+    ArchiveGetRequest,
+    ArchivePutRequest,
+    CompressRequest,
+    DecompressRequest,
+    Gateway,
+    GatewayConfig,
+    JobSpec,
+    ServiceClient,
+    TenantPolicy,
+)
+
+SCHEMA_VERSION = 7
+
+TENANTS = ("alice", "bob", "carol")
+
+#: small-slice geometry (f32): the bread-and-butter request
+SMALL_SHAPE = (12, 16, 16)
+#: huge-volume geometry (f32): crosses the streamed-route threshold
+BIG_SHAPE = (48, 72, 72)
+#: the gateway threshold the big volumes must cross (in-process mode)
+STREAM_THRESHOLD = 1 << 20
+
+
+def _field(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    """A smooth, compressible field — cumulative sum of white noise."""
+    return np.cumsum(
+        rng.standard_normal(shape, dtype=np.float32), axis=0
+    )
+
+
+def build_schedule(
+    seed: int, small: int, big: int, archive: int
+) -> list[dict[str, Any]]:
+    """The deterministic request schedule: one dict per request.
+
+    Ops: ``compress-small``, ``compress-big`` (streamed), ``decompress``
+    (round-trips a previous compress result), ``archive-put`` /
+    ``archive-get``.  Tenants are drawn round-robin-ish from the seeded
+    generator so every tenant sees every op class.
+    """
+    rng = np.random.default_rng(seed)
+    plan: list[dict[str, Any]] = []
+    for i in range(small):
+        plan.append({
+            "op": "compress-small",
+            "tenant": TENANTS[int(rng.integers(len(TENANTS)))],
+            "data": _field(rng, SMALL_SHAPE),
+            "decompress_after": bool(rng.random() < 0.5),
+        })
+    for i in range(big):
+        plan.append({
+            "op": "compress-big",
+            "tenant": TENANTS[int(rng.integers(len(TENANTS)))],
+            "data": _field(rng, BIG_SHAPE),
+            "decompress_after": False,
+        })
+    for i in range(archive):
+        plan.append({
+            "op": "archive",
+            "tenant": TENANTS[int(rng.integers(len(TENANTS)))],
+            "name": f"entry{i:03d}",
+            "data": _field(rng, SMALL_SHAPE),
+        })
+    order = rng.permutation(len(plan))
+    return [plan[int(i)] for i in order]
+
+
+class _Recorder:
+    """Per-tenant latency samples + byte counters."""
+
+    def __init__(self) -> None:
+        self.latencies: dict[str, list[float]] = {}
+        self.bytes_in: dict[str, int] = {}
+        self.rejected: dict[str, int] = {}
+
+    def ok(self, tenant: str, seconds: float, nbytes: int) -> None:
+        self.latencies.setdefault(tenant, []).append(seconds)
+        self.bytes_in[tenant] = self.bytes_in.get(tenant, 0) + nbytes
+
+    def reject(self, tenant: str) -> None:
+        self.rejected[tenant] = self.rejected.get(tenant, 0) + 1
+
+    def summary(self, wall_s: float) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        all_lat: list[float] = []
+        total_bytes = 0
+        total_rej = 0
+        for tenant in sorted(set(self.latencies) | set(self.rejected)):
+            lats = np.asarray(self.latencies.get(tenant, [0.0]))
+            nbytes = self.bytes_in.get(tenant, 0)
+            rej = self.rejected.get(tenant, 0)
+            out[tenant] = {
+                "requests": int(len(self.latencies.get(tenant, []))),
+                "rejected": rej,
+                "p50_s": float(np.percentile(lats, 50)),
+                "p99_s": float(np.percentile(lats, 99)),
+                "throughput_mb_s": (
+                    nbytes / (1 << 20) / wall_s if wall_s > 0 else 0.0
+                ),
+            }
+            all_lat.extend(self.latencies.get(tenant, []))
+            total_bytes += nbytes
+            total_rej += rej
+        lats = np.asarray(all_lat or [0.0])
+        out["_total"] = {
+            "requests": len(all_lat),
+            "rejected": total_rej,
+            "p50_s": float(np.percentile(lats, 50)),
+            "p99_s": float(np.percentile(lats, 99)),
+            "throughput_mb_s": (
+                total_bytes / (1 << 20) / wall_s if wall_s > 0 else 0.0
+            ),
+        }
+        return out
+
+
+async def _drive(submit, plan: list[dict[str, Any]], concurrency: int) -> _Recorder:
+    """Replay the schedule through ``submit`` with bounded client concurrency.
+
+    ``submit(request)`` awaits one typed request and returns its reply
+    (in-process gateway or TCP client — same coroutine shape).  Each
+    schedule entry may expand to a follow-up request (decompress the
+    blob just produced, read back the archive entry), which stays inside
+    the same slot so the dependency ordering holds.
+    """
+    rec = _Recorder()
+    sem = asyncio.Semaphore(concurrency)
+    spec = JobSpec(compressor="sz3", error_bound=1e-3)
+
+    async def _timed(req) -> Any:
+        t0 = time.monotonic()
+        try:
+            reply = await submit(req)
+        except ServiceError:
+            rec.reject(req.tenant)
+            return None
+        rec.ok(req.tenant, time.monotonic() - t0, len(req.payload))
+        return reply
+
+    async def _one(entry: dict[str, Any]) -> None:
+        async with sem:
+            tenant = entry["tenant"]
+            if entry["op"] == "archive":
+                put = ArchivePutRequest.from_array(
+                    tenant, entry["name"], entry["data"], spec
+                )
+                if await _timed(put) is not None:
+                    await _timed(ArchiveGetRequest(tenant=tenant, name=entry["name"]))
+                return
+            req = CompressRequest.from_array(tenant, entry["data"], spec)
+            reply = await _timed(req)
+            if reply is not None and entry.get("decompress_after"):
+                await _timed(DecompressRequest(tenant=tenant, blob=reply.result))
+
+    await asyncio.gather(*(_one(e) for e in plan))
+    return rec
+
+
+async def _run_inprocess(args, plan) -> tuple[_Recorder, float, dict]:
+    import os
+    import tempfile
+
+    archive_path = args.archive or os.path.join(
+        tempfile.mkdtemp(prefix="loadgen-"), "loadgen.rar1"
+    )
+    config = GatewayConfig(
+        workers=args.workers,
+        stream_threshold_bytes=STREAM_THRESHOLD,
+        archive_path=archive_path,
+        default_policy=TenantPolicy(
+            rate=float("inf"), burst=4096, max_inflight=max(64, args.concurrency)
+        ),
+    )
+    async with Gateway(config) as gateway:
+        t0 = time.monotonic()
+        rec = await _drive(gateway.submit, plan, args.concurrency)
+        wall = time.monotonic() - t0
+        stats = gateway.stats()
+    return rec, wall, stats
+
+
+async def _run_tcp(args, plan) -> tuple[_Recorder, float, dict]:
+    host, _, port = args.connect.rpartition(":")
+    clients = [
+        await ServiceClient(host or "127.0.0.1", int(port)).connect()
+        for _ in range(args.concurrency)
+    ]
+    free: asyncio.Queue = asyncio.Queue()
+    for c in clients:
+        free.put_nowait(c)
+
+    async def submit(req):
+        client = await free.get()
+        try:
+            return await client.request(req)
+        finally:
+            free.put_nowait(client)
+
+    try:
+        t0 = time.monotonic()
+        rec = await _drive(submit, plan, args.concurrency)
+        wall = time.monotonic() - t0
+    finally:
+        for c in clients:
+            await c.close()
+    return rec, wall, {}
+
+
+def run(args) -> dict[str, Any]:
+    if args.smoke:
+        small, big, archive = 18, 2, 3
+    else:
+        small, big, archive = args.small, args.big, args.archive_ops
+    plan = build_schedule(args.seed, small, big, archive)
+    if args.connect:
+        rec, wall, stats = asyncio.run(_run_tcp(args, plan))
+    else:
+        rec, wall, stats = asyncio.run(_run_inprocess(args, plan))
+    summary = rec.summary(wall)
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "service-loadgen",
+        "seed": args.seed,
+        "plan": {"small": small, "big": big, "archive": archive},
+        "wall_s": wall,
+        "gateway": stats,
+        "service_summary": summary,
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="seeded mixed-traffic replay against the compression gateway"
+    )
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny deterministic mix (seconds); the tier-1 gate")
+    ap.add_argument("--small", type=int, default=96,
+                    help="small compress slices in the mix")
+    ap.add_argument("--big", type=int, default=4,
+                    help="huge volumes (streamed route) in the mix")
+    ap.add_argument("--archive-ops", type=int, default=12,
+                    help="archive put(+get) pairs in the mix")
+    ap.add_argument("--concurrency", type=int, default=8,
+                    help="concurrent client slots")
+    ap.add_argument("--workers", type=int, default=2,
+                    help="gateway fork-pool workers (in-process mode)")
+    ap.add_argument("--archive", default=None,
+                    help="archive path (in-process mode; default: temp dir)")
+    ap.add_argument("--connect", default=None, metavar="HOST:PORT",
+                    help="replay against a remote gateway over TCP instead "
+                         "of the in-process one")
+    ap.add_argument("--out", default=None, help="write the v7 report JSON here")
+    args = ap.parse_args(argv)
+
+    report = run(args)
+    summary = report["service_summary"]
+    print(f"{'tenant':<8s} {'reqs':>6s} {'rej':>5s} {'p50(ms)':>9s} "
+          f"{'p99(ms)':>9s} {'MB/s':>8s}")
+    for tenant, d in summary.items():
+        print(f"{tenant:<8s} {d['requests']:6d} {d['rejected']:5d} "
+              f"{d['p50_s'] * 1e3:9.2f} {d['p99_s'] * 1e3:9.2f} "
+              f"{d['throughput_mb_s']:8.2f}")
+    print(f"replayed {summary['_total']['requests']} requests in "
+          f"{report['wall_s']:.2f}s (seed {report['seed']})")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
