@@ -57,6 +57,8 @@ from .messages import (
     DecompressRequest,
     JobSpec,
     ServiceReply,
+    _ERROR_TYPES,
+    array_from_parts,
     decode_message,
     encode_message,
 )
@@ -131,6 +133,43 @@ def _compressor_from_spec(spec_dict: dict) -> Any:
         raise ServiceRequestError(f"unknown compressor {spec.compressor!r}") from exc
 
 
+@dataclass(frozen=True)
+class _ItemFailure:
+    """One item's failure inside a batch, shipped back picklable.
+
+    ``kind`` says whose fault it was: ``"service"`` carries a
+    :class:`~repro.errors.ServiceError` reason tag, ``"repro"`` is a
+    corrupt payload / bad spec (→ ``bad_request``), and ``"internal"``
+    is an unexpected worker exception.  The parent maps it back to a
+    typed error per job via :func:`_failure_to_error`, so one bad item
+    never poisons the rest of its micro-batch.
+    """
+
+    kind: str
+    reason: str
+    message: str
+
+
+def _capture_failure(exc: Exception) -> _ItemFailure:
+    if isinstance(exc, ServiceError):
+        return _ItemFailure("service", exc.reason, str(exc))
+    if isinstance(exc, ReproError):
+        return _ItemFailure("repro", ServiceRequestError.reason, str(exc))
+    return _ItemFailure("internal", "internal", f"{type(exc).__name__}: {exc}")
+
+
+def _failure_to_error(failure: _ItemFailure) -> Exception:
+    if failure.kind == "service":
+        return _ERROR_TYPES.get(failure.reason, ServiceError)(failure.message)
+    if failure.kind == "repro":
+        return ServiceRequestError(failure.message)
+    return RuntimeError(failure.message)
+
+
+def _pack_array(arr: np.ndarray) -> tuple:
+    return (tuple(arr.shape), arr.dtype.str, np.ascontiguousarray(arr).tobytes())
+
+
 def _run_batch(
     kind: str, spec_dict: dict | None, items: list
 ) -> tuple[list, dict | None]:
@@ -139,6 +178,9 @@ def _run_batch(
     ``items`` is a list of job payloads — ``(shape, dtype, bytes)`` for
     compress, raw blobs for decompress.  The compressor is built once per
     batch; the worker's observation payload rides back for parent merge.
+    Failures are isolated per item: each result slot is either the item's
+    output or an :class:`_ItemFailure`, so a malformed request from one
+    tenant cannot fail other tenants' batched requests.
     """
     ob = obs.Observation()
     with obs.observe(ob):
@@ -148,18 +190,30 @@ def _run_batch(
                 spec = JobSpec.from_dict(spec_dict)
                 results = []
                 for shape, dtype, raw in items:
-                    arr = np.frombuffer(raw, dtype=np.dtype(dtype)).reshape(shape)
-                    results.append(
-                        comp.compress(arr, checksum=spec.checksum, auto=spec.auto)
-                    )
+                    try:
+                        arr = array_from_parts(shape, dtype, raw)
+                        results.append(
+                            comp.compress(
+                                arr, checksum=spec.checksum, auto=spec.auto
+                            )
+                        )
+                    except Exception as exc:  # noqa: BLE001 - per-item isolation
+                        results.append(_capture_failure(exc))
             elif kind == "decompress":
-                from ..compressors.registry import decompress_many
+                from ..compressors.registry import decompress_any, decompress_many
 
-                arrays = decompress_many(list(items))
-                results = [
-                    (tuple(a.shape), a.dtype.str, np.ascontiguousarray(a).tobytes())
-                    for a in arrays
-                ]
+                blobs = list(items)
+                try:
+                    results = [_pack_array(a) for a in decompress_many(blobs)]
+                except Exception:  # noqa: BLE001 - retry item-at-a-time
+                    # the amortized batch path failed somewhere; redo the
+                    # blobs one by one so only the offending items fail
+                    results = []
+                    for blob in blobs:
+                        try:
+                            results.append(_pack_array(decompress_any(blob)))
+                        except Exception as exc:  # noqa: BLE001
+                            results.append(_capture_failure(exc))
             else:  # pragma: no cover - dispatcher only sends the two kinds
                 raise ValueError(f"unknown batch kind {kind!r}")
     return results, ob.to_payload()
@@ -327,6 +381,7 @@ class Gateway:
         Every failure — malformed frame, admission rejection, execution
         error — becomes an ``ok=False`` reply with the typed ``reason``
         code, so a wire client never sees a raw traceback or a hang.
+        Unexpected exceptions get the ``internal`` code as a last resort.
         """
         request_id = ""
         op = ""
@@ -355,6 +410,13 @@ class Gateway:
                 error=ServiceRequestError.reason, message=str(exc),
             )
             return encode_message(reply)
+        except Exception as exc:  # noqa: BLE001 - contract: never a raw traceback
+            reply = ServiceReply(
+                request_id=request_id, op=op, ok=False,
+                error="internal",
+                message=f"internal error: {type(exc).__name__}: {exc}",
+            )
+            return encode_message(reply)
 
     # -- dispatch ----------------------------------------------------------
 
@@ -373,7 +435,19 @@ class Gateway:
                     )
                 except asyncio.TimeoutError:
                     break
-            self._launch_batches(batch)
+            try:
+                self._launch_batches(batch)
+            except Exception as exc:  # noqa: BLE001 - dispatcher must survive
+                # e.g. an in-process spec whose qp/adaptive dict is not
+                # JSON-serializable makes batch_key raise; fail the drained
+                # jobs typed and keep dispatching (launched groups finish
+                # their own jobs first — _finish_job is idempotent)
+                error = exc if isinstance(exc, ReproError) else ServiceRequestError(
+                    f"request could not be dispatched: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                for job in batch:
+                    self._finish_job(job, error=error)
 
     def _launch_batches(self, jobs: list[_Job]) -> None:
         """Group a drained micro-batch and launch each group concurrently."""
@@ -432,21 +506,28 @@ class Gateway:
         self.observation.merge_payload(payload, worker=f"batch{self._batches}")
         for job, blob in zip(jobs, results):
             req = job.request
-            if isinstance(req, ArchivePutRequest):
-                await self._archive_append(job, req.name, blob)
-            else:
-                self._finish_job(
-                    job,
-                    reply=ServiceReply(
-                        request_id=req.request_id, op=req.kind,
-                        result=blob,
-                        meta={
-                            "compressed_bytes": len(blob),
-                            "input_bytes": len(req.data),
-                            "batched": len(jobs),
-                        },
-                    ),
-                )
+            try:
+                if isinstance(blob, _ItemFailure):
+                    self._finish_job(job, error=_failure_to_error(blob))
+                elif isinstance(req, ArchivePutRequest):
+                    await self._archive_append(job, req.name, blob)
+                else:
+                    self._finish_job(
+                        job,
+                        reply=ServiceReply(
+                            request_id=req.request_id, op=req.kind,
+                            result=blob,
+                            meta={
+                                "compressed_bytes": len(blob),
+                                "input_bytes": len(req.data),
+                                "batched": len(jobs),
+                            },
+                        ),
+                    )
+            except Exception as exc:  # noqa: BLE001 - fail this job only
+                # e.g. a duplicate archive name: the offending job gets the
+                # typed error, the rest of the group still completes
+                self._finish_job(job, error=exc)
 
     async def _run_pool_decompress(self, jobs: list[_Job]) -> None:
         items = [job.request.blob for job in jobs]
@@ -457,8 +538,12 @@ class Gateway:
             self._pool, _run_batch, "decompress", None, items
         )
         self.observation.merge_payload(payload, worker=f"batch{self._batches}")
-        for job, (shape, dtype, raw) in zip(jobs, results):
+        for job, item in zip(jobs, results):
             req = job.request
+            if isinstance(item, _ItemFailure):
+                self._finish_job(job, error=_failure_to_error(item))
+                continue
+            shape, dtype, raw = item
             self._finish_job(
                 job,
                 reply=ServiceReply(
@@ -477,6 +562,10 @@ class Gateway:
             with obs.observe(ob):
                 comp = _compressor_from_spec(spec.to_dict())
                 arr = req.array()
+                if spec.auto:
+                    # the streamed route honors the auto knob too: tune on
+                    # the whole volume once, then compress slab by slab
+                    comp = comp._tuned_for(arr)
                 sink = io.BytesIO()
                 result = stream_compress(
                     comp, arr, sink, checksum=spec.checksum

@@ -53,6 +53,34 @@ WIRE_MAGIC = b"RSV1"
 _SPEC_FIELDS = {"compressor", "error_bound", "checksum", "auto", "qp", "adaptive"}
 
 
+def array_from_parts(
+    shape: "tuple[int, ...]", dtype: str, data: bytes
+) -> np.ndarray:
+    """Validate (shape, dtype, payload) geometry and return the array view.
+
+    This is the one place request geometry is checked — both the typed
+    request objects and the fork-pool batch worker go through it, so a
+    mismatched payload is always a typed :class:`CorruptBlobError`
+    (→ ``bad_request`` on the wire), never a raw numpy ``ValueError``.
+    """
+    try:
+        dt = np.dtype(dtype)
+        dims = tuple(int(s) for s in shape)
+    except (TypeError, ValueError) as exc:
+        raise CorruptBlobError(
+            f"bad array geometry {shape!r}/{dtype!r}: {exc}"
+        ) from exc
+    if any(s < 0 for s in dims):
+        raise CorruptBlobError(f"array shape {dims} has a negative dimension")
+    expect = int(np.prod(dims, dtype=np.int64)) * dt.itemsize
+    if len(data) != expect:
+        raise CorruptBlobError(
+            f"compress payload is {len(data)} bytes, geometry "
+            f"{dims}/{dt.str} needs {expect}"
+        )
+    return np.frombuffer(data, dtype=dt).reshape(dims)
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """How to compress: the per-request slice of a pipeline configuration.
@@ -171,14 +199,7 @@ class CompressRequest(_Message):
 
     def array(self) -> np.ndarray:
         """Reconstruct the request's array view (zero-copy, read-only)."""
-        dtype = np.dtype(self.dtype)
-        expect = int(np.prod(self.shape, dtype=np.int64)) * dtype.itemsize
-        if len(self.data) != expect:
-            raise CorruptBlobError(
-                f"compress payload is {len(self.data)} bytes, geometry "
-                f"{self.shape}/{self.dtype} needs {expect}"
-            )
-        return np.frombuffer(self.data, dtype=dtype).reshape(self.shape)
+        return array_from_parts(self.shape, self.dtype, self.data)
 
     def header_fields(self) -> dict:
         return {

@@ -285,6 +285,127 @@ def test_corrupt_payload_is_bad_request_reply(field):
     _run(main())
 
 
+def test_wire_geometry_mismatch_is_bad_request_reply(field):
+    """A frame whose payload does not match its declared shape/dtype must
+    come back as a typed reply, never a raw ValueError out of handle()."""
+
+    async def main():
+        async with Gateway(GatewayConfig(workers=1)) as gw:
+            bad = CompressRequest(
+                tenant="t", spec=JobSpec(), shape=(5, 5), dtype="<f4",
+                data=b"\x00" * 7,
+            )
+            raw = await gw.handle(encode_message(bad))
+            reply = decode_message(raw)
+            assert isinstance(reply, ServiceReply)
+            assert not reply.ok and reply.error == "bad_request"
+            # the gateway is still fully serviceable afterwards
+            ok = await gw.submit(CompressRequest.from_array("t", field))
+            assert ok.ok
+
+    _run(main())
+
+
+def test_bad_item_does_not_poison_batch(field):
+    """One tenant's malformed payload inside a micro-batch fails only that
+    request — same-spec batchmates from other tenants still succeed."""
+
+    async def main():
+        cfg = GatewayConfig(workers=1, batch_window_ms=100.0)
+        async with Gateway(cfg) as gw:
+            good = CompressRequest.from_array("acme", field)
+            bad = CompressRequest(
+                tenant="evil", spec=JobSpec(), shape=field.shape,
+                dtype=field.dtype.str, data=field.tobytes()[:-4],
+            )
+            good_r, bad_r = await asyncio.gather(
+                gw.submit(good), gw.submit(bad)
+            )
+            assert good_r.ok, good_r.message
+            assert not bad_r.ok and bad_r.error == "bad_request"
+            assert "bytes" in bad_r.message  # the geometry diagnosis
+
+    _run(main())
+
+
+def test_archive_duplicate_fails_only_offending_job(field, tmp_path):
+    """A duplicate archive name in a mixed compress/put group fails that
+    job alone; the batchmates' replies are unaffected."""
+
+    async def main():
+        path = str(tmp_path / "grp.rar1")
+        cfg = GatewayConfig(workers=1, archive_path=path, batch_window_ms=100.0)
+        async with Gateway(cfg) as gw:
+            assert (
+                await gw.submit(ArchivePutRequest.from_array("t", "vol", field))
+            ).ok
+            dup, comp, other = await asyncio.gather(
+                gw.submit(ArchivePutRequest.from_array("t", "vol", field)),
+                gw.submit(CompressRequest.from_array("t", field)),
+                gw.submit(ArchivePutRequest.from_array("t", "vol2", field)),
+            )
+            assert not dup.ok and dup.error == "bad_request"
+            assert comp.ok, comp.message
+            assert other.ok, other.message
+
+    _run(main())
+
+
+def test_dispatcher_survives_undispatchable_spec(field):
+    """A spec whose qp dict cannot be JSON-serialized fails typed instead
+    of killing the dispatcher task; later requests still get served."""
+
+    async def main():
+        async with Gateway(GatewayConfig(workers=1)) as gw:
+            poisoned = JobSpec(qp={"bad": object()})
+            r = await gw.submit(
+                CompressRequest.from_array("t", field, poisoned)
+            )
+            assert not r.ok and r.error == "bad_request"
+            ok = await gw.submit(CompressRequest.from_array("t", field))
+            assert ok.ok
+
+    _run(main())
+
+
+def test_streamed_route_honors_auto(field):
+    async def main():
+        cfg = GatewayConfig(workers=1, stream_threshold_bytes=field.nbytes)
+        async with Gateway(cfg) as gw:
+            spec = JobSpec(error_bound=1e-3, auto=True)
+            r = await gw.submit(CompressRequest.from_array("t", field, spec))
+            assert r.ok and r.meta.get("streamed") is True
+            # the sampling tuner ran on the streamed route too
+            names = {s.name for s in gw.observation.tracer.spans}
+            assert "autotune" in names
+            back = await gw.submit(DecompressRequest(tenant="t", blob=r.result))
+            assert np.abs(back.array() - field).max() <= 1e-3 * 1.0001
+
+    _run(main())
+
+
+def test_handle_internal_error_is_typed_reply(field):
+    """Unexpected server-side exceptions become an ok=False reply with the
+    reserved 'internal' code — handle() never raises to the transport."""
+
+    async def main():
+        async with Gateway(GatewayConfig(workers=1)) as gw:
+            async def boom(request):
+                raise RuntimeError("wires crossed")
+
+            gw.submit = boom
+            raw = await gw.handle(
+                encode_message(CompressRequest.from_array("t", field))
+            )
+            reply = decode_message(raw)
+            assert not reply.ok and reply.error == "internal"
+            assert "wires crossed" in reply.message
+            with pytest.raises(ServiceError):
+                reply.raise_for_status()
+
+    _run(main())
+
+
 def test_drain_no_torn_archive_entries(field, tmp_path):
     """Stop mid-flight: every admitted put completes, the archive recovers
     clean, and post-drain submits fail typed."""
