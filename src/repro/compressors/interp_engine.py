@@ -48,6 +48,7 @@ __all__ = [
     "decompress_volume",
     "decompress_volumes",
     "level_error_bounds",
+    "predict_fill",
 ]
 
 # thin aliases: the prediction kernels moved into the InterpPredict stage
@@ -206,6 +207,7 @@ def compress_volume(
     data: np.ndarray,
     cfg: EngineConfig,
     state: CompressionState | None = None,
+    level_stats: "list[dict] | None" = None,
 ) -> tuple[dict[str, Any], np.ndarray, np.ndarray, np.ndarray]:
     """Run the interpolation pipeline over ``data``.
 
@@ -215,6 +217,13 @@ def compress_volume(
     quantization indices of every pass in schedule order, ``literals`` the
     unpredictable values in the same order, and ``anchors`` the exact
     coarsest-grid values.
+
+    ``level_stats``, when a list, collects one dict per pass in schedule
+    order — ``{"level", "indices", "literals", "max_residual"}`` — where
+    ``max_residual`` is the largest |original - prediction| of the pass in
+    float64.  The progressive compressor uses these to split the streams
+    at level boundaries and to derive per-level achievable error bounds;
+    the wire bytes are unaffected.
     """
     arr = data.copy()
     shape = arr.shape
@@ -258,6 +267,19 @@ def compress_volume(
             target_view = arr[p.target]
             with stage("quantize"):
                 res = quantize.forward(ctx, (target_view, pred))
+            if level_stats is not None:
+                # measured before the overwrite below: target_view still
+                # holds the working values the prediction was scored against
+                diff = np.abs(
+                    target_view.astype(np.float64)
+                    - np.asarray(pred, dtype=np.float64)
+                )
+                level_stats.append({
+                    "level": level,
+                    "indices": int(res.indices.size),
+                    "literals": int(res.literals.size),
+                    "max_residual": float(diff.max()) if diff.size else 0.0,
+                })
             target_view[...] = res.decoded  # future passes see decoded values
             q_out = np.moveaxis(res.indices, p.axis, 0)
             for t in transforms:
@@ -368,6 +390,29 @@ def decompress_volume(
         raise ValueError("index stream size mismatch")
     if lpos != literals.size:
         raise ValueError("literal stream size mismatch")
+    return arr
+
+
+def predict_fill(
+    arr: np.ndarray, meta: dict[str, Any], stop_level: int
+) -> np.ndarray:
+    """Fill levels ``stop_level .. 1`` of ``arr`` with predictions only.
+
+    The prediction-only counterpart of the decode loop: after a prefix
+    decode reconstructed levels above ``stop_level``
+    (``decompress_volume(..., stop_level=stop_level)``), this replays the
+    remaining pass schedule applying each pass's interpolation *without*
+    corrections — exactly what a progressive preview shows for the levels
+    whose streams have not arrived yet.  The first finer pass predicts
+    from decoded values only, so its predictions are bit-identical to the
+    full decoder's.  Mutates and returns ``arr``.
+    """
+    cfg = EngineConfig.from_meta(meta, error_bound=1.0)
+    methods = {int(k): v for k, v in meta["methods"].items()}
+    for level in range(stop_level, 0, -1):
+        for p in _passes_for_level(arr.shape, level, cfg):
+            with stage("predict"):
+                arr[p.target] = _pass_prediction(arr, p, methods[level])
     return arr
 
 

@@ -182,7 +182,10 @@ def traits_table() -> list[dict[str, Any]]:
     """Qualitative characteristics of the compressors (paper Table I)."""
     rows = []
     for name in INTERP_COMPRESSORS:
+        traits = _resolve_class(name).traits
+        if not traits:
+            continue  # re-framed variants (sz3_progressive) share a row above
         row = {"compressor": name.upper()}
-        row.update(_resolve_class(name).traits)
+        row.update(traits)
         rows.append(row)
     return rows

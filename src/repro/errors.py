@@ -24,6 +24,7 @@ tightening a decoder never breaks an existing ``except ValueError`` site.
                          rejections (rate limit, quota, queue full) are the
                          :class:`AdmissionError` refinements so clients can
                          back off on exactly those.
+``TenantAccessError``    a request crossed a tenant's archive namespace.
 """
 from __future__ import annotations
 
@@ -46,6 +47,7 @@ __all__ = [
     "QueueFullError",
     "ServiceClosedError",
     "ServiceRequestError",
+    "TenantAccessError",
 ]
 
 
@@ -148,6 +150,16 @@ class ServiceRequestError(ServiceError, ValueError):
     payload, unsupported spec) — retrying the same request cannot help."""
 
     reason = "bad_request"
+
+
+class TenantAccessError(ServiceError):
+    """The request would cross a tenant's archive namespace boundary
+    (a name that escapes the tenant prefix, or a get for another
+    tenant's entry).  Deliberately *not* an :class:`AdmissionError`:
+    the request was understood and refused, so backoff-and-retry is
+    pointless."""
+
+    reason = "forbidden"
 
 
 class QuarantinedSliceError(TransferError):

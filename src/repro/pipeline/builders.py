@@ -285,3 +285,32 @@ def sperr_pipeline(qp: dict | None = None) -> PipelineSpec:
             StageSpec("lossless", {}),
         ),
     )
+
+
+def _derive_sz3_progressive(header: dict) -> PipelineSpec:
+    return sz3_progressive_pipeline(
+        qp=_engine_qp(header),
+        adaptive=_engine_adaptive(header),
+        entropy=header.get("entropy", "huffman"),
+    )
+
+
+@register_pipeline(
+    "sz3_progressive",
+    "repro.compressors.progressive:SZ3Progressive",
+    derive=_derive_sz3_progressive,
+)
+def sz3_progressive_pipeline(
+    interp: str = "auto",
+    qp: dict | None = None,
+    adaptive: dict | None = None,
+    entropy: str = "huffman",
+) -> PipelineSpec:
+    """Level-ordered SZ3: same interp stage chain, but the entropy and
+    lossless stages run once per interpolation level (coarse-first) so any
+    level-aligned byte prefix decodes — see
+    :mod:`repro.compressors.progressive`."""
+    return PipelineSpec(
+        "sz3_progressive",
+        _interp_stack(interp=interp, qp=qp, adaptive=adaptive, entropy=entropy),
+    )

@@ -74,7 +74,11 @@ def spec_for_blob(
     name = header.get("compressor")
     spec = pipeline(name).derive(header)
     if sections:
-        for key in ("indices", "coeffs", "core"):
+        keys = ["indices", "coeffs", "core"]
+        # progressive blobs split the index stream per level; every level
+        # uses the same entropy stage, so the first section is authoritative
+        keys[:0] = (k for k in sections if k.startswith("indices:"))
+        for key in keys:
             data = sections.get(key)
             if data:
                 cls = entropy_stage_for_wire_id(data[0])

@@ -34,6 +34,7 @@ from .messages import (
     CompressRequest,
     DecompressRequest,
     JobSpec,
+    RangeGetRequest,
     ServiceReply,
     decode_message,
     encode_message,
@@ -50,6 +51,7 @@ __all__ = [
     "Gateway",
     "GatewayConfig",
     "JobSpec",
+    "RangeGetRequest",
     "ServiceClient",
     "ServiceReply",
     "TenantPolicy",

@@ -45,8 +45,9 @@ from ..errors import (
     ServiceClosedError,
     ServiceError,
     ServiceRequestError,
+    TenantAccessError,
 )
-from ..io.container import Archive, is_streamed_container
+from ..io.container import Archive, ContainerReader, is_streamed_container
 from ..parallel import create_fork_pool
 from ..streaming import stream_compress, stream_decompress
 from .admission import AdmissionController, TenantPolicy
@@ -56,6 +57,7 @@ from .messages import (
     CompressRequest,
     DecompressRequest,
     JobSpec,
+    RangeGetRequest,
     ServiceReply,
     _ERROR_TYPES,
     array_from_parts,
@@ -70,6 +72,7 @@ _REQUEST_KINDS = (
     DecompressRequest,
     ArchivePutRequest,
     ArchiveGetRequest,
+    RangeGetRequest,
 )
 
 
@@ -164,6 +167,34 @@ def _failure_to_error(failure: _ItemFailure) -> Exception:
     if failure.kind == "repro":
         return ServiceRequestError(failure.message)
     return RuntimeError(failure.message)
+
+
+def _pick_level(table: list, level: int | None, total: int) -> dict:
+    """Resolve a requested level against a blob's progressive table.
+
+    ``level=None`` means "everything": the finest recorded level, with
+    the span running to the end of the blob."""
+    if not table:
+        raise ServiceRequestError("entry has no progressive levels")
+    if level is None:
+        last = table[-1]
+        return {"level": last["level"], "eb": last["eb"], "end": total}
+    for e in table:
+        if e["level"] == level:
+            return e
+    raise ServiceRequestError(
+        f"level {level} is not in the entry's progressive table "
+        f"(levels {[e['level'] for e in table]})"
+    )
+
+
+def _canonical(blob: bytes) -> bytes:
+    """Byte ranges address the canonical (v0) framing: a sealed blob's CRC
+    envelope covers the whole payload, so prefixes of the *sealed* bytes
+    can never verify — unwrap before slicing."""
+    from ..io.integrity import is_sealed, unseal
+
+    return unseal(blob) if is_sealed(blob) else bytes(blob)
 
 
 def _pack_array(arr: np.ndarray) -> tuple:
@@ -334,6 +365,18 @@ class Gateway:
             obs.metric_count(
                 "service.requests", op=request.kind, tenant=tenant
             )
+            if isinstance(
+                request, (ArchivePutRequest, ArchiveGetRequest, RangeGetRequest)
+            ):
+                try:
+                    # fail namespace escapes before any work is queued
+                    self._archive_key(tenant, request.name)
+                except TenantAccessError:
+                    obs.metric_count(
+                        "service.rejected",
+                        reason=TenantAccessError.reason, tenant=tenant,
+                    )
+                    raise
             if self._closed:
                 obs.metric_count(
                     "service.rejected", reason=ServiceClosedError.reason,
@@ -465,6 +508,8 @@ class Gateway:
                     key = ("destream", id(job))
                 else:
                     key = ("decompress", "")
+            elif isinstance(req, RangeGetRequest):
+                key = ("range_get", id(job))
             else:
                 key = ("archive_get", id(job))
             groups.setdefault(key, []).append(job)
@@ -485,6 +530,8 @@ class Gateway:
                 await self._run_streamed(jobs[0])
             elif kind == "destream":
                 await self._run_destream(jobs[0])
+            elif kind == "range_get":
+                await self._run_range_get(jobs[0])
             else:
                 await self._run_archive_get(jobs[0])
         except Exception as exc:  # noqa: BLE001 - folded into typed replies
@@ -614,16 +661,39 @@ class Gateway:
             ),
         )
 
+    @staticmethod
+    def _archive_key(tenant: str, name: str) -> str:
+        """Tenant-namespaced archive key: ``{tenant}/{name}``.
+
+        ``/`` is the namespace separator, so neither component may
+        contain it — a name like ``"../bob/secret"`` or a tenant with an
+        embedded slash would alias another tenant's entries.  Every
+        archive touch goes through this helper; a gateway restarted on
+        an archive written by the pre-namespace format simply sees no
+        entries for any tenant (old keys have no ``/`` prefix).
+        """
+        if not tenant or "/" in tenant:
+            raise TenantAccessError(
+                f"tenant id {tenant!r} may not be empty or contain '/'"
+            )
+        if not name or "/" in name:
+            raise TenantAccessError(
+                f"archive name {name!r} may not be empty or contain '/' "
+                "(archive entries are scoped per tenant)"
+            )
+        return f"{tenant}/{name}"
+
     async def _archive_append(self, job: _Job, name: str, blob: bytes) -> None:
         req = job.request
+        key = self._archive_key(req.tenant, name)
         async with self._archive_lock:
             archive = self.archive
-            if name in archive.names():
+            if key in archive.names():
                 raise ServiceRequestError(
                     f"archive entry {name!r} already exists"
                 )
             await asyncio.get_running_loop().run_in_executor(
-                None, archive.append, name, blob
+                None, archive.append, key, blob
             )
         self._finish_job(
             job,
@@ -633,23 +703,95 @@ class Gateway:
             ),
         )
 
-    async def _run_archive_get(self, job: _Job) -> None:
-        req = job.request
+    async def _read_archived(self, tenant: str, name: str) -> bytes:
+        key = self._archive_key(tenant, name)
         async with self._archive_lock:
             archive = self.archive
-            if req.name not in archive.names():
+            if key not in archive.names():
                 raise ServiceRequestError(
-                    f"archive entry {req.name!r} does not exist"
+                    f"archive entry {name!r} does not exist"
                 )
-            blob = await asyncio.get_running_loop().run_in_executor(
-                None, archive.read, req.name
+            return await asyncio.get_running_loop().run_in_executor(
+                None, archive.read, key
             )
+
+    async def _run_archive_get(self, job: _Job) -> None:
+        req = job.request
+        blob = await self._read_archived(req.tenant, req.name)
         self._jobs += 1
         self._finish_job(
             job,
             reply=ServiceReply(
                 request_id=req.request_id, op=req.kind, result=blob,
                 meta={"name": req.name, "compressed_bytes": len(blob)},
+            ),
+        )
+
+    async def _run_range_get(self, job: _Job) -> None:
+        """Serve a level-aligned byte range of an archived progressive blob.
+
+        Plain entries return ``blob[start:offset[level]]`` plus the full
+        level table; streamed (``RSTR``) entries return the concatenation
+        of each segment's level prefix with a per-segment span map, so
+        the footer index keeps working client-side.  Non-progressive
+        entries fail typed as ``bad_request``.
+        """
+        req = job.request
+        blob = await self._read_archived(req.tenant, req.name)
+        self._jobs += 1
+        from ..compressors.progressive import level_table
+
+        if is_streamed_container(blob[:8]):
+            if req.start:
+                raise ServiceRequestError(
+                    "range start applies to plain blob entries only; "
+                    "refine streamed entries per segment"
+                )
+            reader = ContainerReader(blob)
+            segments = []
+            parts = []
+            for i, (off, size) in enumerate(reader.offsets()):
+                seg = _canonical(reader.segment(i))
+                entry = _pick_level(level_table(seg), req.level, len(seg))
+                parts.append(seg[:entry["end"]])
+                segments.append(
+                    {
+                        "offset": off, "size": size,
+                        "prefix_bytes": entry["end"],
+                        "level": entry["level"], "eb": entry["eb"],
+                    }
+                )
+            payload = b"".join(parts)
+            meta = {
+                "name": req.name, "streamed": True, "axis": reader.axis,
+                "segments": segments, "total_bytes": len(blob),
+                "prefix_bytes": len(payload),
+            }
+        else:
+            blob = _canonical(blob)
+            table = level_table(blob)
+            entry = _pick_level(table, req.level, len(blob))
+            stop = entry["end"]
+            if req.start > stop:
+                raise ServiceRequestError(
+                    f"range start {req.start} is past the level "
+                    f"{entry['level']} boundary at {stop}"
+                )
+            payload = blob[req.start:stop]
+            meta = {
+                "name": req.name, "level": entry["level"], "eb": entry["eb"],
+                "start": req.start, "prefix_bytes": stop,
+                "total_bytes": len(blob), "levels": table,
+            }
+        with obs.observe(self.observation):
+            obs.add_bytes("service.range_prefix", len(payload))
+            obs.add_bytes("service.range_full", len(blob))
+            obs.metric_count("service.range", tenant=req.tenant)
+        self._finish_job(
+            job,
+            reply=ServiceReply(
+                request_id=req.request_id, op=req.kind, result=payload,
+                meta=meta,
             ),
         )
 

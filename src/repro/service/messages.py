@@ -41,6 +41,7 @@ __all__ = [
     "DecompressRequest",
     "ArchivePutRequest",
     "ArchiveGetRequest",
+    "RangeGetRequest",
     "ServiceReply",
     "encode_message",
     "decode_message",
@@ -303,6 +304,38 @@ class ArchiveGetRequest(_Message):
 
 
 @dataclass
+class RangeGetRequest(_Message):
+    """Fetch a byte range of archive entry ``name`` by progressive level.
+
+    ``level=k`` returns the prefix that decodes through interpolation
+    level ``k`` (``None`` → the full blob); ``start`` trims bytes the
+    client already holds, so an incremental refinement fetches only
+    ``blob[start:offset[k]]``.  The reply's ``meta`` carries the level
+    table (absolute ends + achievable error bounds) so the client can
+    plan further refinements without another round-trip.  For streamed
+    (``RSTR``) entries the reply instead maps per-segment level spans
+    onto the container's footer index.
+    """
+
+    kind: ClassVar[str] = "range_get"
+
+    tenant: str
+    name: str
+    level: int | None = None
+    start: int = 0
+    request_id: str = field(default_factory=_new_request_id)
+
+    def header_fields(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "request_id": self.request_id,
+            "name": self.name,
+            "level": self.level,
+            "start": self.start,
+        }
+
+
+@dataclass
 class ServiceReply(_Message):
     """The gateway's answer: result payload or a typed error.
 
@@ -369,6 +402,7 @@ def _error_types() -> dict:
             errors.QueueFullError,
             errors.ServiceClosedError,
             errors.ServiceRequestError,
+            errors.TenantAccessError,
         )
     }
 
@@ -382,6 +416,7 @@ _REQUEST_TYPES = {
         DecompressRequest,
         ArchivePutRequest,
         ArchiveGetRequest,
+        RangeGetRequest,
         ServiceReply,
     )
 }
@@ -480,6 +515,26 @@ def decode_message(data: bytes) -> _Message:
             return ArchiveGetRequest(
                 tenant=_req_str(header, "tenant"),
                 name=_req_str(header, "name"),
+                request_id=_req_str(header, "request_id"),
+            )
+        if cls is RangeGetRequest:
+            level = header.get("level")
+            if level is not None and (
+                not isinstance(level, int) or isinstance(level, bool)
+            ):
+                raise CorruptBlobError(
+                    f"range_get level must be an int or null, got {level!r}"
+                )
+            start = header.get("start", 0)
+            if not isinstance(start, int) or isinstance(start, bool) or start < 0:
+                raise CorruptBlobError(
+                    f"range_get start must be a non-negative int, got {start!r}"
+                )
+            return RangeGetRequest(
+                tenant=_req_str(header, "tenant"),
+                name=_req_str(header, "name"),
+                level=level,
+                start=start,
                 request_id=_req_str(header, "request_id"),
             )
         return ServiceReply(

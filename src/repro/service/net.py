@@ -29,6 +29,7 @@ from .messages import (
     CompressRequest,
     DecompressRequest,
     JobSpec,
+    RangeGetRequest,
     ServiceReply,
     decode_message,
     encode_message,
@@ -223,3 +224,32 @@ class ServiceClient:
     async def archive_get(self, tenant: str, name: str) -> bytes:
         reply = await self.request(ArchiveGetRequest(tenant=tenant, name=name))
         return reply.result
+
+    async def range_get(
+        self,
+        tenant: str,
+        name: str,
+        level: int | None = None,
+        start: int = 0,
+    ) -> ServiceReply:
+        """Fetch the byte range of ``name`` that decodes through ``level``.
+
+        Returns the full reply (not just bytes): ``result`` holds
+        ``blob[start:offset[level]]`` and ``meta`` the level table, so a
+        caller can preview with
+        :func:`repro.compressors.progressive.decompress_prefix` and then
+        refine by re-requesting with ``start=`` set to what it already
+        holds — see :meth:`refine`.
+        """
+        return await self.request(
+            RangeGetRequest(tenant=tenant, name=name, level=level, start=start)
+        )
+
+    async def refine(
+        self, tenant: str, name: str, held: bytes, level: int | None = None
+    ) -> bytes:
+        """Extend an already-held prefix of ``name`` to ``level`` (default
+        full): fetches only the missing suffix and returns the longer
+        prefix.  ``refine(..., held=b"")`` degenerates to a plain fetch."""
+        reply = await self.range_get(tenant, name, level=level, start=len(held))
+        return bytes(held) + reply.result

@@ -25,7 +25,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import TransferFaultError
+from ..errors import ReproError, TransferFaultError
 from ..obs import add_bytes, event, metric_count, metric_seconds, span as stage
 
 __all__ = [
@@ -216,7 +216,10 @@ class RetryPolicy:
 
 @dataclass
 class SliceOutcome:
-    """Fate of one slice after the retry loop."""
+    """Fate of one slice after the retry loop.
+
+    ``full_nbytes`` is the slice's untruncated size; it equals ``nbytes``
+    unless an early-abort run sent only a level prefix."""
 
     name: str
     attempts: int
@@ -224,6 +227,7 @@ class SliceOutcome:
     verified: bool
     nbytes: int
     error: str | None = None
+    full_nbytes: int = 0
 
 
 @dataclass
@@ -243,7 +247,9 @@ class TransferReport:
 
     @property
     def quarantined(self) -> list[str]:
-        return [o.name for o in self.outcomes if not o.delivered]
+        return [
+            o.name for o in self.outcomes if not o.delivered and o.attempts > 0
+        ]
 
     @property
     def verified_bytes(self) -> int:
@@ -253,19 +259,52 @@ class TransferReport:
     def total_attempts(self) -> int:
         return sum(o.attempts for o in self.outcomes)
 
+    @property
+    def skipped(self) -> list[str]:
+        """Slices never attempted because the byte budget ran out."""
+        return [
+            o.name for o in self.outcomes if not o.delivered and o.attempts == 0
+        ]
+
+    @property
+    def full_bytes(self) -> int:
+        """Untruncated size of everything delivered (what a non-progressive
+        run would have moved for the same slices)."""
+        return sum(o.full_nbytes for o in self.outcomes if o.delivered)
+
     def summary(self) -> dict:
         return {
             "slices": len(self.outcomes),
             "delivered": len(self.delivered),
             "degraded": len(self.degraded),
             "quarantined": len(self.quarantined),
+            "skipped": len(self.skipped),
             "attempts": self.total_attempts,
             "verified_bytes": self.verified_bytes,
+            "full_bytes": self.full_bytes,
         }
 
 
 def _crc32(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def _preview_payload(payload: bytes, target_level: int) -> bytes:
+    """The prefix of ``payload`` that decodes through ``target_level``.
+
+    Non-progressive blobs have no level-aligned prefixes, so they move in
+    full; progressive blobs whose table stops above ``target_level`` send
+    their deepest recorded prefix (never more than asked for)."""
+    from ..compressors.progressive import level_table
+
+    try:
+        table = level_table(payload)
+    except ReproError:
+        return payload
+    for entry in table:
+        if entry["level"] <= target_level:
+            return payload[: entry["end"]]
+    return payload[: table[-1]["end"]] if table else payload
 
 
 def transfer_slices(
@@ -274,6 +313,9 @@ def transfer_slices(
     policy: RetryPolicy = RetryPolicy(),
     sleep: Callable[[float], None] = time.sleep,
     received: dict[str, bytes] | None = None,
+    *,
+    target_level: int | None = None,
+    byte_budget: int | None = None,
 ) -> TransferReport:
     """Move every blob through ``channel`` with retry/backoff/quarantine.
 
@@ -296,11 +338,49 @@ def transfer_slices(
     ``transfer.slices{outcome=...}`` / ``transfer.attempts`` counters.
 
     ``received`` (optional) collects the verified payloads by name.
+
+    **Early abort** (progressive retrieval): ``target_level=k`` sends each
+    progressive slice's level-``k`` byte prefix instead of the full blob —
+    the receiver previews it with
+    :func:`repro.compressors.progressive.decompress_prefix` — while
+    non-progressive slices still move in full.  ``byte_budget`` caps the
+    payload bytes admitted to the channel across the run (retries of an
+    admitted slice are not re-charged); slices that no longer fit are
+    reported as ``skipped`` (attempts=0, not quarantined)
+    so the caller knows the preview is partial.  The CRC travels over the
+    bytes actually sent, and ``stage.bytes`` under ``transfer.prefix`` /
+    ``transfer.full`` record served-prefix vs untruncated sizes for the
+    savings ratio.
     """
     if policy.max_attempts < 1:
         raise ValueError("RetryPolicy.max_attempts must be >= 1")
+    if byte_budget is not None and byte_budget < 0:
+        raise ValueError("byte_budget must be >= 0")
     report = TransferReport()
-    for name, payload in blobs.items():
+    budget_left = byte_budget
+    for name, full_payload in blobs.items():
+        payload = (
+            _preview_payload(full_payload, target_level)
+            if target_level is not None
+            else full_payload
+        )
+        if budget_left is not None and len(payload) > budget_left:
+            event(
+                "transfer.skip", slice=name,
+                needed=len(payload), budget_left=budget_left,
+            )
+            metric_count("transfer.slices", outcome="skipped")
+            report.outcomes.append(
+                SliceOutcome(
+                    name=name, attempts=0, delivered=False, verified=False,
+                    nbytes=0, full_nbytes=len(full_payload),
+                    error=(
+                        f"skipped: needs {len(payload)} bytes, "
+                        f"{budget_left} left in budget"
+                    ),
+                )
+            )
+            continue
         want_crc = _crc32(payload)
         attempts = 0
         last_error: str | None = None
@@ -332,10 +412,15 @@ def transfer_slices(
                         delivered = True
                         add_bytes("transfer", len(got))
                         add_bytes("verify", len(got))
+                        if target_level is not None or byte_budget is not None:
+                            add_bytes("transfer.prefix", len(got))
+                            add_bytes("transfer.full", len(full_payload))
                         if received is not None:
                             received[name] = got
                     else:
                         last_error = "received payload failed CRC32 verification"
+            if attempts == 1 and budget_left is not None:
+                budget_left -= len(payload)
             if not delivered and attempts < policy.max_attempts:
                 event("transfer.retry", slice=name, attempt=attempts, error=last_error)
                 with stage("retry"):
@@ -356,6 +441,7 @@ def transfer_slices(
                 verified=delivered,
                 nbytes=len(payload) if delivered else 0,
                 error=None if delivered else last_error,
+                full_nbytes=len(full_payload) if delivered else 0,
             )
         )
     return report

@@ -4,7 +4,7 @@ Everything here carries the ``service`` marker (``pytest -m service``).
 Admission tests drive the token bucket with an injected clock so the
 rejections are deterministic; the drain test kills a gateway mid-request
 and asserts the crash-safe archive recovers clean (no torn entries); the
-loadgen smoke test replays the seeded mix in-process and feeds its v7
+loadgen smoke test replays the seeded mix in-process and feeds its v8
 report through the bench comparator against the committed v6 baseline.
 """
 from __future__ import annotations
@@ -433,7 +433,8 @@ def test_drain_no_torn_archive_entries(field, tmp_path):
     path = _run(main())
     archive = Archive(path)
     assert archive.recover() == "clean"
-    assert sorted(archive.names()) == ["e0", "e1", "e2", "e3"]
+    # archive keys are tenant-namespaced on disk
+    assert sorted(archive.names()) == ["t/e0", "t/e1", "t/e2", "t/e3"]
     assert all(archive.verify_all().values())
 
 
@@ -475,7 +476,7 @@ def test_tcp_roundtrip_and_typed_error(field):
     _run(main())
 
 
-# -- loadgen smoke + bench v7 comparator ---------------------------------------
+# -- loadgen smoke + bench v8 comparator ---------------------------------------
 
 
 def test_loadgen_smoke_report_compares_against_v6_baseline(tmp_path, capsys):
@@ -496,20 +497,24 @@ def test_loadgen_smoke_report_compares_against_v6_baseline(tmp_path, capsys):
         "--concurrency", "4",
     ]) == 0
     report = json.loads(out.read_text())
-    assert report["schema_version"] == 7
+    assert report["schema_version"] == 8
     summary = report["service_summary"]
     assert summary["_total"]["requests"] > 0
     assert summary["_total"]["rejected"] == 0
     for tenant, digest in summary.items():
         assert digest["p50_s"] <= digest["p99_s"] * (1 + 1e-9)
+        assert 0.0 <= digest["prefix_ratio"] <= 1.0
+    # the smoke mix includes range ops, so some coarse prefixes were served
+    assert 0 < summary["_total"]["prefix_bytes"] <= summary["_total"]["full_bytes"]
 
-    # the committed v6 baseline accepts the v7 report: service keys are
-    # new, never regressions
+    # the committed v6 baseline accepts the v8 report: service keys are
+    # new, never regressions (v7 baselines likewise — only the latency
+    # quantiles are flattened, not the prefix-ratio keys)
     baseline_path = root / "BENCH_pipeline.json"
     if baseline_path.exists():
         baseline = json.loads(baseline_path.read_text())
         assert bench.compare_reports(baseline, report) == 0
-    # v7 self-compare diffs the service keys
+    # v8 self-compare diffs the service keys
     assert bench.compare_reports(report, report) == 0
     capsys.readouterr()  # swallow the comparator tables
 

@@ -568,6 +568,7 @@ def check_service() -> list[str]:
         CompressRequest,
         DecompressRequest,
         JobSpec,
+        RangeGetRequest,
         ServiceReply,
         decode_message,
         encode_message,
@@ -581,6 +582,8 @@ def check_service() -> list[str]:
         DecompressRequest(tenant="t", blob=b"\x01\x02"),
         ArchivePutRequest.from_array("t", "entry", arr, spec),
         ArchiveGetRequest(tenant="t", name="entry"),
+        RangeGetRequest(tenant="t", name="entry", level=3, start=128),
+        RangeGetRequest(tenant="t", name="entry"),
         ServiceReply(request_id="r", op="compress", result=b"xyz",
                      meta={"n": 1}),
         ServiceReply(request_id="r", op="compress", ok=False,
@@ -649,6 +652,7 @@ def check_service() -> list[str]:
         errors.QueueFullError: "queue_full",
         errors.ServiceClosedError: "closed",
         errors.ServiceRequestError: "bad_request",
+        errors.TenantAccessError: "forbidden",
     }
     for cls, reason in taxonomy.items():
         if cls.reason != reason:
@@ -661,6 +665,116 @@ def check_service() -> list[str]:
     return problems
 
 
+def check_progressive() -> list[str]:
+    """Progressive-spec lint (empty = ok).
+
+    Holds ``sz3_progressive`` blobs to the level-ordered wire contract:
+
+    * the ``progressive`` header extension's level table is strictly
+      coarse-first with strictly increasing byte offsets, the last offset
+      exactly the blob end, and :func:`level_table` reads back what
+      ``_compress`` wrote (header round-trip);
+    * an unknown extension version is a typed
+      :class:`~repro.errors.VersionError`, never a silent parse — the
+      same bump rule every other versioned header obeys;
+    * decoding the full prefix chain (the first ``offset[k]`` bytes for
+      the final level ``k=1``) is bit-identical to ``decompress`` *and*
+      to plain ``sz3``'s interp reconstruction (the reordering is wire
+      layout only);
+    * every recorded per-level bound holds for its prefix preview.
+    """
+    import numpy as np
+
+    from repro.compressors import get_compressor
+    from repro.compressors.base import Blob
+    from repro.compressors.progressive import (
+        decompress_prefix,
+        level_table,
+    )
+    from repro.errors import CorruptBlobError, TruncatedStreamError, VersionError
+
+    problems: list[str] = []
+    rng = np.random.default_rng(17)
+    data = np.cumsum(
+        np.cumsum(rng.normal(size=(14, 12, 10)), axis=0), axis=1
+    ).astype(np.float32)
+    eb = 1e-3 * float(data.max() - data.min())
+    comp = get_compressor("sz3_progressive", eb)
+    blob = comp.compress(data)
+
+    # -- table structure + header round-trip ---------------------------------
+    table = level_table(blob)
+    if not table:
+        return ["progressive blob has an empty level table"]
+    levels = [e["level"] for e in table]
+    ends = [e["end"] for e in table]
+    if levels != sorted(levels, reverse=True) or len(set(levels)) != len(levels):
+        problems.append(f"level indices not strictly coarse-first: {levels}")
+    if ends != sorted(set(ends)):
+        problems.append(f"level offsets not strictly increasing: {ends}")
+    if ends[-1] != len(blob):
+        problems.append(
+            f"final level offset {ends[-1]} != blob length {len(blob)}"
+        )
+    parsed = Blob.from_bytes(blob)
+    ext = parsed.header.get("progressive", {})
+    header_levels = [e["level"] for e in ext.get("levels", [])]
+    if header_levels != levels:
+        problems.append(
+            f"level_table() levels {levels} != header levels {header_levels}"
+        )
+
+    # -- version-bump rule ----------------------------------------------------
+    tampered = Blob(dict(parsed.header), dict(parsed.sections))
+    tampered.header = dict(tampered.header)
+    tampered.header["progressive"] = dict(ext, version=ext.get("version", 1) + 1)
+    try:
+        decompress_prefix(tampered.to_bytes())
+        problems.append("decompress_prefix accepted an unknown extension version")
+    except VersionError:
+        pass
+    no_ext = Blob(
+        {k: v for k, v in parsed.header.items() if k != "progressive"},
+        dict(parsed.sections),
+    )
+    try:
+        level_table(no_ext.to_bytes())
+        problems.append("level_table parsed a blob with no progressive extension")
+    except CorruptBlobError:
+        pass
+
+    # -- prefix/full decode parity at the final level -------------------------
+    full = comp.decompress(blob)
+    chain = decompress_prefix(blob[: ends[-1]])
+    if chain.level != levels[-1]:
+        problems.append(
+            f"full prefix decoded at level {chain.level}, expected {levels[-1]}"
+        )
+    if not np.array_equal(chain.array, full):
+        problems.append("full prefix chain is not bit-identical to decompress()")
+    plain = get_compressor("sz3", eb, predictor="interp")
+    if not np.array_equal(full, plain.decompress(plain.compress(data))):
+        problems.append(
+            "sz3_progressive reconstruction differs from plain sz3 interp"
+        )
+
+    # -- per-level bounds hold; short prefixes are typed ----------------------
+    for e in table:
+        preview = decompress_prefix(blob[: e["end"]])
+        err = float(np.abs(preview.array.astype(np.float64) - data).max())
+        if err > preview.eb:
+            problems.append(
+                f"level {e['level']} preview error {err:.3e} exceeds the "
+                f"recorded bound {preview.eb:.3e}"
+            )
+    try:
+        decompress_prefix(blob[: max(ends[0] - 1, 0)])
+        problems.append("a prefix below the coarsest level must raise typed")
+    except TruncatedStreamError:
+        pass
+    return problems
+
+
 def check_all() -> dict[str, list[str]]:
     """name -> violations for every candidate (empty dict values = all clean)."""
     out = {name: check_codec(obj) for name, obj in _candidates().items()}
@@ -670,6 +784,7 @@ def check_all() -> dict[str, list[str]]:
     out["streaming"] = check_streaming()
     out["public-api"] = check_public_api()
     out["service"] = check_service()
+    out["progressive"] = check_progressive()
     return out
 
 

@@ -3,19 +3,26 @@
 
 Replays a *seeded* request mix against a live gateway — many small
 compress/decompress slices, a few huge volumes that exercise the
-streamed route, and a sprinkle of archive put/get — from several
+streamed route, a sprinkle of archive put/get, and a progressive
+range-request class (put a ``sz3_progressive`` entry, fetch its
+coarsest-level prefix, sometimes refine to full) — from several
 tenants concurrently, then reports per-tenant latency quantiles and
 throughput.
 
 The replay is deterministic: one ``numpy`` generator seeds the request
 schedule (sizes, tenants, op mix, interleaving), so two runs with the
 same ``--seed`` issue byte-identical traffic and the latency digest is
-comparable run over run.  The output is a bench **schema v7** report
+comparable run over run.  The output is a bench **schema v8** report
 carrying a ``service_summary`` block
-(``{tenant: {p50_s, p99_s, throughput_mb_s, requests, rejected}}``)
-that ``tools/bench.py --compare`` diffs against any baseline — v6
-baselines have no service keys, so the comparison stays green across
-the schema bump.
+(``{tenant: {p50_s, p99_s, throughput_mb_s, requests, rejected,
+prefix_bytes, full_bytes, prefix_ratio}}``) that
+``tools/bench.py --compare`` diffs against any baseline — the compare
+flattens only the latency quantiles, so v7 baselines (no range class,
+no prefix keys) and v6 baselines (no service keys at all) both stay
+green across the schema bump.  ``prefix_ratio`` is range bytes
+actually served over the full size of the entries targeted: 1.0 when
+every fetch refined to full, well below that when coarse previews
+were enough.
 
 By default the gateway runs in-process (fork pool and all), so the tool
 doubles as an end-to-end integration check; ``--connect HOST:PORT``
@@ -51,11 +58,13 @@ from repro.service import (  # noqa: E402
     Gateway,
     GatewayConfig,
     JobSpec,
+    RangeGetRequest,
     ServiceClient,
     TenantPolicy,
 )
+from repro.utils.levels import num_levels  # noqa: E402
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 TENANTS = ("alice", "bob", "carol")
 
@@ -75,14 +84,16 @@ def _field(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
 
 
 def build_schedule(
-    seed: int, small: int, big: int, archive: int
+    seed: int, small: int, big: int, archive: int, ranges: int = 0
 ) -> list[dict[str, Any]]:
     """The deterministic request schedule: one dict per request.
 
     Ops: ``compress-small``, ``compress-big`` (streamed), ``decompress``
     (round-trips a previous compress result), ``archive-put`` /
-    ``archive-get``.  Tenants are drawn round-robin-ish from the seeded
-    generator so every tenant sees every op class.
+    ``archive-get``, and ``range`` (archive a progressive entry, fetch
+    its coarsest-level prefix, refine every second one to full).
+    Tenants are drawn round-robin-ish from the seeded generator so
+    every tenant sees every op class.
     """
     rng = np.random.default_rng(seed)
     plan: list[dict[str, Any]] = []
@@ -107,6 +118,16 @@ def build_schedule(
             "name": f"entry{i:03d}",
             "data": _field(rng, SMALL_SHAPE),
         })
+    for i in range(ranges):
+        plan.append({
+            "op": "range",
+            "tenant": TENANTS[int(rng.integers(len(TENANTS)))],
+            "name": f"prog{i:03d}",
+            "data": _field(rng, SMALL_SHAPE),
+            # alternate, not a coin: any mix with >= 2 range ops exercises
+            # both the coarse-preview-only and the refine-to-full paths
+            "refine": i % 2 == 1,
+        })
     order = rng.permutation(len(plan))
     return [plan[int(i)] for i in order]
 
@@ -118,6 +139,8 @@ class _Recorder:
         self.latencies: dict[str, list[float]] = {}
         self.bytes_in: dict[str, int] = {}
         self.rejected: dict[str, int] = {}
+        self.prefix_bytes: dict[str, int] = {}
+        self.full_bytes: dict[str, int] = {}
 
     def ok(self, tenant: str, seconds: float, nbytes: int) -> None:
         self.latencies.setdefault(tenant, []).append(seconds)
@@ -126,15 +149,25 @@ class _Recorder:
     def reject(self, tenant: str) -> None:
         self.rejected[tenant] = self.rejected.get(tenant, 0) + 1
 
+    def range_bytes(self, tenant: str, served: int, full: int) -> None:
+        """One range fetch: ``served`` bytes delivered of a ``full``-byte
+        entry.  ``full`` is charged once per entry (refinements pass 0)."""
+        self.prefix_bytes[tenant] = self.prefix_bytes.get(tenant, 0) + served
+        self.full_bytes[tenant] = self.full_bytes.get(tenant, 0) + full
+
     def summary(self, wall_s: float) -> dict[str, Any]:
         out: dict[str, Any] = {}
         all_lat: list[float] = []
         total_bytes = 0
         total_rej = 0
+        total_prefix = 0
+        total_full = 0
         for tenant in sorted(set(self.latencies) | set(self.rejected)):
             lats = np.asarray(self.latencies.get(tenant, [0.0]))
             nbytes = self.bytes_in.get(tenant, 0)
             rej = self.rejected.get(tenant, 0)
+            prefix = self.prefix_bytes.get(tenant, 0)
+            full = self.full_bytes.get(tenant, 0)
             out[tenant] = {
                 "requests": int(len(self.latencies.get(tenant, []))),
                 "rejected": rej,
@@ -143,10 +176,15 @@ class _Recorder:
                 "throughput_mb_s": (
                     nbytes / (1 << 20) / wall_s if wall_s > 0 else 0.0
                 ),
+                "prefix_bytes": prefix,
+                "full_bytes": full,
+                "prefix_ratio": prefix / full if full else 1.0,
             }
             all_lat.extend(self.latencies.get(tenant, []))
             total_bytes += nbytes
             total_rej += rej
+            total_prefix += prefix
+            total_full += full
         lats = np.asarray(all_lat or [0.0])
         out["_total"] = {
             "requests": len(all_lat),
@@ -156,6 +194,9 @@ class _Recorder:
             "throughput_mb_s": (
                 total_bytes / (1 << 20) / wall_s if wall_s > 0 else 0.0
             ),
+            "prefix_bytes": total_prefix,
+            "full_bytes": total_full,
+            "prefix_ratio": total_prefix / total_full if total_full else 1.0,
         }
         return out
 
@@ -172,6 +213,10 @@ async def _drive(submit, plan: list[dict[str, Any]], concurrency: int) -> _Recor
     rec = _Recorder()
     sem = asyncio.Semaphore(concurrency)
     spec = JobSpec(compressor="sz3", error_bound=1e-3)
+    prog_spec = JobSpec(compressor="sz3_progressive", error_bound=1e-3)
+    # the coarsest interpolation level is a pure function of the geometry,
+    # so the client can ask for it without having seen the blob
+    coarsest = num_levels(SMALL_SHAPE)
 
     async def _timed(req) -> Any:
         t0 = time.monotonic()
@@ -186,6 +231,28 @@ async def _drive(submit, plan: list[dict[str, Any]], concurrency: int) -> _Recor
     async def _one(entry: dict[str, Any]) -> None:
         async with sem:
             tenant = entry["tenant"]
+            if entry["op"] == "range":
+                put = ArchivePutRequest.from_array(
+                    tenant, entry["name"], entry["data"], prog_spec
+                )
+                if await _timed(put) is None:
+                    return
+                coarse = await _timed(RangeGetRequest(
+                    tenant=tenant, name=entry["name"], level=coarsest
+                ))
+                if coarse is None:
+                    return
+                rec.range_bytes(
+                    tenant, len(coarse.result), int(coarse.meta["total_bytes"])
+                )
+                if entry["refine"]:
+                    rest = await _timed(RangeGetRequest(
+                        tenant=tenant, name=entry["name"],
+                        start=len(coarse.result),
+                    ))
+                    if rest is not None:
+                        rec.range_bytes(tenant, len(rest.result), 0)
+                return
             if entry["op"] == "archive":
                 put = ArchivePutRequest.from_array(
                     tenant, entry["name"], entry["data"], spec
@@ -254,10 +321,12 @@ async def _run_tcp(args, plan) -> tuple[_Recorder, float, dict]:
 
 def run(args) -> dict[str, Any]:
     if args.smoke:
-        small, big, archive = 18, 2, 3
+        small, big, archive, ranges = 18, 2, 3, 3
     else:
-        small, big, archive = args.small, args.big, args.archive_ops
-    plan = build_schedule(args.seed, small, big, archive)
+        small, big, archive, ranges = (
+            args.small, args.big, args.archive_ops, args.range_ops
+        )
+    plan = build_schedule(args.seed, small, big, archive, ranges)
     if args.connect:
         rec, wall, stats = asyncio.run(_run_tcp(args, plan))
     else:
@@ -267,7 +336,8 @@ def run(args) -> dict[str, Any]:
         "schema_version": SCHEMA_VERSION,
         "kind": "service-loadgen",
         "seed": args.seed,
-        "plan": {"small": small, "big": big, "archive": archive},
+        "plan": {"small": small, "big": big, "archive": archive,
+                 "range": ranges},
         "wall_s": wall,
         "gateway": stats,
         "service_summary": summary,
@@ -288,6 +358,9 @@ def main(argv: list[str] | None = None) -> int:
                     help="huge volumes (streamed route) in the mix")
     ap.add_argument("--archive-ops", type=int, default=12,
                     help="archive put(+get) pairs in the mix")
+    ap.add_argument("--range-ops", type=int, default=8,
+                    help="progressive put + range-get (± refine) triples "
+                         "in the mix")
     ap.add_argument("--concurrency", type=int, default=8,
                     help="concurrent client slots")
     ap.add_argument("--workers", type=int, default=2,
@@ -297,17 +370,17 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--connect", default=None, metavar="HOST:PORT",
                     help="replay against a remote gateway over TCP instead "
                          "of the in-process one")
-    ap.add_argument("--out", default=None, help="write the v7 report JSON here")
+    ap.add_argument("--out", default=None, help="write the v8 report JSON here")
     args = ap.parse_args(argv)
 
     report = run(args)
     summary = report["service_summary"]
     print(f"{'tenant':<8s} {'reqs':>6s} {'rej':>5s} {'p50(ms)':>9s} "
-          f"{'p99(ms)':>9s} {'MB/s':>8s}")
+          f"{'p99(ms)':>9s} {'MB/s':>8s} {'pfx%':>6s}")
     for tenant, d in summary.items():
         print(f"{tenant:<8s} {d['requests']:6d} {d['rejected']:5d} "
               f"{d['p50_s'] * 1e3:9.2f} {d['p99_s'] * 1e3:9.2f} "
-              f"{d['throughput_mb_s']:8.2f}")
+              f"{d['throughput_mb_s']:8.2f} {d['prefix_ratio'] * 100:6.1f}")
     print(f"replayed {summary['_total']['requests']} requests in "
           f"{report['wall_s']:.2f}s (seed {report['seed']})")
     if args.out:
